@@ -1,0 +1,26 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+Every benchmark runs the full experiment once inside
+``benchmark.pedantic`` (the simulations are deterministic — repeated
+rounds would measure the same virtual trajectory), prints the paper's
+rows, persists a JSON artifact under ``benchmarks/results/``, and
+asserts the figure's *shape* claims.
+
+Scale points default to 32..8192 with x4 steps (the paper doubles);
+override with ``REPRO_POINTS=32,64,128,...`` for the full axis or a
+quick pass (e.g. ``REPRO_POINTS=32,128``).
+"""
+
+import pytest
+
+
+@pytest.fixture
+def points():
+    from repro.bench import scale_points
+    return scale_points()
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "figure(name): marks a benchmark regenerating a "
+        "specific paper figure")

@@ -1,0 +1,59 @@
+"""Ablation — collective complexity vs group size (the T'_W1 argument).
+
+The paper's rationale for decoupling reductions: "the complexity of the
+reduce operation naturally decreases when moving from a large number of
+processes to a smaller subset".  Measures allreduce latency across
+communicator sizes and checks the logarithmic-ish growth the tree
+algorithms give — i.e. moving the operation to an alpha*P group really
+buys back the predicted cost.
+"""
+
+import math
+
+import pytest
+
+from repro.bench.harness import Series, save_artifact
+from repro.simmpi import SizedPayload, beskow, run
+
+
+def _allreduce_time(nprocs: int, payload_bytes: int, repeats: int = 20
+                    ) -> float:
+    def main(comm):
+        t0 = comm.time
+        for _ in range(repeats):
+            yield from comm.allreduce(SizedPayload(1, payload_bytes),
+                                      op=lambda a, b: a)
+        return (comm.time - t0) / repeats
+
+    result = run(main, nprocs, machine=beskow())
+    return max(result.values)
+
+
+@pytest.mark.figure("ablation-collectives")
+def test_reduce_complexity_shrinks_with_group(benchmark):
+    sizes = (8, 32, 128, 512, 2048)
+    payload = 64 * 1024
+
+    def experiment():
+        return {p: _allreduce_time(p, payload) for p in sizes}
+
+    times = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print("\nCollective-complexity ablation (allreduce, 64 KiB):")
+    series = Series("allreduce")
+    for p in sizes:
+        print(f"  P={p:>5}: {times[p] * 1e6:9.1f} us")
+        series.points[p] = times[p]
+    save_artifact("ablation_collectives", [series])
+
+    # monotone growth with communicator size
+    ordered = [times[p] for p in sizes]
+    assert ordered == sorted(ordered)
+
+    # decoupling payoff: the alpha = 1/16 group's collective is much
+    # cheaper than the full communicator's
+    assert times[128] < times[2048] / 1.5
+
+    # growth is tree-like (scales with log P within a generous factor,
+    # not linearly): going 8 -> 2048 multiplies cost by far less than
+    # the 256x a linear algorithm would
+    assert times[2048] / times[8] < 256 / 4

@@ -1,0 +1,70 @@
+"""Ablation — stream-element granularity S (the Eq. 4 trade-off).
+
+A fixed volume D streams from producers to one consumer while the
+producers compute: fine elements pipeline better but pay per-element
+overhead; coarse elements are cheap but serialize at the end.  The
+measured makespan across S must show both penalty regimes, as Eq. 4
+predicts.
+"""
+
+import pytest
+
+from repro.bench.harness import Series, save_artifact
+from repro.mpistream import attach, create_channel
+from repro.simmpi import SizedPayload, quiet_testbed, run
+
+TOTAL_BYTES = 64 * 1024 * 1024          # D
+COMPUTE_TOTAL = 0.5                     # op0 per producer
+ELEMENT_OVERHEAD = 20e-6                # o (construction + injection)
+
+
+def _makespan(element_bytes: int) -> float:
+    nelements = max(1, TOTAL_BYTES // element_bytes)
+
+    def main(comm):
+        is_producer = comm.rank < comm.size - 1
+        ch = yield from create_channel(comm, is_producer, not is_producer)
+
+        def sink(element):
+            # consumer-side per-byte processing
+            yield from comm.compute(element.nbytes * 2e-10, "op1")
+
+        s = yield from attach(ch, sink, element_overhead=ELEMENT_OVERHEAD)
+        if is_producer:
+            per_element_compute = COMPUTE_TOTAL / nelements
+            for _ in range(nelements):
+                yield from comm.compute(per_element_compute, "op0")
+                yield from s.isend(SizedPayload(None, element_bytes))
+            yield from s.terminate()
+        else:
+            yield from s.operate()
+        yield from ch.free()
+        return comm.time
+
+    result = run(main, 5, machine=quiet_testbed())
+    return max(result.values)
+
+
+@pytest.mark.figure("ablation-granularity")
+def test_granularity_tradeoff(benchmark):
+    sizes = [4 * 1024, 64 * 1024, 1024 * 1024, 16 * 1024 * 1024,
+             TOTAL_BYTES]
+
+    def experiment():
+        return {s: _makespan(s) for s in sizes}
+
+    times = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print("\nGranularity ablation (element bytes -> makespan s):")
+    series = Series("makespan")
+    for s in sizes:
+        print(f"  S={s:>10}: {times[s]:.3f}")
+        series.points[s] = times[s]
+    save_artifact("ablation_granularity", [series])
+
+    # fine-grained overhead penalty: the finest grain pays for its
+    # element count relative to the sweet spot
+    best = min(times.values())
+    assert times[sizes[0]] > best * 1.05
+    # coarse-grained pipeline loss: one giant element serializes the
+    # whole transfer + consumer processing after the compute
+    assert times[sizes[-1]] > best * 1.02

@@ -1,0 +1,25 @@
+"""Fig. 3 — the three execution models, measured.
+
+The conceptual figure as an experiment: a synthetic two-operation
+application with rotating per-round imbalance, run (a) conventionally
+(staged, barriers), (b) with non-blocking operations (idle absorption,
+no pipelining across operations), (c) decoupled (pipelined + absorbed +
+reduced-complexity operator).  Ordering must match the figure.
+"""
+
+import pytest
+
+from repro.bench import fig3_execution_models, save_artifact
+from repro.bench.harness import Series
+
+
+@pytest.mark.figure("fig3")
+def test_fig3_execution_models(benchmark):
+    out = benchmark.pedantic(fig3_execution_models, rounds=1, iterations=1)
+    print("\nFig. 3 - execution-model makespans (s):")
+    for name in ("conventional", "nonblocking", "decoupled"):
+        print(f"  {name:>14}: {out[name]:.3f}")
+    save_artifact("fig3_models", [
+        Series(k, points={0: v}) for k, v in out.items()
+    ])
+    assert out["decoupled"] < out["nonblocking"] < out["conventional"]

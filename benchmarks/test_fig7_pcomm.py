@@ -1,0 +1,39 @@
+"""Fig. 7 — iPIC3D particle communication weak scaling (GEM setup).
+
+Paper claims reproduced as assertions:
+  * the reference grows with the process count;
+  * the decoupled time stays near-constant;
+  * decoupled wins at the top scale (paper: 1.3x).
+"""
+
+import pytest
+
+from repro.bench import fig7_pcomm, render_table, save_artifact
+
+
+@pytest.mark.figure("fig7")
+def test_fig7_pcomm(benchmark, points):
+    series = benchmark.pedantic(
+        fig7_pcomm, args=(points,), rounds=1, iterations=1)
+    table = render_table("Fig. 7 - iPIC3D particle communication "
+                         "(execution time, s)", series)
+    print("\n" + table)
+    save_artifact("fig7_pcomm", series)
+
+    ref, dec = series
+    lo, hi = min(points), max(points)
+
+    # reference grows with scale
+    assert ref.points[hi] > ref.points[lo] * 1.02
+
+    # decoupled stays near-constant (the paper's headline observation)
+    assert dec.points[hi] < dec.points[lo] * 1.15
+
+    # decoupled wins everywhere
+    for p in points:
+        assert dec.points[p] < ref.points[p], f"P={p}"
+    gain_hi = ref.points[hi] / dec.points[hi]
+    gain_lo = ref.points[lo] / dec.points[lo]
+    if hi >= 4096:  # the paper-scale claims
+        assert gain_hi > gain_lo
+        assert gain_hi > 1.15, f"top-scale gain only {gain_hi:.2f}x"

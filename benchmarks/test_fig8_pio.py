@@ -1,0 +1,41 @@
+"""Fig. 8 — iPIC3D particle I/O weak scaling.
+
+Paper claims reproduced as assertions:
+  * decoupled beats both references from 64 processes on, with the
+    advantage growing with scale;
+  * at the top scale the gaps approach the paper's 12x (vs collective)
+    and 3x (vs shared-pointer);
+  * collective I/O is the worst performer at scale.
+"""
+
+import pytest
+
+from repro.bench import fig8_pio, render_table, save_artifact
+
+
+@pytest.mark.figure("fig8")
+def test_fig8_pio(benchmark, points):
+    series = benchmark.pedantic(
+        fig8_pio, args=(points,), rounds=1, iterations=1)
+    table = render_table("Fig. 8 - iPIC3D particle I/O "
+                         "(visible I/O time, s)", series)
+    print("\n" + table)
+    save_artifact("fig8_pio", series)
+
+    coll, shared, dec = series
+    hi = max(points)
+
+    # decoupled wins everywhere beyond the smallest point
+    for p in points:
+        if p >= 64:
+            assert dec.points[p] < coll.points[p], f"P={p}"
+            assert dec.points[p] < shared.points[p], f"P={p}"
+
+    # collective is the worst at scale; gaps approach the paper's 12x/3x
+    assert coll.points[hi] > shared.points[hi]
+    gain_coll = coll.points[hi] / dec.points[hi]
+    gain_shared = shared.points[hi] / dec.points[hi]
+    assert gain_coll > 3.0, f"collective gap only {gain_coll:.1f}x"
+    if hi >= 4096:  # the paper-scale claims
+        assert gain_coll > 6.0, f"collective gap only {gain_coll:.1f}x"
+        assert gain_shared > 2.0, f"shared gap only {gain_shared:.1f}x"

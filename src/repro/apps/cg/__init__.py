@@ -1,0 +1,23 @@
+"""Conjugate-Gradient Poisson solver case study (Section IV-C, Fig. 6)."""
+
+from .config import CGConfig
+from .decoupled import cg_decoupled
+from .kernels import (
+    FACES,
+    alloc_block,
+    apply_laplacian,
+    apply_laplacian_split,
+    extract_face,
+    insert_ghost,
+    interior,
+    local_dot,
+)
+from .reference import cg_blocking, cg_nonblocking
+from .solver import CGResult, poisson_rhs, sequential_cg
+
+__all__ = [
+    "CGConfig", "CGResult", "FACES", "alloc_block", "apply_laplacian",
+    "apply_laplacian_split", "cg_blocking", "cg_decoupled",
+    "cg_nonblocking", "extract_face", "insert_ghost", "interior",
+    "local_dot", "poisson_rhs", "sequential_cg",
+]

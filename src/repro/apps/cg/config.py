@@ -1,0 +1,69 @@
+"""Configuration for the CG case study (Section IV-C, Fig. 6)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ...workloads.grids import BlockSpec
+
+
+@dataclass(frozen=True)
+class CGConfig:
+    """One CG experiment instance.
+
+    The paper's weak scaling: 120^3 grid points per process, 300 fixed
+    iterations, alpha = 6.25% for the decoupled halo group.  ``numeric``
+    switches to real (small) grids with verifiable algebra; the timed
+    mode charges calibrated per-point costs instead.
+    """
+
+    nprocs: int
+    iterations: int = 300
+    alpha: float = 0.0625
+    numeric: bool = False
+    block_points: int = 120          # per-axis owned points (timed mode)
+    numeric_block_points: int = 8    # per-axis points in numeric mode
+    #: memory-bound 7-point stencil, Haswell-era: ~55 ns per point
+    laplacian_seconds_per_point: float = 5.5e-8
+    #: dots + three AXPYs per iteration
+    vecops_seconds_per_point: float = 2.5e-8
+    #: halo-group aggregation cost per received face byte (memcpy-ish)
+    aggregate_seconds_per_byte: float = 2.0e-10
+    #: O(P) argument-scan cost of the reference's MPI_Alltoallv
+    alltoallv_scan_seconds_per_peer: float = 5.0e-6
+    numeric_tol: float = 0.0         # 0 = run fixed iterations
+    seed: int = 7
+
+    def __post_init__(self):
+        if self.nprocs < 1:
+            raise ValueError("nprocs must be >= 1")
+        if self.iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        if not (0.0 < self.alpha < 1.0):
+            raise ValueError("alpha must be in (0, 1)")
+        if self.block_points < 3 or self.numeric_block_points < 3:
+            raise ValueError("blocks must be at least 3^3 points")
+
+    # ------------------------------------------------------------------
+    @property
+    def points_per_axis(self) -> int:
+        return self.numeric_block_points if self.numeric else self.block_points
+
+    def block(self, scale: float = 1.0) -> BlockSpec:
+        """The per-rank block; ``scale`` > 1 grows it for decoupled
+        compute ranks that carry the absent ranks' share (weak-scaling
+        fairness, Section IV-A)."""
+        n = max(3, round(self.points_per_axis * scale ** (1.0 / 3.0)))
+        return BlockSpec(n, n, n)
+
+    @property
+    def n_halo(self) -> int:
+        """Decoupled halo-group size (at least one rank)."""
+        return max(1, round(self.alpha * self.nprocs))
+
+    @property
+    def n_compute(self) -> int:
+        return self.nprocs - self.n_halo
+
+    def with_(self, **kw) -> "CGConfig":
+        return replace(self, **kw)

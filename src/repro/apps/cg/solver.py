@@ -1,0 +1,68 @@
+"""Sequential CG ground truth.
+
+Solves the 3-D Poisson problem ``-lap(u) = f`` with homogeneous
+Dirichlet boundaries on a uniform grid, with the same 7-point operator
+the distributed solver uses — the oracle for numeric-mode tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class CGResult:
+    u: np.ndarray
+    iterations: int
+    residual: float
+    converged: bool
+    residual_history: Optional[list] = None
+
+
+def apply_poisson(u: np.ndarray) -> np.ndarray:
+    """Global 7-point negative Laplacian with zero Dirichlet halo."""
+    p = np.pad(u, 1)
+    return (
+        6.0 * u
+        - p[:-2, 1:-1, 1:-1] - p[2:, 1:-1, 1:-1]
+        - p[1:-1, :-2, 1:-1] - p[1:-1, 2:, 1:-1]
+        - p[1:-1, 1:-1, :-2] - p[1:-1, 1:-1, 2:]
+    )
+
+
+def sequential_cg(f: np.ndarray, tol: float = 1e-8,
+                  max_iter: int = 500,
+                  record_history: bool = False) -> CGResult:
+    """Textbook conjugate gradients on the Poisson operator."""
+    if f.ndim != 3:
+        raise ValueError("f must be a 3-D grid")
+    u = np.zeros_like(f)
+    r = f - apply_poisson(u)
+    p = r.copy()
+    rr = float(np.vdot(r, r).real)
+    r0 = np.sqrt(rr)
+    history = [r0] if record_history else None
+    if r0 == 0.0:
+        return CGResult(u, 0, 0.0, True, history)
+    for it in range(1, max_iter + 1):
+        ap = apply_poisson(p)
+        alpha = rr / float(np.vdot(p, ap).real)
+        u += alpha * p
+        r -= alpha * ap
+        rr_new = float(np.vdot(r, r).real)
+        if record_history:
+            history.append(np.sqrt(rr_new))
+        if np.sqrt(rr_new) <= tol * r0:
+            return CGResult(u, it, np.sqrt(rr_new), True, history)
+        p = r + (rr_new / rr) * p
+        rr = rr_new
+    return CGResult(u, max_iter, np.sqrt(rr), False, history)
+
+
+def poisson_rhs(shape: Tuple[int, int, int], seed: int = 42) -> np.ndarray:
+    """A reproducible smooth-ish right-hand side."""
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(shape)

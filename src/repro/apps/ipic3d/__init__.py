@@ -1,0 +1,20 @@
+"""iPIC3D plasma-simulation case study (Section IV-D, Figs. 2, 7, 8)."""
+
+from .config import IPICConfig
+from .particles import (
+    boris_push,
+    deposit_density,
+    owner_of,
+    spawn_block,
+    split_by_owner,
+)
+from .pcomm_decoupled import pcomm_decoupled
+from .pcomm_reference import pcomm_reference
+from .pio_decoupled import pio_decoupled
+from .pio_reference import pio_reference
+
+__all__ = [
+    "IPICConfig", "boris_push", "deposit_density", "owner_of",
+    "pcomm_decoupled", "pcomm_reference", "pio_decoupled",
+    "pio_reference", "spawn_block", "split_by_owner",
+]

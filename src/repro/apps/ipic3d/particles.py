@@ -1,0 +1,108 @@
+"""Particle kernels: Boris mover, ownership, moment deposition.
+
+Numeric-mode physics for the iPIC3D skeleton.  The global domain is
+the periodic unit cube decomposed into a Cartesian grid of subdomains;
+positions are global coordinates, ownership is by subdomain.
+
+The mover is the standard Boris rotation (the pusher iPIC3D's implicit
+mover reduces to for explicit sub-steps): half electric kick, magnetic
+rotation, half kick, drift — vectorized over the particle arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ...workloads.particles import ParticleBlock
+
+
+def boris_push(p: ParticleBlock, E: np.ndarray, B: np.ndarray,
+               dt: float, qm: float = 1.0) -> None:
+    """In-place Boris push with uniform fields E, B (3-vectors)."""
+    E = np.asarray(E, dtype=np.float64)
+    B = np.asarray(B, dtype=np.float64)
+    if E.shape != (3,) or B.shape != (3,):
+        raise ValueError("E and B must be 3-vectors")
+    if len(p) == 0:
+        return
+    qdt2 = (p.q * qm * dt / 2.0)[:, None]
+    v_minus = p.v + qdt2 * E
+    t = qdt2 * B
+    t_mag2 = np.sum(t * t, axis=1, keepdims=True)
+    s = 2.0 * t / (1.0 + t_mag2)
+    v_prime = v_minus + np.cross(v_minus, t)
+    v_plus = v_minus + np.cross(v_prime, s)
+    p.v[...] = v_plus + qdt2 * E
+    p.x[...] = (p.x + p.v * dt) % 1.0   # periodic unit cube
+
+
+def owner_of(x: np.ndarray, dims: Tuple[int, int, int]) -> np.ndarray:
+    """Rank owning each position (row-major Cartesian, periodic)."""
+    cx = np.minimum((x[:, 0] * dims[0]).astype(np.int64), dims[0] - 1)
+    cy = np.minimum((x[:, 1] * dims[1]).astype(np.int64), dims[1] - 1)
+    cz = np.minimum((x[:, 2] * dims[2]).astype(np.int64), dims[2] - 1)
+    return (cx * dims[1] + cy) * dims[2] + cz
+
+
+def split_by_owner(p: ParticleBlock, dims: Tuple[int, int, int],
+                   my_rank: int) -> Tuple[ParticleBlock, Dict[int, ParticleBlock]]:
+    """(stayers, {dest_rank: movers}) after a push."""
+    owners = owner_of(p.x, dims)
+    stay = owners == my_rank
+    stayers = p.select(stay)
+    out: Dict[int, ParticleBlock] = {}
+    for dest in np.unique(owners[~stay]):
+        out[int(dest)] = p.select(owners == dest)
+    return stayers, out
+
+
+def axis_route(coords: Tuple[int, ...], dest_coords: Tuple[int, ...],
+               dims: Tuple[int, int, int]) -> Tuple[int, int]:
+    """Next (axis, direction) on the reference forwarding path.
+
+    The reference exchange moves particles one axis at a time (x, then
+    y, then z), one subdomain per pass, taking the shorter way around
+    the periodic torus — the paper's
+    ``DimX + DimY + DimZ``-bounded scheme."""
+    for axis in range(3):
+        d = dest_coords[axis] - coords[axis]
+        if d != 0:
+            n = dims[axis]
+            if d > n // 2:
+                d -= n
+            elif d < -(n // 2):
+                d += n
+            return axis, (1 if d > 0 else -1)
+    raise ValueError("already at destination")
+
+
+def deposit_density(p: ParticleBlock, ncells: int) -> np.ndarray:
+    """Nearest-grid-point charge deposition onto a local ncells^3 grid
+    over the unit cube (diagnostic moment used by tests/examples)."""
+    if len(p) == 0:
+        return np.zeros((ncells,) * 3)
+    idx = np.minimum((p.x * ncells).astype(np.int64), ncells - 1)
+    flat = (idx[:, 0] * ncells + idx[:, 1]) * ncells + idx[:, 2]
+    rho = np.bincount(flat, weights=p.q, minlength=ncells ** 3)
+    return rho.reshape((ncells,) * 3)
+
+
+def spawn_block(n: int, rank: int, dims: Tuple[int, int, int],
+                seed: int, thermal: float) -> ParticleBlock:
+    """Particles uniform inside ``rank``'s subdomain, Maxwellian
+    velocities, globally unique ids."""
+    rng = np.random.default_rng(np.random.SeedSequence(
+        entropy=seed, spawn_key=(17, rank)))
+    nx, ny, nz = dims
+    cz = rank % nz
+    cy = (rank // nz) % ny
+    cx = rank // (ny * nz)
+    lo = np.array([cx / nx, cy / ny, cz / nz])
+    hi = np.array([(cx + 1) / nx, (cy + 1) / ny, (cz + 1) / nz])
+    x = rng.uniform(lo, hi, size=(n, 3))
+    v = rng.normal(0.0, thermal, size=(n, 3))
+    q = np.where(rng.random(n) < 0.5, -1.0, 1.0)
+    ids = (np.int64(rank) << 32) + np.arange(n, dtype=np.int64)
+    return ParticleBlock(x, v, q, ids)

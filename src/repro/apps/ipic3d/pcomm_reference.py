@@ -1,0 +1,201 @@
+"""Reference particle communication: neighbour forwarding (Section IV-D1).
+
+After the mover, each rank forwards its exiting particles to its six
+direct Cartesian neighbours, one axis at a time; the pass repeats until
+no particle is in transit, with an allreduce after every pass checking
+the global in-transit count — the optimized scheme the paper describes,
+bounded by ``DimX + DimY + DimZ`` passes.
+
+Every pass is bulk-synchronous: all ranks exchange with all six
+neighbours (empty payloads allowed, as real codes post the recv anyway)
+and then agree on termination — which is exactly where the skewed,
+dynamic particle distribution hurts: the pass takes as long as the rank
+with the most particles to handle, every pass, every step.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Tuple
+
+import numpy as np
+
+from ...simmpi.comm import Comm
+from ...simmpi.datatypes import SizedPayload
+from ...simmpi.topology import dims_create
+from ...workloads.particles import ParticleBlock
+from .config import IPICConfig
+from .particles import axis_route, owner_of, boris_push, spawn_block
+
+#: uniform background fields of the numeric GEM-like run
+E_FIELD = np.array([0.0, 0.0, 0.02])
+B_FIELD = np.array([0.0, 0.0, 1.0])
+
+
+def _coords_of(rank: int, dims) -> Tuple[int, int, int]:
+    cz = rank % dims[2]
+    cy = (rank // dims[2]) % dims[1]
+    cx = rank // (dims[1] * dims[2])
+    return (cx, cy, cz)
+
+
+def _rank_of(coords, dims) -> int:
+    return ((coords[0] % dims[0]) * dims[1] + (coords[1] % dims[1])) \
+        * dims[2] + (coords[2] % dims[2])
+
+
+def _neighbors(rank: int, dims) -> List[int]:
+    """Six periodic neighbours (deduplicated for small dims)."""
+    coords = _coords_of(rank, dims)
+    out: List[int] = []
+    for axis in range(3):
+        for direction in (-1, +1):
+            c = list(coords)
+            c[axis] += direction
+            peer = _rank_of(c, dims)
+            if peer != rank and peer not in out:
+                out.append(peer)
+    return out
+
+
+def pcomm_reference(comm: Comm, cfg: IPICConfig
+                    ) -> Generator[Any, Any, Dict[str, Any]]:
+    """SPMD main: mover + neighbour-forwarding exchange, ``cfg.steps``
+    times.  Returns timing and (numeric) the final particle block."""
+    if comm.size != cfg.nprocs:
+        raise ValueError("config/communicator size mismatch")
+    dims = tuple(dims_create(comm.size, 3))
+    neighbors = _neighbors(comm.rank, dims)
+    t0 = comm.time
+    pcomm_time = 0.0
+
+    if cfg.numeric:
+        particles = spawn_block(cfg.numeric_particles_per_rank, comm.rank,
+                                dims, cfg.seed, cfg.numeric_thermal)
+    else:
+        particles = None
+        count = cfg.rank_particles(comm.rank, comm.size)
+
+    for step in range(cfg.steps):
+        # ---- mover ----------------------------------------------------
+        n_local = len(particles) if cfg.numeric else count
+        jitter = cfg.mover_jitter(comm.rank, step)
+        yield from comm.compute(
+            n_local * cfg.mover_seconds_per_particle * jitter,
+            label="mover")
+        yield from comm.compute(cfg.field_seconds_per_step, label="field")
+        if cfg.numeric:
+            boris_push(particles, E_FIELD, B_FIELD, cfg.numeric_dt)
+            owners = owner_of(particles.x, dims)
+            stay = owners == comm.rank
+            in_transit = particles.select(~stay)
+            particles = particles.select(stay)
+        else:
+            n_exit = cfg.exits(comm.rank, step, count)
+            count -= n_exit
+            # in-transit bookkeeping: counts per remaining hop distance
+            h1, h2, h3 = cfg.hop_split(comm.rank, step, n_exit)
+            transit_hops = [h1, h2, h3]
+
+        # ---- forwarding passes ---------------------------------------
+        t_phase = comm.time
+        while True:
+            tag = 200 + step % 100
+            if cfg.numeric:
+                outbound: Dict[int, List] = {p: [] for p in neighbors}
+                if len(in_transit):
+                    owners = owner_of(in_transit.x, dims)
+                    my_coords = _coords_of(comm.rank, dims)
+                    hops = [
+                        axis_route(my_coords, _coords_of(int(d), dims), dims)
+                        for d in owners
+                    ]
+                    groups: Dict[int, List[int]] = {}
+                    for i, (axis, direction) in enumerate(hops):
+                        c = list(my_coords)
+                        c[axis] += direction
+                        groups.setdefault(_rank_of(c, dims), []).append(i)
+                    for peer, idxs in groups.items():
+                        mask = np.zeros(len(in_transit), dtype=bool)
+                        mask[idxs] = True
+                        outbound[peer] = in_transit.select(mask)
+                payloads = {
+                    p: (outbound[p] if isinstance(outbound[p], ParticleBlock)
+                        else ParticleBlock.concat([]))
+                    for p in neighbors
+                }
+                n_out = sum(len(b) for b in payloads.values())
+            else:
+                n_out = sum(transit_hops)
+                share = {p: n_out // len(neighbors) for p in neighbors}
+                for i, p in enumerate(neighbors):
+                    if i < n_out % len(neighbors):
+                        share[p] += 1
+                payloads = {
+                    p: SizedPayload(transit_hops[:],  # hop profile rides along
+                                    share[p] * cfg.particle_bytes + 24)
+                    for p in neighbors
+                }
+
+            # exchange with all six neighbours (deadlock-free post-all)
+            rreqs = [comm.irecv(p, tag) for p in neighbors]
+            sreqs = []
+            for p in neighbors:
+                r = yield from comm.isend(payloads[p], p, tag)
+                sreqs.append(r)
+            yield from comm.waitall(sreqs, label="pcomm-send")
+            inbound = yield from comm.waitall(rreqs, label="pcomm-recv")
+
+            if cfg.numeric:
+                arrived: List[ParticleBlock] = []
+                still: List[ParticleBlock] = []
+                n_in = 0
+                for data, _st in inbound:
+                    if len(data) == 0:
+                        continue
+                    n_in += len(data)
+                    owners = owner_of(data.x, dims)
+                    mine = owners == comm.rank
+                    arrived.append(data.select(mine))
+                    still.append(data.select(~mine))
+                yield from comm.compute(
+                    (n_out + n_in) * cfg.handling_seconds_per_particle,
+                    label="pcomm-handle")
+                particles = ParticleBlock.concat([particles] + arrived)
+                in_transit = ParticleBlock.concat(still)
+                remaining = len(in_transit)
+            else:
+                n_in = 0
+                next_hops = [0, 0, 0]
+                for payload, _st in inbound:
+                    hop_profile = payload.data
+                    received = (payload.nbytes - 24) // cfg.particle_bytes
+                    n_in += received
+                    total_hops = sum(hop_profile)
+                    if total_hops > 0 and received > 0:
+                        # particles that had h hops now have h-1 left
+                        for h in (1, 2):  # 2->1, 3->2
+                            next_hops[h - 1] += round(
+                                received * hop_profile[h] / total_hops)
+                yield from comm.compute(
+                    (n_out + n_in) * cfg.handling_seconds_per_particle,
+                    label="pcomm-handle")
+                count += n_in - sum(next_hops)
+                transit_hops = next_hops
+                remaining = sum(transit_hops)
+
+            total_remaining = yield from comm.allreduce(remaining)
+            if total_remaining == 0:
+                break
+        pcomm_time += comm.time - t_phase
+
+    out: Dict[str, Any] = {
+        "elapsed": comm.time - t0,
+        "pcomm_time": pcomm_time,
+        "steps": cfg.steps,
+    }
+    if cfg.numeric:
+        out["ids"] = np.sort(particles.ids).tolist()
+        out["count"] = len(particles)
+    else:
+        out["count"] = count
+    return out

@@ -1,0 +1,20 @@
+"""MapReduce word-histogram case study (paper Section IV-B, Fig. 5)."""
+
+from .common import (
+    KeySetPayload,
+    MapReduceConfig,
+    RealHistogram,
+    SummaryHistogram,
+    expected_distinct_keys,
+    map_chunk,
+    merge_cost_seconds,
+    rank_file,
+)
+from .decoupled import decoupled_worker, roles
+from .reference import reference_worker
+
+__all__ = [
+    "KeySetPayload", "MapReduceConfig", "RealHistogram", "SummaryHistogram",
+    "decoupled_worker", "expected_distinct_keys", "map_chunk",
+    "merge_cost_seconds", "rank_file", "reference_worker", "roles",
+]

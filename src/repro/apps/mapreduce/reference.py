@@ -1,0 +1,83 @@
+"""Reference MPI MapReduce (Hoefler et al. [15], as the paper describes).
+
+Every process performs both map and reduce:
+
+1. **Map**: process the local log file chunk by chunk, combining into a
+   local histogram.
+2. **Global keys**: once all local maps finish, ``MPI_Iallgatherv``
+   builds the global key set (every rank contributes its keys).
+3. **Reduce**: ``MPI_Ireduce`` aggregates the local histograms to rank
+   0, paying a per-entry merge cost at every tree level.
+
+The paper's critique, reproduced mechanically here: the collectives
+start only at the completion of the map stage (bursty, paid after the
+*slowest* mapper), and both their payloads and the reduction tree grow
+with the process count — "MPI lacks reduction operations that work on
+variable-sized input and output" [15].
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator
+
+from ...simmpi.comm import Comm
+from .common import (
+    MapReduceConfig,
+    chunk_map_seconds,
+    empty_histogram,
+    keyset_payload,
+    map_chunk,
+    merge_cost_seconds,
+    rank_file,
+)
+
+
+def reference_worker(comm: Comm, cfg: MapReduceConfig
+                     ) -> Generator[Any, Any, Dict[str, Any]]:
+    """SPMD main of the reference implementation.
+
+    Returns per-rank timing breakdown; rank 0 additionally carries the
+    final histogram (numeric mode) or its sketch (scale mode).
+    """
+    if comm.size != cfg.nprocs:
+        raise ValueError("config/communicator size mismatch")
+    t_start = comm.time
+
+    # ---- map stage: every rank maps its own file ----------------------
+    file = rank_file(cfg, comm.rank)
+    local = empty_histogram(cfg)
+    chunk_bytes = file.nbytes / cfg.nchunks
+    for chunk in range(cfg.nchunks):
+        seconds = chunk_map_seconds(cfg, comm.rank, chunk, chunk_bytes)
+        yield from comm.compute(seconds, label="map")
+        local = local.merge(map_chunk(cfg, file, comm.rank, chunk))
+    del chunk_bytes
+    t_map_done = comm.time
+
+    # ---- global key set (Iallgatherv) ---------------------------------
+    keys_req = yield from comm.iallgatherv(keyset_payload(local))
+    all_keys = yield from comm.wait(keys_req, label="iallgatherv-keys")
+    global_keys = sum(k.entries for k in all_keys)
+    t_keys_done = comm.time
+
+    # ---- reduction of histograms (Ireduce) ----------------------------
+    red_req = yield from comm.ireduce(
+        local,
+        op=lambda a, b: a.merge(b),
+        root=0,
+        op_cost=lambda a, b: merge_cost_seconds(a, b, cfg),
+    )
+    result = yield from comm.wait(red_req, label="ireduce-hist")
+    t_end = comm.time
+
+    out: Dict[str, Any] = {
+        "elapsed": t_end - t_start,
+        "map_time": t_map_done - t_start,
+        "keys_time": t_keys_done - t_map_done,
+        "reduce_time": t_end - t_keys_done,
+        "global_keys": global_keys,
+        "file_bytes": file.nbytes,
+    }
+    if comm.rank == 0:
+        out["result"] = result
+    return out

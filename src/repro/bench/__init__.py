@@ -1,0 +1,27 @@
+"""Benchmark harness regenerating every figure of the paper's
+evaluation (Section IV); see ``benchmarks/`` for the pytest entry
+points and EXPERIMENTS.md for paper-vs-measured."""
+
+from .figures import (
+    fig2_traces,
+    fig3_execution_models,
+    fig5_mapreduce,
+    fig6_cg,
+    fig7_pcomm,
+    fig8_pio,
+)
+from .harness import (
+    DEFAULT_POINTS,
+    Series,
+    max_elapsed,
+    render_table,
+    save_artifact,
+    scale_points,
+    sweep,
+)
+
+__all__ = [
+    "DEFAULT_POINTS", "Series", "fig2_traces", "fig3_execution_models",
+    "fig5_mapreduce", "fig6_cg", "fig7_pcomm", "fig8_pio", "max_elapsed",
+    "render_table", "save_artifact", "scale_points", "sweep",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.bench`` dispatches to the figure CLI."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

@@ -1,0 +1,89 @@
+"""Command-line entry point: ``python -m repro.bench <figure>``.
+
+Regenerates one figure (or all) outside pytest, printing the paper's
+rows and saving JSON artifacts::
+
+    python -m repro.bench fig5 --points 32,128,512
+    python -m repro.bench fig2
+    python -m repro.bench all --points 32,128
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .figures import (
+    fig2_traces,
+    fig3_execution_models,
+    fig5_mapreduce,
+    fig6_cg,
+    fig7_pcomm,
+    fig8_pio,
+)
+from .harness import DEFAULT_POINTS, Series, render_table, save_artifact
+
+SWEEP_FIGURES = {
+    "fig5": (fig5_mapreduce, "Fig. 5 - MapReduce weak scaling (s)"),
+    "fig6": (fig6_cg, "Fig. 6 - CG solver weak scaling (s)"),
+    "fig7": (fig7_pcomm, "Fig. 7 - particle communication (s)"),
+    "fig8": (fig8_pio, "Fig. 8 - particle I/O (s)"),
+}
+ALL_FIGURES = ("fig2", "fig3") + tuple(SWEEP_FIGURES)
+
+
+def _parse_points(text: Optional[str]) -> List[int]:
+    if not text:
+        return list(DEFAULT_POINTS)
+    points = sorted({int(x) for x in text.split(",") if x.strip()})
+    if not points:
+        raise SystemExit("--points parsed to an empty list")
+    return points
+
+
+def run_figure(name: str, points: List[int]) -> None:
+    if name == "fig2":
+        from ..trace import render
+        out = fig2_traces()
+        print("Fig. 2 (top) - reference:")
+        print(render(out["reference"].tracer, width=68))
+        print("\nFig. 2 (bottom) - decoupled:")
+        print(render(out["decoupled"].tracer, width=68))
+        print(f"\nhidden communication: ref {out['ref_overlap']:.1%} "
+              f"vs dec {out['dec_overlap']:.1%}")
+        return
+    if name == "fig3":
+        out = fig3_execution_models()
+        print("Fig. 3 - execution-model makespans (s):")
+        for key in ("conventional", "nonblocking", "decoupled"):
+            print(f"  {key:>14}: {out[key]:.3f}")
+        save_artifact("fig3_models",
+                      [Series(k, points={0: v}) for k, v in out.items()])
+        return
+    fn, title = SWEEP_FIGURES[name]
+    series = fn(points)
+    print(render_table(title, series))
+    save_artifact(f"{name}_cli", series)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's figures.")
+    parser.add_argument("figure", choices=ALL_FIGURES + ("all",),
+                        help="which figure to regenerate")
+    parser.add_argument("--points", default=None,
+                        help="comma-separated process counts "
+                             f"(default: {','.join(map(str, DEFAULT_POINTS))})")
+    args = parser.parse_args(argv)
+    points = _parse_points(args.points)
+    names = ALL_FIGURES if args.figure == "all" else (args.figure,)
+    for name in names:
+        run_figure(name, points)
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

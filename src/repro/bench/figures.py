@@ -1,0 +1,242 @@
+"""Per-figure experiment definitions (the paper's evaluation section).
+
+Each ``figN_*`` function runs the full experiment and returns the
+series the paper plots, scaled to the paper's parameters (e.g. a
+20-iteration CG simulation is reported as the paper's 300 iterations by
+linear extrapolation — per-iteration cost is stationary).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..apps.cg import CGConfig, cg_blocking, cg_decoupled, cg_nonblocking
+from ..apps.ipic3d import (
+    IPICConfig,
+    pcomm_decoupled,
+    pcomm_reference,
+    pio_decoupled,
+    pio_reference,
+)
+from ..apps.mapreduce import MapReduceConfig, decoupled_worker, reference_worker
+from ..simmpi.config import beskow
+from ..simmpi.launcher import run
+from .harness import Series, max_elapsed, sweep
+
+#: paper parameters
+CG_PAPER_ITERATIONS = 300
+IPIC_PAPER_STEPS = 40
+
+
+# ----------------------------------------------------------------------
+# Fig. 5 — MapReduce weak scaling with alpha sweep
+# ----------------------------------------------------------------------
+
+def fig5_mapreduce(points: List[int],
+                   alphas: Tuple[float, ...] = (0.125, 0.0625, 0.03125)
+                   ) -> List[Series]:
+    """Reference vs decoupled (three alphas), 2.9 TB-equivalent corpus."""
+    series = [
+        sweep(reference_worker,
+              lambda p: MapReduceConfig(nprocs=p),
+              points, beskow, max_elapsed, label="Reference"),
+    ]
+    for alpha in alphas:
+        series.append(sweep(
+            decoupled_worker,
+            lambda p, a=alpha: MapReduceConfig(nprocs=p, alpha=a),
+            points, beskow, max_elapsed,
+            label=f"Decoupling (a={alpha:.4g})"))
+    return series
+
+
+# ----------------------------------------------------------------------
+# Fig. 6 — CG solver weak scaling
+# ----------------------------------------------------------------------
+
+def fig6_cg(points: List[int], sim_iterations: int = 20) -> List[Series]:
+    """Blocking / non-blocking / decoupled CG, 120^3 points per rank,
+    reported at the paper's 300 iterations."""
+    factor = CG_PAPER_ITERATIONS / sim_iterations
+
+    def scale(result) -> float:
+        return max_elapsed(result) * factor
+
+    mk = lambda p: CGConfig(nprocs=p, iterations=sim_iterations)
+    return [
+        sweep(cg_blocking, mk, points, beskow, scale,
+              label="Reference (Blocking)"),
+        sweep(cg_nonblocking, mk, points, beskow, scale,
+              label="Reference (Non-blocking)"),
+        sweep(cg_decoupled, mk, points, beskow, scale,
+              label="Decoupling"),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Fig. 7 — iPIC3D particle communication weak scaling
+# ----------------------------------------------------------------------
+
+def fig7_pcomm(points: List[int], sim_steps: int = 8) -> List[Series]:
+    """Reference forwarding vs decoupled exchange, GEM setup, reported
+    at the paper's step count."""
+    factor = IPIC_PAPER_STEPS / sim_steps
+    mk = lambda p: IPICConfig(nprocs=p, steps=sim_steps)
+
+    def scale_ref(result) -> float:
+        return max_elapsed(result) * factor
+
+    def scale_dec(result) -> float:
+        return max(v["elapsed"] for v in result.values
+                   if v.get("role") == "mover") * factor
+
+    return [
+        sweep(pcomm_reference, mk, points, beskow, scale_ref,
+              label="Reference"),
+        sweep(pcomm_decoupled, mk, points, beskow, scale_dec,
+              label="Decoupling"),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Fig. 8 — iPIC3D particle I/O weak scaling
+# ----------------------------------------------------------------------
+
+def fig8_pio(points: List[int], sim_steps: int = 8) -> List[Series]:
+    """Collective / shared-pointer references vs decoupled buffered I/O.
+
+    The y-value is the *visible particle-I/O cost*: the blocking dump
+    time for the references; for the decoupled run, the end-to-end time
+    minus the movers' compute baseline (streaming overhead + the final
+    drain tail) — the cost a user actually observes.
+    """
+    mk = lambda p: IPICConfig(nprocs=p, steps=sim_steps)
+
+    def io_time(result) -> float:
+        return max(v["io_time"] for v in result.values)
+
+    def dec_visible(result) -> float:
+        movers = [v for v in result.values if v.get("role") == "mover"]
+        baseline = max(v["elapsed"] - v["io_time"] for v in movers)
+        return max(v["elapsed"] for v in result.values) - baseline
+
+    coll = sweep(pio_reference, mk, points, beskow, io_time,
+                 label="RefColl", extra_args=(True,))
+    shared = sweep(pio_reference, mk, points, beskow, io_time,
+                   label="RefShared", extra_args=(False,))
+    dec = sweep(pio_decoupled, mk, points, beskow, dec_visible,
+                label="Decoupling")
+    return [coll, shared, dec]
+
+
+# ----------------------------------------------------------------------
+# Fig. 2 — execution traces of iPIC3D, reference vs decoupled
+# ----------------------------------------------------------------------
+
+def fig2_traces(nprocs: int = 7, steps: int = 6) -> Dict[str, object]:
+    """Seven-rank traces (paper: P0-P6) of the particle phase.
+
+    Returns both tracers plus overlap metrics: the decoupled trace must
+    show mover/exchange concurrency, the reference must not.
+    """
+    from ..trace.analysis import overlap_fraction
+
+    # a communication-heavy phase, as in the paper's trace (the GEM run
+    # section where many particles cross subdomains)
+    cfg_ref = IPICConfig(nprocs=nprocs - 1, steps=steps,
+                         particles_per_rank=100_000,
+                         exit_fraction_mean=0.15)
+    r_ref = run(pcomm_reference, nprocs - 1, args=(cfg_ref,),
+                machine=beskow(), trace=True)
+    cfg_dec = IPICConfig(nprocs=nprocs, steps=steps, alpha=1.0 / nprocs,
+                         particles_per_rank=100_000,
+                         exit_fraction_mean=0.15)
+    r_dec = run(pcomm_decoupled, nprocs, args=(cfg_dec,),
+                machine=beskow(), trace=True)
+    return {
+        "reference": r_ref,
+        "decoupled": r_dec,
+        # fraction of particle-communication busy time hidden behind
+        # concurrent computation (the Fig. 2 contrast)
+        "ref_overlap": overlap_fraction(r_ref.tracer, "pcomm-handle",
+                                        "mover"),
+        "dec_overlap": overlap_fraction(r_dec.tracer, "exchange-handle",
+                                        "mover"),
+    }
+
+
+# ----------------------------------------------------------------------
+# Fig. 3 — conventional vs non-blocking vs decoupled, conceptually
+# ----------------------------------------------------------------------
+
+def fig3_execution_models(nprocs: int = 8, rounds: int = 8
+                          ) -> Dict[str, float]:
+    """The three execution models of Fig. 3 on a synthetic imbalanced
+    two-operation application; returns each model's makespan."""
+    from ..mpistream import attach, create_channel
+    from ..simmpi.config import quiet_testbed
+
+    work_red = 0.30     # the operation that stays on compute ranks
+    work_blue = 0.07    # the operation that gets decoupled
+    skew = 0.25         # per-rank, per-round imbalance of the red op
+    # the dedicated group executes the operation with application-
+    # specific aggregation: T'_W1 < T_W1 (Section II-D's second factor)
+    work_blue_decoupled = work_blue / 3.0
+
+    def red_seconds(rank: int, rnd: int) -> float:
+        # rotating imbalance: every round some rank is the straggler,
+        # but all ranks carry equal total work — the conventional model
+        # pays the per-round max at each barrier, the decoupled model
+        # only each rank's own (equal) sum
+        level = ((rank + rnd) % nprocs) % 4
+        return work_red * (1.0 + skew * level / 3.0)
+
+    def conventional(comm):
+        for rnd in range(rounds):
+            yield from comm.compute(red_seconds(comm.rank, rnd), "op0")
+            yield from comm.barrier()
+            yield from comm.compute(work_blue, "op1")
+            yield from comm.barrier()
+        return comm.time
+
+    def nonblocking(comm):
+        # op1 overlapped with the *next* op0 via a spawned progress
+        # coroutine, but still executed by every rank
+        req = None
+        for rnd in range(rounds):
+            yield from comm.compute(red_seconds(comm.rank, rnd), "op0")
+            if req is not None:
+                yield from comm.wait(req)
+            req = yield from comm.ibarrier()
+            yield from comm.compute(work_blue, "op1")
+        yield from comm.wait(req)
+        return comm.time
+
+    def decoupled(comm):
+        is_worker = comm.rank < comm.size - 1
+        ch = yield from create_channel(comm, is_worker, not is_worker)
+
+        def op1(element):
+            yield from comm.compute(work_blue_decoupled, "op1")
+
+        s = yield from attach(ch, op1)
+        if is_worker:
+            scale = comm.size / (comm.size - 1)
+            for rnd in range(rounds):
+                yield from comm.compute(
+                    red_seconds(comm.rank, rnd) * scale, "op0")
+                yield from s.isend(rnd)
+            yield from s.terminate()
+        else:
+            yield from s.operate()
+        yield from ch.free()
+        return comm.time
+
+    machine = quiet_testbed()
+    out = {}
+    for name, fn in (("conventional", conventional),
+                     ("nonblocking", nonblocking),
+                     ("decoupled", decoupled)):
+        result = run(fn, nprocs, machine=machine)
+        out[name] = max(result.values)
+    return out

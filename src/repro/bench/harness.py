@@ -1,0 +1,137 @@
+"""Experiment harness: weak-scaling sweeps, series, tables, artifacts.
+
+The benchmark files under ``benchmarks/`` are thin: they call a figure
+function from :mod:`repro.bench.figures`, print the same rows the paper
+plots, persist a JSON artifact, and assert the *shape* claims
+(who wins, how the gap moves with P) — never absolute numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..simmpi.config import MachineConfig
+from ..simmpi.launcher import run
+
+#: the paper's x-axis is 32..8192 doubling; we sweep the same range with
+#: x4 steps to keep the full suite tractable (shape is preserved)
+DEFAULT_POINTS = (32, 128, 512, 2048, 8192)
+
+
+def scale_points() -> List[int]:
+    """Sweep points, overridable via ``REPRO_POINTS=32,64,...``."""
+    env = os.environ.get("REPRO_POINTS")
+    if env:
+        pts = sorted({int(x) for x in env.split(",") if x.strip()})
+        if not pts:
+            raise ValueError("REPRO_POINTS parsed to an empty list")
+        return pts
+    return list(DEFAULT_POINTS)
+
+
+@dataclass
+class Series:
+    """One line of a figure: label -> {nprocs: seconds}."""
+
+    label: str
+    points: Dict[int, float] = field(default_factory=dict)
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def value(self, p: int) -> float:
+        return self.points[p]
+
+    @property
+    def xs(self) -> List[int]:
+        return sorted(self.points)
+
+    def ratio_to(self, other: "Series", p: int) -> float:
+        return other.points[p] / self.points[p]
+
+
+def sweep(worker: Callable, cfg_factory: Callable[[int], Any],
+          points: Sequence[int], machine_factory: Callable[[], MachineConfig],
+          extract: Callable[[Any], float], label: str,
+          extra_args: tuple = ()) -> Series:
+    """Run ``worker`` at every process count; extract one scalar each.
+
+    ``cfg_factory(p)`` builds the per-point config; ``extract(result)``
+    maps a :class:`SimResult` to the figure's y-value (seconds).
+    """
+    series = Series(label)
+    for p in points:
+        cfg = cfg_factory(p)
+        result = run(worker, p, args=(cfg,) + extra_args,
+                     machine=machine_factory())
+        series.points[p] = float(extract(result))
+    return series
+
+
+def max_elapsed(result) -> float:
+    """Slowest rank's reported elapsed time (the figure metric)."""
+    return max(v["elapsed"] for v in result.values)
+
+
+def max_field(name: str, role: Optional[str] = None) -> Callable:
+    def _extract(result) -> float:
+        vals = [
+            v[name] for v in result.values
+            if role is None or v.get("role") == role
+        ]
+        return max(vals)
+    return _extract
+
+
+# ----------------------------------------------------------------------
+# reporting
+# ----------------------------------------------------------------------
+
+def render_table(title: str, series: List[Series],
+                 unit: str = "s") -> str:
+    """The figure as a text table, one row per process count."""
+    points = sorted({p for s in series for p in s.points})
+    width = max(12, max(len(s.label) for s in series) + 2)
+    header = f"{'procs':>8} | " + " | ".join(
+        f"{s.label:>{width}}" for s in series)
+    rule = "-" * len(header)
+    lines = [title, rule, header, rule]
+    for p in points:
+        cells = []
+        for s in series:
+            v = s.points.get(p)
+            cells.append(f"{v:>{width}.2f}" if v is not None
+                         else " " * width)
+        lines.append(f"{p:>8} | " + " | ".join(cells))
+    lines.append(rule)
+    return "\n".join(lines)
+
+
+def results_dir() -> str:
+    path = os.environ.get("REPRO_RESULTS_DIR",
+                          os.path.join(os.path.dirname(__file__),
+                                       "..", "..", "..", "benchmarks",
+                                       "results"))
+    path = os.path.abspath(path)
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def save_artifact(name: str, series: List[Series],
+                  extra: Optional[Dict[str, Any]] = None) -> str:
+    """Persist a figure's series as JSON; returns the path."""
+    payload = {
+        "figure": name,
+        "series": [
+            {"label": s.label,
+             "points": {str(k): v for k, v in s.points.items()},
+             "meta": s.meta}
+            for s in series
+        ],
+        "extra": extra or {},
+    }
+    path = os.path.join(results_dir(), f"{name}.json")
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+    return path

@@ -1,0 +1,45 @@
+"""``repro.core`` — the decoupling strategy (Section II of the paper).
+
+* :mod:`~repro.core.groups` — group formation and operation mapping.
+* :mod:`~repro.core.model` — the Eq. 1-4 performance model + solvers.
+* :mod:`~repro.core.categories` — the five-category suitability guide.
+* :mod:`~repro.core.runtime` — generic decoupled-app scaffolding.
+"""
+
+from .adaptive import (
+    AlphaController,
+    EpochMeasurement,
+    GranularityController,
+    epoch_from_trace,
+)
+from .categories import (
+    CATEGORY_NAMES,
+    PAPER_PROFILES,
+    OperationProfile,
+    SuitabilityReport,
+    rank_operations,
+    score_operation,
+)
+from .groups import DecouplingPlan, Flow, GroupSpec, PlanError
+from .model import (
+    BetaModel,
+    conventional_time,
+    decoupled_time_beta,
+    decoupled_time_full,
+    decoupled_time_overlap,
+    optimal_alpha,
+    optimal_granularity,
+    predicted_sigma,
+    speedup,
+)
+from .runtime import GroupContext, conventional_baseline, run_decoupled
+
+__all__ = [
+    "AlphaController", "BetaModel", "EpochMeasurement",
+    "GranularityController", "epoch_from_trace", "CATEGORY_NAMES", "DecouplingPlan", "Flow", "GroupContext",
+    "GroupSpec", "OperationProfile", "PAPER_PROFILES", "PlanError",
+    "SuitabilityReport", "conventional_baseline", "conventional_time",
+    "decoupled_time_beta", "decoupled_time_full", "decoupled_time_overlap",
+    "optimal_alpha", "optimal_granularity", "predicted_sigma",
+    "rank_operations", "run_decoupled", "score_operation", "speedup",
+]

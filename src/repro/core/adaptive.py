@@ -1,0 +1,182 @@
+"""Adaptive decoupling configuration (the paper's stated future work).
+
+Section III of the paper: *"Currently, the library only supports static
+configuration of these values.  An extension to support adaptive
+changes of the configuration is subject of a current work."*  This
+module implements that extension: epoch-based feedback controllers that
+observe the two groups' utilization and re-balance the decoupled
+fraction alpha (and the stream granularity S) between epochs, driving
+execution toward the Eq. 2 balance point
+``T_W0 / (1 - alpha) + T_sigma = T'_W1 / alpha``.
+
+The controllers are pure decision logic — they consume measurements and
+emit recommendations — so they are unit-testable without a simulation
+and equally usable by real MPI codes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .model import BetaModel, optimal_granularity
+
+
+@dataclass(frozen=True)
+class EpochMeasurement:
+    """What one epoch of a decoupled run observed."""
+
+    compute_busy: float        # busy seconds of the compute group (max rank)
+    compute_idle: float        # idle/wait seconds of the compute group
+    decoupled_busy: float      # busy seconds of the decoupled group (max)
+    decoupled_idle: float      # idle/wait seconds of the decoupled group
+    elements: int = 0          # stream elements moved this epoch
+    bytes_streamed: int = 0
+
+    def __post_init__(self):
+        for name in ("compute_busy", "compute_idle",
+                     "decoupled_busy", "decoupled_idle"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    @property
+    def compute_utilization(self) -> float:
+        total = self.compute_busy + self.compute_idle
+        return self.compute_busy / total if total > 0 else 0.0
+
+    @property
+    def decoupled_utilization(self) -> float:
+        total = self.decoupled_busy + self.decoupled_idle
+        return self.decoupled_busy / total if total > 0 else 0.0
+
+
+@dataclass
+class AlphaController:
+    """Epoch-to-epoch alpha re-balancing.
+
+    Control law: the imbalance signal is the utilization gap between
+    the decoupled group and the compute group.  If the decoupled group
+    is saturated while compute ranks idle, alpha grows; in the opposite
+    case it shrinks.  Updates are multiplicative with gain ``eta`` and
+    clamped to ``[alpha_min, alpha_max]``; a dead band avoids churning
+    on noise.
+    """
+
+    alpha: float
+    nprocs: int
+    eta: float = 0.5
+    alpha_min: float = 1.0 / 1024.0
+    alpha_max: float = 0.5
+    dead_band: float = 0.05
+    history: List[float] = field(default_factory=list)
+
+    def __post_init__(self):
+        if not (0.0 < self.alpha < 1.0):
+            raise ValueError("alpha must be in (0, 1)")
+        if self.nprocs < 2:
+            raise ValueError("nprocs must be >= 2")
+        if not (0.0 < self.eta <= 1.0):
+            raise ValueError("eta must be in (0, 1]")
+        if not (0.0 < self.alpha_min <= self.alpha_max < 1.0):
+            raise ValueError("alpha bounds invalid")
+        self.history.append(self.alpha)
+
+    # ------------------------------------------------------------------
+    def update(self, epoch: EpochMeasurement) -> float:
+        """Consume one epoch; return the alpha for the next epoch."""
+        gap = epoch.decoupled_utilization - epoch.compute_utilization
+        if abs(gap) > self.dead_band:
+            self.alpha = float(min(self.alpha_max, max(
+                self.alpha_min, self.alpha * math.exp(self.eta * gap))))
+        self.history.append(self.alpha)
+        return self.alpha
+
+    def group_size(self) -> int:
+        """Concrete decoupled-group size at the current alpha."""
+        return max(1, min(self.nprocs - 1, round(self.alpha * self.nprocs)))
+
+    @property
+    def converged(self) -> bool:
+        """Stable over the last three epochs (within the dead band)."""
+        if len(self.history) < 3:
+            return False
+        a, b, c = self.history[-3:]
+        ref = max(c, 1e-12)
+        return abs(a - c) / ref < self.dead_band \
+            and abs(b - c) / ref < self.dead_band
+
+
+@dataclass
+class GranularityController:
+    """Epoch-to-epoch stream-granularity tuning via the Eq. 4 model.
+
+    Fits the observable quantities (volume D, measured overhead o,
+    current pipelining) and re-solves :func:`optimal_granularity`
+    each epoch; recommendations move at most ``max_step``x per epoch
+    to avoid oscillation.
+    """
+
+    granularity: float
+    beta: BetaModel = field(default_factory=BetaModel)
+    max_step: float = 4.0
+    s_min: float = 64.0
+    s_max: float = float(1 << 30)
+    history: List[float] = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.granularity <= 0:
+            raise ValueError("granularity must be positive")
+        if self.max_step <= 1.0:
+            raise ValueError("max_step must exceed 1")
+        self.history.append(self.granularity)
+
+    def update(self, t_w0: float, t_sigma: float, t_w1_decoupled: float,
+               alpha: float, volume_bytes: float,
+               per_element_overhead: float) -> float:
+        """Return the element size for the next epoch."""
+        if volume_bytes <= 0:
+            self.history.append(self.granularity)
+            return self.granularity
+        s_star, _ = optimal_granularity(
+            t_w0, t_sigma, t_w1_decoupled, alpha, self.beta,
+            D=volume_bytes, o=per_element_overhead,
+        )
+        lo = self.granularity / self.max_step
+        hi = self.granularity * self.max_step
+        self.granularity = float(min(self.s_max,
+                                     max(self.s_min, min(hi, max(lo, s_star)))))
+        self.history.append(self.granularity)
+        return self.granularity
+
+
+def epoch_from_trace(tracer, compute_ranks, decoupled_ranks,
+                     t0: float, t1: float,
+                     busy_categories=("compute", "io")) -> EpochMeasurement:
+    """Build an :class:`EpochMeasurement` from a trace window.
+
+    Busy = union measure of ``busy_categories`` intervals clipped to
+    [t0, t1]; idle = the remainder of the window.  Uses the worst
+    (busiest/idlest) rank of each group, matching the controllers'
+    makespan view.
+    """
+    from ..trace.recorder import measure
+
+    def group_stats(ranks):
+        busy_max, idle_max = 0.0, 0.0
+        horizon = t1 - t0
+        for rank in ranks:
+            spans = [
+                (max(iv.t0, t0), min(iv.t1, t1))
+                for iv in tracer.for_rank(rank)
+                if iv.category in busy_categories and iv.t1 > t0 and iv.t0 < t1
+            ]
+            busy = measure(spans)
+            busy_max = max(busy_max, busy)
+            idle_max = max(idle_max, horizon - busy)
+        return busy_max, idle_max
+
+    cb, ci = group_stats(compute_ranks)
+    db, di = group_stats(decoupled_ranks)
+    return EpochMeasurement(compute_busy=cb, compute_idle=ci,
+                            decoupled_busy=db, decoupled_idle=di)

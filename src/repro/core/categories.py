@@ -1,0 +1,158 @@
+"""Operation-suitability analysis (Section II-E).
+
+The paper identifies five categories of operations that benefit from
+decoupling.  This module turns that prose guideline into an executable
+scorer: describe an operation with an :class:`OperationProfile` and get
+back which categories it matches and an aggregate suitability score —
+the "guideline to select operations" contribution, as code.
+
+The five categories:
+
+1. **Orthogonal** — little data dependency with the rest of the app.
+2. **High complexity at scale** — cost grows superlinearly (or at least
+   linearly) with the process count, so shrinking the group helps.
+3. **High execution-time variance** — irregular operations whose
+   imbalance the fine-grained dataflow absorbs.
+4. **Continuous data flow** — produce data throughout execution rather
+   than in an end-of-stage burst, so streaming evens out the network.
+5. **Special-purpose hardware** — benefit from dedicated resources
+   (large-memory nodes, burst buffers, I/O nodes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+#: complexity growth classes and their category-2 weight
+COMPLEXITY_WEIGHT: Dict[str, float] = {
+    "constant": 0.0,
+    "log": 0.25,
+    "linear": 0.7,
+    "quadratic": 1.0,
+}
+
+CATEGORY_NAMES = (
+    "orthogonal",
+    "complexity_at_scale",
+    "time_variance",
+    "continuous_flow",
+    "special_hardware",
+)
+
+
+@dataclass(frozen=True)
+class OperationProfile:
+    """A declarative description of one application operation."""
+
+    name: str
+    #: 0 = fully independent of other operations, 1 = tightly coupled
+    data_dependency: float = 0.5
+    #: how the operation's cost grows with the number of processes
+    complexity_growth: str = "constant"
+    #: coefficient of variation of per-process execution time
+    time_variance_cv: float = 0.0
+    #: fraction of the enclosing phase during which the operation emits
+    #: data (1 = continuously, 0 = single end-of-phase burst)
+    flow_continuity: float = 0.0
+    #: would run better on dedicated/special hardware
+    wants_special_hardware: bool = False
+
+    def __post_init__(self):
+        if not (0.0 <= self.data_dependency <= 1.0):
+            raise ValueError("data_dependency must be in [0, 1]")
+        if self.complexity_growth not in COMPLEXITY_WEIGHT:
+            raise ValueError(
+                f"complexity_growth must be one of {sorted(COMPLEXITY_WEIGHT)}"
+            )
+        if self.time_variance_cv < 0:
+            raise ValueError("time_variance_cv must be non-negative")
+        if not (0.0 <= self.flow_continuity <= 1.0):
+            raise ValueError("flow_continuity must be in [0, 1]")
+
+
+@dataclass
+class SuitabilityReport:
+    """Outcome of scoring one operation."""
+
+    operation: str
+    category_scores: Dict[str, float] = field(default_factory=dict)
+    score: float = 0.0
+
+    @property
+    def matched_categories(self) -> List[str]:
+        """Categories with a meaningful (>= 0.5) contribution."""
+        return [c for c, s in self.category_scores.items() if s >= 0.5]
+
+    @property
+    def suitable(self) -> bool:
+        """The paper's bar: at least one category clearly matched."""
+        return bool(self.matched_categories)
+
+
+def score_operation(profile: OperationProfile) -> SuitabilityReport:
+    """Score ``profile`` against the five Section II-E categories.
+
+    Each category contributes in [0, 1]; the aggregate is the max over
+    categories (one strong reason suffices — the paper decouples the
+    CG halo exchange on category 4 alone, for instance).
+    """
+    scores = {
+        "orthogonal": 1.0 - profile.data_dependency,
+        "complexity_at_scale": COMPLEXITY_WEIGHT[profile.complexity_growth],
+        # CV of 0.5 already indicates heavy imbalance; saturate at 1
+        "time_variance": min(1.0, profile.time_variance_cv / 0.5),
+        "continuous_flow": profile.flow_continuity,
+        "special_hardware": 1.0 if profile.wants_special_hardware else 0.0,
+    }
+    return SuitabilityReport(
+        operation=profile.name,
+        category_scores=scores,
+        score=max(scores.values()),
+    )
+
+
+def rank_operations(profiles: List[OperationProfile]
+                    ) -> List[Tuple[str, float]]:
+    """Order operations by decoupling suitability, best first."""
+    reports = [score_operation(p) for p in profiles]
+    reports.sort(key=lambda r: r.score, reverse=True)
+    return [(r.operation, r.score) for r in reports]
+
+
+# ----------------------------------------------------------------------
+# the paper's own case studies, as profiles (used in docs and tests)
+# ----------------------------------------------------------------------
+
+PAPER_PROFILES: Dict[str, OperationProfile] = {
+    "mapreduce_reduce": OperationProfile(
+        name="mapreduce_reduce",
+        data_dependency=0.3,
+        complexity_growth="log",
+        time_variance_cv=0.6,     # natural-language skew
+        flow_continuity=0.9,      # map emits throughout
+    ),
+    "cg_halo_exchange": OperationProfile(
+        name="cg_halo_exchange",
+        data_dependency=0.9,      # tight per-iteration dependency
+        complexity_growth="constant",
+        time_variance_cv=0.05,    # regular workload
+        flow_continuity=0.7,      # boundaries stream out while inner
+                                  # points compute
+    ),
+    "particle_communication": OperationProfile(
+        name="particle_communication",
+        data_dependency=0.4,
+        complexity_growth="linear",   # forwarding steps grow with dims
+        time_variance_cv=0.8,         # skewed particle distribution
+        flow_continuity=0.8,          # exiting particles found all along
+    ),
+    "particle_io": OperationProfile(
+        name="particle_io",
+        data_dependency=0.1,
+        complexity_growth="linear",   # collective I/O cost at scale
+        time_variance_cv=0.8,
+        flow_continuity=0.8,
+        wants_special_hardware=True,  # burst buffers / I/O nodes
+    ),
+}

@@ -1,0 +1,187 @@
+"""Group formation and operation-to-group mapping (Section II-C, Fig. 4).
+
+A :class:`DecouplingPlan` is the declarative form of "form G groups of
+P_i processes and map each of the N operations to exactly one group":
+
+    plan = DecouplingPlan(total_procs=64)
+    plan.add_group("compute", fraction=0.9375)
+    plan.add_group("reduce", fraction=0.0625)      # alpha = 6.25%
+    plan.map_operation("map_words", "compute")
+    plan.map_operation("reduce_histogram", "reduce")
+    plan.add_flow("intermediate", src="compute", dst="reduce")
+    plan.validate()
+
+The plan assigns concrete rank ranges deterministically (groups take
+contiguous rank blocks in declaration order, remainders resolved
+largest-fraction-first), so every rank can compute its group without
+communication; :meth:`DecouplingPlan.group_of` is pure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+class PlanError(ValueError):
+    """An invalid decoupling plan (bad fractions, unmapped operations...)."""
+
+
+@dataclass(frozen=True)
+class Flow:
+    """A directional dataflow between two groups."""
+
+    name: str
+    src: str
+    dst: str
+
+
+@dataclass
+class GroupSpec:
+    name: str
+    fraction: float
+    size: int = 0            # resolved by validate()
+    first_rank: int = 0      # resolved by validate()
+
+    @property
+    def ranks(self) -> range:
+        return range(self.first_rank, self.first_rank + self.size)
+
+
+class DecouplingPlan:
+    """Groups + operation mapping + inter-group flows for one application."""
+
+    def __init__(self, total_procs: int):
+        if total_procs <= 0:
+            raise PlanError("total_procs must be positive")
+        self.total_procs = total_procs
+        self.groups: Dict[str, GroupSpec] = {}
+        self._order: List[str] = []
+        self.operations: Dict[str, str] = {}   # op name -> group name
+        self.flows: List[Flow] = []
+        self._validated = False
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_group(self, name: str, fraction: Optional[float] = None,
+                  size: Optional[int] = None) -> "DecouplingPlan":
+        """Declare a group by fraction of P or by absolute size."""
+        if name in self.groups:
+            raise PlanError(f"duplicate group {name!r}")
+        if (fraction is None) == (size is None):
+            raise PlanError("give exactly one of fraction / size")
+        if size is not None:
+            if not (0 < size <= self.total_procs):
+                raise PlanError(f"group size {size} out of range")
+            fraction = size / self.total_procs
+        if not (0.0 < fraction <= 1.0):
+            raise PlanError(f"fraction must be in (0, 1], got {fraction}")
+        self.groups[name] = GroupSpec(name, fraction,
+                                      size=size if size is not None else 0)
+        self._order.append(name)
+        self._validated = False
+        return self
+
+    def map_operation(self, op: str, group: str) -> "DecouplingPlan":
+        """Map an operation to exactly one group (re-mapping is an error)."""
+        if group not in self.groups:
+            raise PlanError(f"unknown group {group!r}")
+        if op in self.operations:
+            raise PlanError(
+                f"operation {op!r} already mapped to "
+                f"{self.operations[op]!r}; each operation maps to exactly "
+                "one group"
+            )
+        self.operations[op] = group
+        return self
+
+    def add_flow(self, name: str, src: str, dst: str) -> "DecouplingPlan":
+        for g in (src, dst):
+            if g not in self.groups:
+                raise PlanError(f"unknown group {g!r} in flow {name!r}")
+        if src == dst:
+            raise PlanError(f"flow {name!r} must link two distinct groups")
+        if any(f.name == name for f in self.flows):
+            raise PlanError(f"duplicate flow {name!r}")
+        self.flows.append(Flow(name, src, dst))
+        return self
+
+    # ------------------------------------------------------------------
+    # resolution
+    # ------------------------------------------------------------------
+    def validate(self) -> "DecouplingPlan":
+        """Resolve fractions to concrete disjoint rank ranges covering P.
+
+        Sizes are ``round(fraction * P)`` floored at 1, with the
+        remainder credited to / taken from the largest group; groups
+        occupy contiguous blocks in declaration order.
+        """
+        if not self.groups:
+            raise PlanError("plan has no groups")
+        if not self.operations:
+            raise PlanError("plan maps no operations")
+        sizes: Dict[str, int] = {}
+        for name in self._order:
+            g = self.groups[name]
+            sizes[name] = g.size if g.size > 0 else max(
+                1, round(g.fraction * self.total_procs))
+        drift = self.total_procs - sum(sizes.values())
+        if drift != 0:
+            largest = max(self._order, key=lambda n: sizes[n])
+            sizes[largest] += drift
+            if sizes[largest] < 1:
+                raise PlanError(
+                    f"group sizes {sizes} cannot cover {self.total_procs} "
+                    "processes"
+                )
+        first = 0
+        for name in self._order:
+            g = self.groups[name]
+            g.size = sizes[name]
+            g.first_rank = first
+            first += g.size
+        self._validated = True
+        return self
+
+    def _require_validated(self) -> None:
+        if not self._validated:
+            raise PlanError("plan not validated; call validate() first")
+
+    # ------------------------------------------------------------------
+    # queries (pure, communication-free)
+    # ------------------------------------------------------------------
+    def group_of(self, rank: int) -> str:
+        self._require_validated()
+        if not (0 <= rank < self.total_procs):
+            raise PlanError(f"rank {rank} out of range")
+        for name in self._order:
+            g = self.groups[name]
+            if rank in g.ranks:
+                return name
+        raise AssertionError("unreachable: groups cover all ranks")
+
+    def color_of(self, rank: int) -> int:
+        """Split color (group index in declaration order)."""
+        return self._order.index(self.group_of(rank))
+
+    def alpha(self, group: str) -> float:
+        """The decoupled fraction for ``group`` (Eq. 4's alpha)."""
+        self._require_validated()
+        if group not in self.groups:
+            raise PlanError(f"unknown group {group!r}")
+        return self.groups[group].size / self.total_procs
+
+    def operations_of(self, group: str) -> List[str]:
+        return [op for op, g in self.operations.items() if g == group]
+
+    def flows_touching(self, group: str) -> List[Flow]:
+        return [f for f in self.flows if group in (f.src, f.dst)]
+
+    def summary(self) -> List[Tuple[str, int, float, List[str]]]:
+        """(group, size, alpha, operations) rows for reports."""
+        self._require_validated()
+        return [
+            (n, self.groups[n].size, self.alpha(n), self.operations_of(n))
+            for n in self._order
+        ]

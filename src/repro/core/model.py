@@ -1,0 +1,230 @@
+"""The Section II-D performance model (Eqs. 1-4) and its solvers.
+
+Notation (matching the paper):
+
+=========  ============================================================
+``t_w0``   per-process time of the retained operation Op0, on P procs
+``t_w1``   per-process time of the decoupled operation Op1, on P procs
+``t_sigma``  expected synchronization/imbalance cost
+``alpha``  fraction of processes dedicated to Op1  (0 < alpha < 1)
+``beta``   fraction of Op0 *not* overlapped with Op1 (0 = perfect
+           pipeline, 1 = no pipelining)
+``D``      total bytes streamed between the groups
+``S``      stream-element granularity in bytes
+``o``      per-element overhead (construction + injection call)
+``t_w1_decoupled``  Op1's time once it runs on alpha*P processes —
+           the paper's T'_W1, supplied by the caller because it is
+           operation-specific (e.g. a reduce tree shrinks with group
+           size, I/O gains from buffering)
+=========  ============================================================
+
+Every equation returns *seconds of predicted execution time*; the
+validation benchmark replays the same scenarios through the simulator
+and compares.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Callable, Optional, Sequence, Tuple
+
+
+def conventional_time(t_w0: float, t_w1: float, t_sigma: float) -> float:
+    """Eq. 1: ``Tc = T_W0 + T_sigma + T_W1`` — the staged bulk-synchronous
+    execution where every process performs both operations."""
+    _check_nonneg(t_w0=t_w0, t_w1=t_w1, t_sigma=t_sigma)
+    return t_w0 + t_sigma + t_w1
+
+
+def decoupled_time_overlap(t_w0: float, t_sigma: float,
+                           t_w1_decoupled: float, alpha: float) -> float:
+    """Eq. 2: perfect-pipelining bound.
+
+    ``Td = max( T_W0 / (1-alpha) + T_sigma,  T'_W1 / alpha )`` — the two
+    groups progress fully in parallel; whichever group is busier sets
+    the makespan.  Note the workload re-scaling: the (1-alpha)P compute
+    processes each carry 1/(1-alpha) of the per-process work, and the
+    alpha*P decoupled processes carry 1/alpha of theirs.
+    """
+    _check_alpha(alpha)
+    _check_nonneg(t_w0=t_w0, t_sigma=t_sigma, t_w1_decoupled=t_w1_decoupled)
+    return max(t_w0 / (1.0 - alpha) + t_sigma, t_w1_decoupled / alpha)
+
+
+def decoupled_time_beta(t_w0: float, t_sigma: float, t_w1_decoupled: float,
+                        alpha: float, beta: float) -> float:
+    """Eq. 3: partial pipelining under the paper's pessimistic assumption
+    that Op1 always finishes after Op0.
+
+    ``Td = beta * [T_W0/(1-alpha) + T_sigma] + T'_W1/alpha``:
+    beta = 1 degenerates to the staged sum, beta = 0 to the decoupled
+    operation alone.
+    """
+    _check_alpha(alpha)
+    _check_beta(beta)
+    _check_nonneg(t_w0=t_w0, t_sigma=t_sigma, t_w1_decoupled=t_w1_decoupled)
+    return beta * (t_w0 / (1.0 - alpha) + t_sigma) + t_w1_decoupled / alpha
+
+
+def decoupled_time_full(t_w0: float, t_sigma: float, t_w1_decoupled: float,
+                        alpha: float, beta_of_s: Callable[[float], float],
+                        D: float, S: float, o: float) -> float:
+    """Eq. 4: Eq. 3 plus the stream overhead term ``(D/S) * o`` and
+    granularity-dependent pipelining ``beta(S)``.
+
+    Finer elements (small S) improve pipelining (lower beta) but pay
+    more injection overhead — the central trade-off of the approach.
+    """
+    _check_alpha(alpha)
+    _check_nonneg(t_w0=t_w0, t_sigma=t_sigma,
+                  t_w1_decoupled=t_w1_decoupled, D=D, o=o)
+    if S <= 0:
+        raise ValueError("granularity S must be positive")
+    beta = beta_of_s(S)
+    _check_beta(beta)
+    n_elements = D / S
+    return beta * (t_w0 / (1.0 - alpha) + t_sigma + n_elements * o) \
+        + t_w1_decoupled / alpha
+
+
+def speedup(tc: float, td: float) -> float:
+    """Conventional / decoupled — the paper's "Nx improvement"."""
+    if td <= 0:
+        raise ValueError("decoupled time must be positive")
+    return tc / td
+
+
+# ----------------------------------------------------------------------
+# beta(S): pipelining efficiency as a function of granularity
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class BetaModel:
+    """A concrete ``beta(S)`` family.
+
+    The paper states only that finer-grained elements pipeline better
+    ("beta is a function of S; the finer grain the stream element is,
+    the higher pipelining can be achieved").  We use the saturating form
+
+        ``beta(S) = beta_min + (1 - beta_min) * S / (S + S_half)``
+
+    - S -> 0:    beta -> beta_min  (best achievable overlap)
+    - S = S_half: halfway between floor and 1
+    - S -> inf:  beta -> 1         (one giant element = staged execution)
+
+    ``beta_min`` captures the un-overlappable head of the pipeline (the
+    consumer cannot start before the first element exists).
+    """
+
+    beta_min: float = 0.05
+    s_half: float = 1 << 20  # 1 MiB
+
+    def __post_init__(self):
+        _check_beta(self.beta_min)
+        if self.s_half <= 0:
+            raise ValueError("s_half must be positive")
+
+    def __call__(self, S: float) -> float:
+        if S <= 0:
+            raise ValueError("granularity S must be positive")
+        return self.beta_min + (1.0 - self.beta_min) * S / (S + self.s_half)
+
+
+# ----------------------------------------------------------------------
+# solvers
+# ----------------------------------------------------------------------
+
+def optimal_alpha(t_w0: float, t_sigma: float,
+                  t_w1_decoupled: Callable[[float], float],
+                  lo: float = 1e-3, hi: float = 1.0 - 1e-3,
+                  tol: float = 1e-6) -> float:
+    """The alpha that balances the two groups in Eq. 2.
+
+    ``t_w1_decoupled(alpha)`` gives T'_W1 for a group of alpha*P procs
+    (supplied by the caller: shrinking a reduce tree, buffering I/O...).
+    The compute branch ``T_W0/(1-a) + T_sigma`` increases in alpha while
+    the decoupled branch ``T'_W1(a)/a`` decreases (for any sensible
+    T'_W1), so the max is minimized where they cross; bisection finds
+    the crossing, clamped to the search interval.
+    """
+    _check_nonneg(t_w0=t_w0, t_sigma=t_sigma)
+
+    def gap(a: float) -> float:
+        return (t_w0 / (1.0 - a) + t_sigma) - t_w1_decoupled(a) / a
+
+    glo, ghi = gap(lo), gap(hi)
+    if glo >= 0:     # compute branch dominates even at tiny alpha
+        return lo
+    if ghi <= 0:     # decoupled branch dominates even at huge alpha
+        return hi
+    a, b = lo, hi
+    while b - a > tol:
+        mid = 0.5 * (a + b)
+        if gap(mid) < 0:
+            a = mid
+        else:
+            b = mid
+    return 0.5 * (a + b)
+
+
+def optimal_granularity(t_w0: float, t_sigma: float, t_w1_decoupled: float,
+                        alpha: float, beta_of_s: Callable[[float], float],
+                        D: float, o: float,
+                        s_grid: Optional[Sequence[float]] = None
+                        ) -> Tuple[float, float]:
+    """Minimize Eq. 4 over the granularity S.
+
+    Returns ``(S*, Td(S*))``.  Default search grid: 64 log-spaced points
+    from 64 B to D (one element).
+    """
+    if s_grid is None:
+        if D <= 64:
+            s_grid = [max(D, 1.0)]
+        else:
+            n = 64
+            lo, hi = math.log(64.0), math.log(float(D))
+            s_grid = [math.exp(lo + (hi - lo) * i / (n - 1)) for i in range(n)]
+    best_s, best_t = None, float("inf")
+    for S in s_grid:
+        td = decoupled_time_full(t_w0, t_sigma, t_w1_decoupled, alpha,
+                                 beta_of_s, D, S, o)
+        if td < best_t:
+            best_s, best_t = S, td
+    return best_s, best_t
+
+
+def predicted_sigma(per_op_time: float, nprocs: int,
+                    persistent_skew: float, quantum_fraction: float) -> float:
+    """Analytic T_sigma for a bulk-synchronous phase on ``nprocs`` ranks.
+
+    The slowest of P lognormal(0, skew) ranks runs at approximately
+    ``exp(skew * sqrt(2 ln P))`` of the median; transient noise adds
+    ``quantum_fraction`` in expectation.  T_sigma is the *extra* time
+    beyond the nominal phase length.
+    """
+    _check_nonneg(per_op_time=per_op_time)
+    if nprocs <= 1:
+        return per_op_time * quantum_fraction
+    max_factor = math.exp(persistent_skew * math.sqrt(2.0 * math.log(nprocs)))
+    return per_op_time * (max_factor * (1.0 + quantum_fraction) - 1.0)
+
+
+# ----------------------------------------------------------------------
+# validation helpers
+# ----------------------------------------------------------------------
+
+def _check_alpha(alpha: float) -> None:
+    if not (0.0 < alpha < 1.0):
+        raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+
+
+def _check_beta(beta: float) -> None:
+    if not (0.0 <= beta <= 1.0):
+        raise ValueError(f"beta must be in [0, 1], got {beta}")
+
+
+def _check_nonneg(**named: float) -> None:
+    for name, value in named.items():
+        if value < 0:
+            raise ValueError(f"{name} must be non-negative, got {value}")

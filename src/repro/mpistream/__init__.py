@@ -1,0 +1,30 @@
+"""``repro.mpistream`` — the paper's MPIStream library, in Python.
+
+A faithful port of the MPI-based stream library of Section III
+(Peng et al., also EuroMPI'15 "A data streaming model in MPI"):
+directional channels between producer and consumer groups, small
+asynchronous stream elements, on-the-fly operators, first-come-first-
+served consumption, explicit termination.
+
+Paper-to-API map::
+
+    MPIStream_CreateChannel  ->  create_channel(comm, is_prod, is_cons)
+    MPIStream_Attach         ->  attach(channel, operator, ...)
+    MPIStream_Isend          ->  stream.isend(data)
+    MPIStream_Operate        ->  stream.operate()
+    MPIStream_Terminate      ->  stream.terminate()
+    MPIStream_FreeChannel    ->  channel.free()
+"""
+
+from .channel import StreamChannel, create_channel
+from .element import TERMINATE, StreamElement, element_nbytes
+from .operators import Aggregator, Collector, Forwarder, ReduceByKey, RunningStats
+from .profiles import StreamProfile
+from .stream import DEFAULT_ELEMENT_OVERHEAD, DEFAULT_WINDOW, Stream, attach
+
+__all__ = [
+    "Aggregator", "Collector", "DEFAULT_ELEMENT_OVERHEAD", "DEFAULT_WINDOW",
+    "Forwarder", "ReduceByKey", "RunningStats", "Stream", "StreamChannel",
+    "StreamElement", "StreamProfile", "TERMINATE", "attach", "create_channel",
+    "element_nbytes",
+]

@@ -1,0 +1,121 @@
+"""Stream channels: the producer->consumer communication substrate.
+
+``create_channel`` is the Python rendering of the paper's
+``MPIStream_CreateChannel(is_data_producer, is_data_consumer, comm,
+&channel)``: a collective over ``comm`` in which every rank declares
+its role; the channel then knows the producer and consumer groups and
+owns a *dedicated duplicate* of the communicator so stream traffic can
+never match application point-to-point messages.
+
+Routing: each producer is statically assigned one consumer by blocked
+distribution (producer i of NP targets consumer ``i * NC // NP``), the
+assignment the paper's case studies use (map ranks stream to "their"
+reducer; compute ranks stream to "their" exchange/I-O server).  Custom
+per-element routing is available per stream (see
+:class:`~repro.mpistream.stream.Stream`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional
+
+from ..simmpi.comm import Comm
+from ..simmpi.errors import CommunicatorError
+
+
+class StreamChannel:
+    """A directional dataflow link between two groups of processes."""
+
+    def __init__(self, comm: Comm, producers: List[int], consumers: List[int]):
+        if not producers or not consumers:
+            raise CommunicatorError(
+                "a stream channel needs at least one producer and one consumer"
+            )
+        self.comm = comm                    # dedicated dup, stream traffic only
+        self.producers = list(producers)    # local ranks in `comm`
+        self.consumers = list(consumers)
+        self.is_producer = comm.rank in set(producers)
+        self.is_consumer = comm.rank in set(consumers)
+        self._next_stream_tag = 1
+        self.freed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def nproducers(self) -> int:
+        return len(self.producers)
+
+    @property
+    def nconsumers(self) -> int:
+        return len(self.consumers)
+
+    @property
+    def producer_index(self) -> Optional[int]:
+        """This rank's index among the producers (None if not one)."""
+        try:
+            return self.producers.index(self.comm.rank)
+        except ValueError:
+            return None
+
+    @property
+    def consumer_index(self) -> Optional[int]:
+        try:
+            return self.consumers.index(self.comm.rank)
+        except ValueError:
+            return None
+
+    # ------------------------------------------------------------------
+    # static blocked routing
+    # ------------------------------------------------------------------
+    def consumer_of(self, producer_index: int) -> int:
+        """Local rank of the consumer assigned to ``producer_index``."""
+        nc, np_ = self.nconsumers, self.nproducers
+        return self.consumers[producer_index * nc // np_]
+
+    def producers_of(self, consumer_index: int) -> List[int]:
+        """Indices of producers statically assigned to this consumer."""
+        nc, np_ = self.nconsumers, self.nproducers
+        return [i for i in range(np_) if i * nc // np_ == consumer_index]
+
+    # ------------------------------------------------------------------
+    def alloc_stream_tag(self) -> int:
+        """Per-channel stream id; identical across ranks because streams
+        are attached collectively in program order."""
+        tag = self._next_stream_tag
+        self._next_stream_tag += 1
+        return tag
+
+    def check_alive(self) -> None:
+        if self.freed:
+            raise CommunicatorError("operation on a freed stream channel")
+
+    def free(self) -> Generator[Any, Any, None]:
+        """Collective channel teardown (``MPIStream_FreeChannel``)."""
+        self.check_alive()
+        yield from self.comm.barrier()
+        self.freed = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        role = ("producer" if self.is_producer else
+                "consumer" if self.is_consumer else "bystander")
+        return (f"StreamChannel({self.nproducers}P->{self.nconsumers}C, "
+                f"rank={self.comm.rank}:{role})")
+
+
+def create_channel(comm: Comm, is_producer: bool, is_consumer: bool
+                   ) -> Generator[Any, Any, StreamChannel]:
+    """Collective channel creation over ``comm``.
+
+    Every rank declares its role; ranks may be neither (bystanders that
+    hold the channel but move no data), but not both — the paper's
+    dataflow is directional between disjoint groups.
+    """
+    if is_producer and is_consumer:
+        raise CommunicatorError(
+            "a rank cannot be both producer and consumer of one channel; "
+            "create two channels for bidirectional flow"
+        )
+    roles = yield from comm.allgather((bool(is_producer), bool(is_consumer)))
+    producers = [r for r, (p, _) in enumerate(roles) if p]
+    consumers = [r for r, (_, c) in enumerate(roles) if c]
+    dedicated = yield from comm.dup()
+    return StreamChannel(dedicated, producers, consumers)

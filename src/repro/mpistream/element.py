@@ -1,0 +1,49 @@
+"""Stream elements: the basic unit of the dataflow.
+
+The paper (Section III-A): *"The basic unit of a stream is called
+stream element.  Stream elements are usually small in size and are
+injected into the channel as soon as data for one stream element is
+ready."*  An element carries its payload, provenance (which producer,
+which position in that producer's sequence) and wire size, which the
+performance model's overhead term ``(D/S) * o`` is accounted against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..simmpi.datatypes import payload_nbytes
+
+class _Terminate:
+    """Unique sentinel type for the end-of-stream control element."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<MPIStream TERMINATE>"
+
+
+#: control marker payload announcing the end of one producer's stream.
+#: Matched by identity (payloads travel by reference inside the
+#: simulation), so no application payload can collide with it.
+TERMINATE = _Terminate()
+
+
+@dataclass(frozen=True)
+class StreamElement:
+    """One unit of streamed data, as seen by the consumer's operator."""
+
+    data: Any
+    source: int        # producer's rank in the channel communicator
+    seq: int           # position in that producer's stream (0-based)
+    nbytes: int        # wire size
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"StreamElement(source={self.source}, seq={self.seq}, "
+                f"nbytes={self.nbytes})")
+
+
+def element_nbytes(data: Any) -> int:
+    """Wire size of an element payload (plus a tiny header)."""
+    return payload_nbytes(data) + 8  # seq header

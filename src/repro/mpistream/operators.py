@@ -1,0 +1,141 @@
+"""Builtin stream operators.
+
+Operators are what the paper attaches to a data stream
+(``MPIStream_Attach``): a callable applied to each arriving
+:class:`~repro.mpistream.element.StreamElement`.  These cover the
+patterns the case studies use — reduce-by-key (MapReduce), aggregation
+buffers flushed by a callback (particle exchange, particle I/O), plain
+collection, and running statistics (the Listing-1 workload analyzer).
+
+All builtins are plain classes with ``__call__`` so they compose with
+both plain-function and generator-function operator slots.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from .element import StreamElement
+
+
+class Collector:
+    """Append every element's payload to a list (test/diagnostic sink)."""
+
+    def __init__(self) -> None:
+        self.items: List[Any] = []
+        self.sources: List[int] = []
+
+    def __call__(self, element: StreamElement) -> None:
+        self.items.append(element.data)
+        self.sources.append(element.source)
+
+
+class ReduceByKey:
+    """Merge ``(key, value)`` elements into a running dictionary.
+
+    ``combine`` folds a new value into the accumulator for its key
+    (default: addition — the word-histogram reduce).  Elements may be a
+    single pair or an iterable of pairs (micro-batched streams).
+    """
+
+    def __init__(self, combine: Optional[Callable] = None):
+        self.combine = combine or (lambda acc, v: acc + v)
+        self.table: Dict[Any, Any] = {}
+
+    def __call__(self, element: StreamElement) -> None:
+        data = element.data
+        pairs = data if isinstance(data, (list, tuple)) and data and \
+            isinstance(data[0], tuple) else [data]
+        for key, value in pairs:
+            if key in self.table:
+                self.table[key] = self.combine(self.table[key], value)
+            else:
+                self.table[key] = value
+
+
+class Aggregator:
+    """Buffer payloads by a key and flush batches through a callback.
+
+    The decoupled particle exchange uses this shape: elements are
+    particles keyed by destination rank; once a destination's buffer
+    reaches ``batch_size`` the ``flush`` generator is invoked with
+    ``(key, batch)`` and may communicate.  Call :meth:`drain` at stream
+    end for the leftovers.
+    """
+
+    def __init__(self, key_fn: Callable[[StreamElement], Any],
+                 flush: Callable[[Any, List[Any]], Generator],
+                 batch_size: int = 64):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.key_fn = key_fn
+        self.flush = flush
+        self.batch_size = batch_size
+        self.buffers: Dict[Any, List[Any]] = defaultdict(list)
+        self.flushes = 0
+
+    def __call__(self, element: StreamElement) -> Generator[Any, Any, None]:
+        key = self.key_fn(element)
+        buf = self.buffers[key]
+        buf.append(element.data)
+        if len(buf) >= self.batch_size:
+            self.buffers[key] = []
+            self.flushes += 1
+            yield from self.flush(key, buf)
+
+    def drain(self) -> Generator[Any, Any, None]:
+        """Flush all non-empty buffers (call after ``operate`` returns)."""
+        for key, buf in list(self.buffers.items()):
+            if buf:
+                self.buffers[key] = []
+                self.flushes += 1
+                yield from self.flush(key, buf)
+
+
+class RunningStats:
+    """Streaming min / max / mean / count over numeric payloads.
+
+    The paper's Listing-1 example decouples exactly this analysis
+    (min/max/median workload) to a consumer group.
+    """
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def __call__(self, element: StreamElement) -> None:
+        x = float(element.data)
+        self.count += 1
+        self.total += x
+        self.min = x if self.min is None else min(self.min, x)
+        self.max = x if self.max is None else max(self.max, x)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict:
+        return {"count": self.count, "min": self.min, "max": self.max,
+                "mean": self.mean}
+
+
+class Forwarder:
+    """Re-stream each element onto another stream (pipeline stage).
+
+    Used to chain groups: e.g. the MapReduce reduce group forwards
+    partial tables toward the master aggregation stream.
+    """
+
+    def __init__(self, downstream, transform: Optional[Callable] = None):
+        self.downstream = downstream
+        self.transform = transform
+        self.forwarded = 0
+
+    def __call__(self, element: StreamElement) -> Generator[Any, Any, None]:
+        data = element.data if self.transform is None else self.transform(
+            element.data)
+        yield from self.downstream.isend(data)
+        self.forwarded += 1

@@ -1,0 +1,75 @@
+"""Stream statistics.
+
+Tracks the quantities the paper's performance model (Eq. 4) is written
+in: number of elements (D/S), bytes moved (D), injection overhead paid
+(D/S * o), and the consumer-side service pattern (how bursty arrivals
+were, how long the consumer sat idle between elements) — the latter is
+the measurable trace of "evenly distributed data flow" vs "bursty
+communication" (Section II-E).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass
+class StreamProfile:
+    """Per-rank statistics for one stream."""
+
+    elements_sent: int = 0
+    elements_received: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    overhead_paid: float = 0.0        # injection overhead, seconds
+    terminates_seen: int = 0
+    arrival_times: List[float] = field(default_factory=list)
+    service_start: float = 0.0
+    service_end: float = 0.0
+
+    # ------------------------------------------------------------------
+    def record_send(self, nbytes: int, overhead: float) -> None:
+        self.elements_sent += 1
+        self.bytes_sent += nbytes
+        self.overhead_paid += overhead
+
+    def record_recv(self, nbytes: int, when: float) -> None:
+        self.elements_received += 1
+        self.bytes_received += nbytes
+        self.arrival_times.append(when)
+
+    # ------------------------------------------------------------------
+    @property
+    def mean_interarrival(self) -> float:
+        """Mean gap between consecutive element arrivals (0 if < 2)."""
+        ts = self.arrival_times
+        if len(ts) < 2:
+            return 0.0
+        return (ts[-1] - ts[0]) / (len(ts) - 1)
+
+    def arrival_cv(self) -> float:
+        """Coefficient of variation of interarrival gaps.
+
+        ~0 for a perfectly even flow, large for bursty arrivals; this is
+        the quantitative form of the paper's network-utilization claim.
+        """
+        ts = self.arrival_times
+        if len(ts) < 3:
+            return 0.0
+        gaps = [b - a for a, b in zip(ts, ts[1:])]
+        mean = sum(gaps) / len(gaps)
+        if mean <= 0:
+            return 0.0
+        var = sum((g - mean) ** 2 for g in gaps) / len(gaps)
+        return (var ** 0.5) / mean
+
+    def summary(self) -> dict:
+        return {
+            "elements_sent": self.elements_sent,
+            "elements_received": self.elements_received,
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
+            "overhead_paid": self.overhead_paid,
+            "arrival_cv": self.arrival_cv(),
+        }

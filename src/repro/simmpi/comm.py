@@ -1,0 +1,513 @@
+"""The transport (:class:`World`) and the :class:`Comm` communicator API.
+
+``World`` owns the global simulation state — engine, network model,
+noise model, one mailbox per rank — and implements the eager/rendezvous
+point-to-point protocol on top of the engine's three syscalls.
+
+``Comm`` is the per-rank handle application code programs against.  Its
+methods are generator coroutines used with ``yield from`` inside a
+simulated rank::
+
+    def rank_main(comm):
+        yield from comm.compute(0.5, label="mover")
+        data = yield from comm.recv(source=ANY_SOURCE, tag=7)
+        yield from comm.send(result, dest=0, tag=8)
+
+The API mirrors mpi4py's lowercase object interface (send/recv move
+Python payloads; sizes come from :func:`~repro.simmpi.datatypes.
+payload_nbytes` or explicit datatypes), with collectives delegated to
+:mod:`~repro.simmpi.collectives`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
+
+from .config import MachineConfig
+from .datatypes import Datatype, payload_nbytes
+from .engine import Delay, Engine, EventFlag, Spawn, wait_flag
+from .errors import (
+    CommunicatorError,
+    InvalidRankError,
+    InvalidTagError,
+    TruncationError,
+)
+from .matching import ANY_SOURCE, ANY_TAG, TAG_UB, Envelope, Mailbox, PostedRecv
+from .network import Network
+from .noise import NoiseModel
+from .request import PersistentRequest, Request, Status
+
+
+class World:
+    """Global simulation state shared by every rank."""
+
+    def __init__(self, engine: Engine, config: MachineConfig, nranks: int,
+                 tracer=None):
+        config.validate()
+        self.engine = engine
+        self.config = config
+        self.nranks = nranks
+        self.network = Network(config, nranks)
+        self.noise = NoiseModel(config.noise, nranks)
+        self.mailboxes = [Mailbox() for _ in range(nranks)]
+        self.tracer = tracer
+        self._context_counter = 16  # low ids reserved for COMM_WORLD
+        self._subcomm_cache: Dict[tuple, tuple] = {}
+        self._split_exchange: Dict[tuple, dict] = {}
+        self.filesystem = None  # attached lazily by iolib
+
+    # ------------------------------------------------------------------
+    # context management (communicator creation must agree across ranks)
+    # ------------------------------------------------------------------
+    def get_or_create_contexts(self, key: tuple) -> Tuple[int, int]:
+        """(p2p_context, collective_context) for a derived communicator.
+
+        The first member rank to reach the creation point allocates the
+        pair; later ranks find it in the cache.  ``key`` is derived from
+        (parent context, creation sequence number, color), which all
+        member ranks compute identically, mirroring how real MPI agrees
+        on context ids during ``MPI_Comm_split``.
+        """
+        ids = self._subcomm_cache.get(key)
+        if ids is None:
+            p2p = self._context_counter
+            self._context_counter += 2
+            ids = (p2p, p2p + 1)
+            self._subcomm_cache[key] = ids
+        return ids
+
+    # ------------------------------------------------------------------
+    # point-to-point transport
+    # ------------------------------------------------------------------
+    def post_send(self, gsrc: int, gdst: int, lsrc: int, tag: int,
+                  context: int, payload: Any, nbytes: int,
+                  synchronous: bool = False,
+                  force_eager: bool = False) -> Request:
+        """Initiate a transfer; returns the sender-side request.
+
+        Called at the sender's current virtual time (CPU overhead has
+        already been charged by the caller).  Eager messages commit the
+        NIC transfer immediately and complete the sender as soon as the
+        payload has left its NIC; rendezvous messages ship a header and
+        only transfer once a matching receive exists.
+        """
+        engine = self.engine
+        now = engine.now
+        req = Request("send", label=f"send->{gdst}#{tag}")
+        eager = (force_eager or self.network.is_eager(nbytes)) \
+            and not synchronous
+
+        if eager:
+            timing = self.network.transfer(gsrc, gdst, nbytes, ready=now)
+            env = Envelope(lsrc, tag, context, nbytes, payload,
+                           eager=True, delivered_time=timing.delivered)
+            engine.call_at(timing.delivered,
+                           lambda: self.mailboxes[gdst].deliver(env))
+            engine.call_at(timing.sender_free,
+                           lambda: engine.set_flag(req.flag))
+            return req
+
+        # rendezvous: header (latency-only) then transfer on match
+        def on_match(env_: Envelope, recv_done) -> None:
+            match_time = engine.now
+            ready = max(match_time, now)
+            timing = self.network.transfer(gsrc, gdst, nbytes, ready=ready)
+            engine.call_at(timing.sender_free,
+                           lambda: engine.set_flag(req.flag))
+            recv_done(timing.delivered)
+
+        env = Envelope(lsrc, tag, context, nbytes, payload,
+                       eager=False, delivered_time=now)
+        env.on_match = on_match
+        header_latency, _ = self.network._link(gsrc, gdst)
+        engine.call_at(now + header_latency,
+                       lambda: self.mailboxes[gdst].deliver(env))
+        return req
+
+    def post_recv(self, gdst: int, source: int, tag: int, context: int,
+                  max_nbytes: Optional[int] = None) -> Request:
+        """Post a receive; the request completes with ``(data, Status)``."""
+        engine = self.engine
+        o_recv = self.config.network.o_recv
+        req = Request("recv", label=f"recv<-{source}#{tag}")
+
+        def complete(env: Envelope, data_ready_time: float) -> None:
+            if max_nbytes is not None and env.nbytes > max_nbytes:
+                raise TruncationError(
+                    f"message of {env.nbytes} B matched receive with "
+                    f"buffer of {max_nbytes} B (source={env.src}, tag={env.tag})"
+                )
+            status = Status(env.src, env.tag, env.nbytes)
+            done = max(engine.now, data_ready_time) + o_recv
+            engine.call_at(done,
+                           lambda: engine.set_flag(req.flag, (env.payload, status)))
+
+        def on_match(env: Envelope) -> None:
+            if env.eager:
+                complete(env, env.delivered_time)
+            else:
+                env.on_match(env, lambda delivered: complete(env, delivered))
+
+        post = PostedRecv(source, tag, context, max_nbytes, on_match)
+        self.mailboxes[gdst].post(post)
+        return req
+
+
+class Comm:
+    """Per-rank communicator handle (mirrors the mpi4py object API)."""
+
+    def __init__(self, world: World, ranks: Sequence[int], my_global: int,
+                 context_p2p: int, context_coll: int, name: str = "comm",
+                 my_local: Optional[int] = None):
+        self.world = world
+        # `tuple()` of a tuple is the same object: the launcher shares one
+        # ranks tuple across all 8k+ Comm instances instead of copying.
+        self.ranks: Tuple[int, ...] = tuple(ranks)
+        self._global = my_global
+        self._rank = (self.ranks.index(my_global)
+                      if my_local is None else my_local)
+        self.context = context_p2p
+        self.context_coll = context_coll
+        self.name = name
+        self._coll_seq = 0
+        self._create_seq = 0
+        self._freed = False
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        return len(self.ranks)
+
+    @property
+    def global_rank(self) -> int:
+        return self._global
+
+    def global_of(self, local: int) -> int:
+        self._check_rank(local)
+        return self.ranks[local]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Comm({self.name!r}, rank={self._rank}/{self.size})"
+
+    # ------------------------------------------------------------------
+    # validation helpers
+    # ------------------------------------------------------------------
+    def _check_rank(self, r: int, wildcard: bool = False) -> None:
+        if self._freed:
+            raise CommunicatorError(f"operation on freed communicator {self.name!r}")
+        if wildcard and r == ANY_SOURCE:
+            return
+        if not (0 <= r < self.size):
+            raise InvalidRankError(
+                f"rank {r} out of range for {self.name!r} of size {self.size}"
+            )
+
+    @staticmethod
+    def _check_tag(tag: int, wildcard: bool = False) -> None:
+        if wildcard and tag == ANY_TAG:
+            return
+        if not (0 <= tag <= TAG_UB):
+            raise InvalidTagError(f"tag {tag} outside [0, {TAG_UB}]")
+
+    # ------------------------------------------------------------------
+    # local time
+    # ------------------------------------------------------------------
+    def compute(self, seconds: float, label: str = "compute"
+                ) -> Generator[Any, Any, None]:
+        """Charge ``seconds`` of nominal compute time (noise-inflated)."""
+        if seconds < 0:
+            raise ValueError("negative compute duration")
+        world = self.world
+        actual = world.noise.inflate(
+            self._global, seconds / world.config.compute_speed
+        )
+        t0 = world.engine.now
+        yield Delay(actual)
+        if world.tracer is not None:
+            world.tracer.record(self._global, "compute", label, t0,
+                                world.engine.now)
+
+    def sleep(self, seconds: float) -> Generator[Any, Any, None]:
+        """Raw virtual-time delay, no noise, no trace (harness use)."""
+        yield Delay(seconds)
+
+    @property
+    def time(self) -> float:
+        """Current virtual time (``MPI_Wtime``)."""
+        return self.world.engine.now
+
+    # ------------------------------------------------------------------
+    # point-to-point
+    # ------------------------------------------------------------------
+    def isend(self, data: Any, dest: int, tag: int = 0,
+              datatype: Optional[Datatype] = None, count: Optional[int] = None,
+              _ctx: Optional[int] = None,
+              nbytes: Optional[int] = None,
+              force_eager: bool = False) -> Generator[Any, Any, Request]:
+        self._check_rank(dest)
+        self._check_tag(tag)
+        if nbytes is None:
+            nbytes = payload_nbytes(data, datatype, count)
+        o_send = self.world.config.network.o_send
+        if o_send > 0:
+            yield Delay(o_send)
+        return self.world.post_send(
+            self._global, self.ranks[dest], self._rank, tag,
+            self.context if _ctx is None else _ctx, data, nbytes,
+            force_eager=force_eager,
+        )
+
+    def issend(self, data: Any, dest: int, tag: int = 0,
+               datatype: Optional[Datatype] = None, count: Optional[int] = None,
+               _ctx: Optional[int] = None) -> Generator[Any, Any, Request]:
+        self._check_rank(dest)
+        self._check_tag(tag)
+        nbytes = payload_nbytes(data, datatype, count)
+        o_send = self.world.config.network.o_send
+        if o_send > 0:
+            yield Delay(o_send)
+        return self.world.post_send(
+            self._global, self.ranks[dest], self._rank, tag,
+            self.context if _ctx is None else _ctx, data, nbytes,
+            synchronous=True,
+        )
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+              max_nbytes: Optional[int] = None,
+              _ctx: Optional[int] = None) -> Request:
+        """Post a non-blocking receive (no CPU cost until completion)."""
+        self._check_rank(source, wildcard=True)
+        self._check_tag(tag, wildcard=True)
+        lsource = source  # local rank or wildcard; envelopes carry local src
+        return self.world.post_recv(
+            self._global, lsource, tag,
+            self.context if _ctx is None else _ctx, max_nbytes,
+        )
+
+    def wait(self, req: Request, label: str = "wait") -> Generator[Any, Any, Any]:
+        """Block until ``req`` completes; returns its payload.
+
+        For receive requests the payload is ``(data, Status)``."""
+        req._mark_waited()
+        world = self.world
+        t0 = world.engine.now
+        payload = yield from wait_flag(req.flag)
+        if world.tracer is not None and world.engine.now > t0:
+            world.tracer.record(self._global, "wait", label, t0,
+                                world.engine.now)
+        return payload
+
+    def waitall(self, reqs: Sequence[Request], label: str = "waitall"
+                ) -> Generator[Any, Any, List[Any]]:
+        out = []
+        for req in reqs:
+            out.append((yield from self.wait(req, label=label)))
+        return out
+
+    def waitany(self, reqs: Sequence[Request], label: str = "waitany"
+                ) -> Generator[Any, Any, Tuple[int, Any]]:
+        """Block until the first of ``reqs`` completes.
+
+        Returns ``(index, payload)``.  This is the primitive behind
+        first-come-first-served stream consumption."""
+        if not reqs:
+            raise ValueError("waitany on empty request list")
+        for i, req in enumerate(reqs):
+            if req.done:
+                req._mark_waited()
+                return i, req.flag.payload
+        world = self.world
+        t0 = world.engine.now
+        any_flag = EventFlag(label="waitany")
+        for i, req in enumerate(reqs):
+            def waiter(idx=i, r=req):
+                payload = yield from wait_flag(r.flag)
+                if not any_flag.is_set:
+                    world.engine.set_flag(any_flag, (idx, payload))
+            yield Spawn(waiter(), name="waitany-helper")
+        idx, payload = yield from wait_flag(any_flag)
+        reqs[idx]._mark_waited()
+        if world.tracer is not None and world.engine.now > t0:
+            world.tracer.record(self._global, "wait", label, t0,
+                                world.engine.now)
+        return idx, payload
+
+    def send(self, data: Any, dest: int, tag: int = 0,
+             datatype: Optional[Datatype] = None, count: Optional[int] = None,
+             ) -> Generator[Any, Any, None]:
+        req = yield from self.isend(data, dest, tag, datatype, count)
+        yield from self.wait(req, label=f"send->{dest}")
+
+    def ssend(self, data: Any, dest: int, tag: int = 0,
+              datatype: Optional[Datatype] = None, count: Optional[int] = None,
+              ) -> Generator[Any, Any, None]:
+        req = yield from self.issend(data, dest, tag, datatype, count)
+        yield from self.wait(req, label=f"ssend->{dest}")
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+             status: bool = False, max_nbytes: Optional[int] = None,
+             ) -> Generator[Any, Any, Any]:
+        req = self.irecv(source, tag, max_nbytes)
+        data, st = yield from self.wait(req, label=f"recv<-{source}")
+        return (data, st) if status else data
+
+    def sendrecv(self, data: Any, dest: int, source: int,
+                 sendtag: int = 0, recvtag: int = ANY_TAG,
+                 ) -> Generator[Any, Any, Any]:
+        """Simultaneous send+recv (deadlock-free halo-exchange primitive)."""
+        rreq = self.irecv(source, recvtag)
+        sreq = yield from self.isend(data, dest, sendtag)
+        yield from self.wait(sreq, label=f"sendrecv->{dest}")
+        rdata, _ = yield from self.wait(rreq, label=f"sendrecv<-{source}")
+        return rdata
+
+    def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG
+               ) -> Optional[Status]:
+        """Non-blocking probe of the unexpected queue."""
+        self._check_rank(source, wildcard=True)
+        self._check_tag(tag, wildcard=True)
+        env = self.world.mailboxes[self._global].probe(source, tag, self.context)
+        if env is None:
+            return None
+        return Status(env.src, env.tag, env.nbytes)
+
+    # ------------------------------------------------------------------
+    # persistent communication (MPIStream is built on these)
+    # ------------------------------------------------------------------
+    def send_init(self, dest: int, tag: int = 0) -> PersistentRequest:
+        self._check_rank(dest)
+        self._check_tag(tag)
+        return PersistentRequest("send", self, dest, tag)
+
+    def recv_init(self, source: int = ANY_SOURCE, tag: int = ANY_TAG
+                  ) -> PersistentRequest:
+        self._check_rank(source, wildcard=True)
+        self._check_tag(tag, wildcard=True)
+        return PersistentRequest("recv", self, source, tag)
+
+    def start(self, preq: PersistentRequest, data: Any = None
+              ) -> Generator[Any, Any, Request]:
+        """Activate a persistent request (``MPI_Start``).
+
+        For send-type requests ``data`` is the payload of this round."""
+        preq._check_startable()
+        if preq.kind == "send":
+            req = yield from self.isend(data, preq.peer, preq.tag)
+        else:
+            req = preq.comm.irecv(preq.peer, preq.tag)
+        preq.active = req
+        return req
+
+    # ------------------------------------------------------------------
+    # collectives (implemented in collectives.py)
+    # ------------------------------------------------------------------
+    def _next_coll_tag(self, nsteps_reserved: int = 64) -> int:
+        seq = self._coll_seq
+        self._coll_seq += 1
+        base = (seq * nsteps_reserved) % (TAG_UB - nsteps_reserved)
+        return base
+
+    def barrier(self):
+        from . import collectives
+        return collectives.barrier(self)
+
+    def bcast(self, data: Any, root: int = 0):
+        from . import collectives
+        return collectives.bcast(self, data, root)
+
+    def reduce(self, value: Any, op=None, root: int = 0, op_cost=None):
+        from . import collectives
+        return collectives.reduce(self, value, op, root, op_cost=op_cost)
+
+    def allreduce(self, value: Any, op=None, op_cost=None):
+        from . import collectives
+        return collectives.allreduce(self, value, op, op_cost=op_cost)
+
+    def gather(self, value: Any, root: int = 0):
+        from . import collectives
+        return collectives.gather(self, value, root)
+
+    def allgather(self, value: Any):
+        from . import collectives
+        return collectives.allgather(self, value)
+
+    def allgatherv(self, value: Any):
+        from . import collectives
+        return collectives.allgatherv(self, value)
+
+    def alltoall(self, values: Sequence[Any]):
+        from . import collectives
+        return collectives.alltoall(self, values)
+
+    def scatter(self, values: Optional[Sequence[Any]], root: int = 0):
+        from . import collectives
+        return collectives.scatter(self, values, root)
+
+    def scan(self, value: Any, op=None):
+        from . import collectives
+        return collectives.scan(self, value, op)
+
+    def ibarrier(self):
+        from . import collectives
+        return collectives.ibarrier(self)
+
+    def ireduce(self, value: Any, op=None, root: int = 0, op_cost=None):
+        from . import collectives
+        return collectives.ireduce(self, value, op, root, op_cost=op_cost)
+
+    def iallgatherv(self, value: Any):
+        from . import collectives
+        return collectives.iallgatherv(self, value)
+
+    def iallreduce(self, value: Any, op=None):
+        from . import collectives
+        return collectives.iallreduce(self, value, op)
+
+    # ------------------------------------------------------------------
+    # communicator management
+    # ------------------------------------------------------------------
+    def split(self, color: Optional[int], key: int = 0
+              ) -> Generator[Any, Any, Optional["Comm"]]:
+        """Collective split (``MPI_Comm_split``); color=None opts out.
+
+        The member list is agreed via a real allgather (so the call has
+        realistic cost); context ids come from the world's first-creator
+        cache keyed identically on every rank.
+        """
+        from . import collectives
+        seq = self._create_seq
+        self._create_seq += 1
+        entries = yield from collectives.allgather(
+            self, (color, key, self._rank)
+        )
+        if color is None:
+            return None
+        members = sorted(
+            (k, r) for c, k, r in entries if c == color
+        )
+        locals_ = [r for _, r in members]
+        globals_ = [self.ranks[r] for r in locals_]
+        ctx_key = (self.context, "split", seq, color)
+        p2p, coll = self.world.get_or_create_contexts(ctx_key)
+        return Comm(self.world, globals_, self._global, p2p, coll,
+                    name=f"{self.name}/split{seq}c{color}")
+
+    def dup(self) -> Generator[Any, Any, "Comm"]:
+        """Duplicate the communicator with fresh contexts (collective)."""
+        from . import collectives
+        seq = self._create_seq
+        self._create_seq += 1
+        yield from collectives.barrier(self)
+        ctx_key = (self.context, "dup", seq)
+        p2p, coll = self.world.get_or_create_contexts(ctx_key)
+        return Comm(self.world, self.ranks, self._global, p2p, coll,
+                    name=f"{self.name}/dup{seq}")
+
+    def free(self) -> None:
+        self._freed = True

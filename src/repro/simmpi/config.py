@@ -1,0 +1,208 @@
+"""Machine configuration presets for the simulated runtime.
+
+A :class:`MachineConfig` bundles the network, noise, I/O and compute
+parameters that define a simulated platform.  The ``beskow()`` preset
+approximates the paper's testbed — the Beskow Cray XC40 at PDC (Aries
+dragonfly interconnect, two 16-core Haswell sockets per node, Lustre
+storage) — at the level of fidelity the reproduction needs: per-message
+latency, per-NIC bandwidth, intra-node shortcuts, filesystem aggregate
+bandwidth and per-operation overheads.
+
+All values are plain floats in SI units (seconds, bytes, bytes/second)
+so experiments can sweep them directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Latency/bandwidth/overhead parameters of the interconnect model.
+
+    The model is LogGP-flavored: a message of ``n`` bytes costs the
+    sender ``o_send`` CPU seconds, occupies its NIC for ``n / bandwidth``
+    seconds, traverses the fabric in ``latency`` (plus an optional
+    per-hop term scaled by job size), and costs the receiver ``o_recv``
+    CPU seconds plus NIC occupancy on delivery.  Messages at or below
+    ``eager_threshold`` complete locally at the sender as soon as they
+    are injected (eager protocol); larger ones synchronize with the
+    matching receive (rendezvous).
+    """
+
+    latency: float = 1.4e-6            # one-way fabric latency (s)
+    bandwidth: float = 10.0e9          # per-NIC injection bandwidth (B/s)
+    o_send: float = 0.4e-6             # sender CPU overhead per message (s)
+    o_recv: float = 0.6e-6             # receiver CPU overhead per message (s)
+    eager_threshold: int = 8192        # bytes; <= is eager, > is rendezvous
+    intra_node_latency: float = 0.25e-6
+    intra_node_bandwidth: float = 40.0e9
+    # Mild fabric dilation with job size: latency *= 1 + fabric_dilation *
+    # log2(P / dilation_base) for P > dilation_base.  Captures the extra
+    # dragonfly hops / adaptive-routing cost of large allocations without
+    # a flit-level model.
+    fabric_dilation: float = 0.04
+    dilation_base: int = 64
+
+    def validate(self) -> None:
+        if self.latency < 0 or self.intra_node_latency < 0:
+            raise ValueError("latency must be non-negative")
+        if self.bandwidth <= 0 or self.intra_node_bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.eager_threshold < 0:
+            raise ValueError("eager_threshold must be non-negative")
+
+
+@dataclass(frozen=True)
+class NoiseConfig:
+    """System-noise and process-skew parameters.
+
+    ``persistent_skew`` is the relative std-dev of a per-rank constant
+    speed factor (thermal variance, core binning).  ``quantum`` /
+    ``quantum_fraction`` model transient OS noise as in Petrini et al.
+    (SC'03): while computing, a rank is interrupted on average every
+    ``quantum`` seconds and loses ``quantum_fraction`` of that interval.
+    ``seed`` makes the whole noise process reproducible.
+    """
+
+    persistent_skew: float = 0.02
+    quantum: float = 0.010
+    quantum_fraction: float = 0.01
+    seed: int = 0xC0FFEE
+
+    def validate(self) -> None:
+        if self.persistent_skew < 0:
+            raise ValueError("persistent_skew must be non-negative")
+        if not (0.0 <= self.quantum_fraction < 1.0):
+            raise ValueError("quantum_fraction must be in [0, 1)")
+        if self.quantum <= 0:
+            raise ValueError("quantum must be positive")
+
+
+@dataclass(frozen=True)
+class IOConfig:
+    """Parallel-filesystem model parameters (Lustre-flavored).
+
+    ``aggregate_bandwidth`` is the total sustainable write bandwidth of
+    the storage backend; concurrent writers share it.  ``client_overhead``
+    is the fixed client-side cost of every I/O call (syscall + RPC).
+    ``shared_pointer_overhead`` is the extra serialization cost each
+    ``write_shared`` pays to atomically advance the shared file pointer.
+    ``view_setup_overhead`` is the cost of (re)defining a file view —
+    the paper's collective particle I/O pays it every step because the
+    particle layout changes.  ``stripe_count`` bounds how many clients
+    can stream concurrently at full speed.
+    """
+
+    aggregate_bandwidth: float = 8.0e9
+    per_client_bandwidth: float = 1.2e9
+    client_overhead: float = 60e-6
+    shared_pointer_overhead: float = 250e-6
+    view_setup_overhead: float = 450e-6
+    collective_exchange_overhead: float = 3.0e-6  # per rank, per write_all
+    stripe_count: int = 48
+    open_overhead: float = 2.0e-3
+    # Server-byte amplification factors (Lustre read-modify-write and
+    # fragmentation pathologies; see DESIGN.md):
+    # - collective writes through a *dynamic, unaligned* file view pay
+    #   stripe RMW on nearly every extent;
+    # - shared-pointer writes fragment across stripes but stay
+    #   append-ordered.
+    collective_unaligned_factor: float = 12.0
+    shared_fragment_factor: float = 3.0
+
+    def validate(self) -> None:
+        if self.aggregate_bandwidth <= 0 or self.per_client_bandwidth <= 0:
+            raise ValueError("bandwidths must be positive")
+        if self.stripe_count <= 0:
+            raise ValueError("stripe_count must be positive")
+        if self.collective_unaligned_factor < 1 or self.shared_fragment_factor < 1:
+            raise ValueError("amplification factors must be >= 1")
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """A complete simulated platform."""
+
+    name: str = "generic"
+    ranks_per_node: int = 32
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    noise: NoiseConfig = field(default_factory=NoiseConfig)
+    io: IOConfig = field(default_factory=IOConfig)
+    # Relative compute speed (1.0 = calibration baseline).  Lets tests
+    # make compute free (speed -> inf is approximated by a large value).
+    compute_speed: float = 1.0
+
+    def validate(self) -> None:
+        if self.ranks_per_node <= 0:
+            raise ValueError("ranks_per_node must be positive")
+        if self.compute_speed <= 0:
+            raise ValueError("compute_speed must be positive")
+        self.network.validate()
+        self.noise.validate()
+        self.io.validate()
+
+    def node_of(self, rank: int) -> int:
+        return rank // self.ranks_per_node
+
+    def with_(self, **kwargs) -> "MachineConfig":
+        """Return a copy with the given top-level fields replaced."""
+        return replace(self, **kwargs)
+
+
+def beskow(noise_seed: Optional[int] = None) -> MachineConfig:
+    """The paper's testbed: Beskow, a Cray XC40 with Aries interconnect.
+
+    1,676 nodes x 2 x 16-core Xeon E5-2698v3; we model 32 ranks/node,
+    Aries-class latency/bandwidth, and a Lustre-class filesystem.
+    """
+    noise = NoiseConfig()
+    if noise_seed is not None:
+        noise = replace(noise, seed=noise_seed)
+    cfg = MachineConfig(
+        name="beskow-xc40",
+        ranks_per_node=32,
+        network=NetworkConfig(),
+        noise=noise,
+        io=IOConfig(),
+    )
+    cfg.validate()
+    return cfg
+
+
+def quiet_testbed() -> MachineConfig:
+    """A noise-free machine for unit tests needing exact timing."""
+    cfg = MachineConfig(
+        name="quiet",
+        ranks_per_node=32,
+        network=NetworkConfig(fabric_dilation=0.0),
+        noise=NoiseConfig(persistent_skew=0.0, quantum_fraction=0.0),
+        io=IOConfig(),
+    )
+    cfg.validate()
+    return cfg
+
+
+def ideal_network_testbed() -> MachineConfig:
+    """Zero-latency, (near) infinite-bandwidth machine: isolates algorithmic
+    structure from network cost in tests."""
+    cfg = MachineConfig(
+        name="ideal-net",
+        ranks_per_node=10**9,
+        network=NetworkConfig(
+            latency=0.0,
+            bandwidth=1e18,
+            o_send=0.0,
+            o_recv=0.0,
+            eager_threshold=1 << 62,
+            intra_node_latency=0.0,
+            intra_node_bandwidth=1e18,
+            fabric_dilation=0.0,
+        ),
+        noise=NoiseConfig(persistent_skew=0.0, quantum_fraction=0.0),
+        io=IOConfig(),
+    )
+    cfg.validate()
+    return cfg

@@ -1,0 +1,282 @@
+"""Discrete-event simulation core.
+
+The engine provides *virtual time* and cooperative processes.  Each
+simulated MPI rank (and each internal progress coroutine, e.g. a
+non-blocking collective) is a Python generator driven by the engine.
+Processes yield *syscalls* — small command objects — and the engine
+resumes them when the corresponding virtual-time event fires.
+
+Only three syscalls exist at this level; everything else (message
+matching, collectives, streams, I/O) is composed on top of them in
+higher layers with ``yield from``:
+
+``Delay(dt)``
+    Resume the process ``dt`` virtual seconds from now.
+
+``WaitFlag(flag)``
+    Block until :class:`EventFlag` ``flag`` is set; resume at the set
+    time (or immediately if already set).
+
+``Spawn(gen)``
+    Start a child process running generator ``gen`` concurrently; the
+    yielding process resumes immediately with the child's
+    :class:`ProcessHandle` as the value of the ``yield`` expression.
+
+The design follows the classic event-heap pattern: a single
+``(time, seq)``-ordered heap of callbacks guarantees deterministic
+replay for a fixed seed and fixed process program order, which the
+benchmark harness relies on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional
+
+
+class Delay:
+    """Syscall: resume the calling process after ``dt`` virtual seconds."""
+
+    __slots__ = ("dt",)
+
+    def __init__(self, dt: float):
+        if dt < 0:
+            raise ValueError(f"negative delay: {dt}")
+        self.dt = float(dt)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Delay({self.dt:.6g})"
+
+
+class EventFlag:
+    """A one-shot level-triggered flag processes can block on.
+
+    ``set()`` records the virtual time of the event and wakes every
+    waiter.  Waiters that arrive after the flag is set resume without
+    blocking.  A payload can be attached for the waker to communicate a
+    value (e.g. a matched message) to the waiter.
+    """
+
+    __slots__ = ("is_set", "time", "payload", "_waiters", "label")
+
+    def __init__(self, label: str = ""):
+        self.is_set = False
+        self.time: float = 0.0
+        self.payload: Any = None
+        self._waiters: List["_Process"] = []
+        self.label = label
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "set" if self.is_set else "unset"
+        return f"EventFlag({self.label!r}, {state})"
+
+
+class WaitFlag:
+    """Syscall: block the calling process until ``flag`` is set."""
+
+    __slots__ = ("flag",)
+
+    def __init__(self, flag: EventFlag):
+        self.flag = flag
+
+
+class Spawn:
+    """Syscall: start ``gen`` as a concurrent child process.
+
+    ``daemon`` children do not keep the simulation alive and are not
+    reported as deadlocked if still blocked when the heap drains (used
+    for helper coroutines like ``waitany`` watchers).
+    """
+
+    __slots__ = ("gen", "name", "daemon")
+
+    def __init__(self, gen: Generator, name: str = "child", daemon: bool = False):
+        self.gen = gen
+        self.name = name
+        self.daemon = daemon
+
+
+# Heap entries are plain (time, seq, callback) tuples: the unique ``seq``
+# tiebreaker guarantees the callback is never compared, and C-level tuple
+# comparison is ~3x faster than a dataclass __lt__ in the hot heappop path.
+
+
+class ProcessHandle:
+    """Public view of a spawned process: completion flag + return value."""
+
+    __slots__ = ("name", "done_flag", "value", "error")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.done_flag = EventFlag(label=f"done:{name}")
+        self.value: Any = None
+        self.error: Optional[BaseException] = None
+
+    @property
+    def done(self) -> bool:
+        return self.done_flag.is_set
+
+
+class _Process:
+    """Internal per-generator bookkeeping."""
+
+    __slots__ = ("gen", "handle", "blocked_on", "engine", "daemon")
+
+    def __init__(self, gen: Generator, handle: ProcessHandle, engine: "Engine",
+                 daemon: bool = False):
+        self.gen = gen
+        self.handle = handle
+        self.blocked_on: str = "start"
+        self.engine = engine
+        self.daemon = daemon
+
+
+class Engine:
+    """Deterministic discrete-event scheduler with a virtual clock.
+
+    Determinism: events at equal times fire in insertion order (the
+    ``seq`` tiebreaker), and process wakeups go through the same heap,
+    so a run is a pure function of the process programs and their RNG
+    seeds.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List[_HeapEntry] = []
+        self._seq: int = 0
+        self._live: int = 0
+        self._procs: List[_Process] = []
+        self.max_events: Optional[int] = None
+        self._events_fired: int = 0
+
+    # ------------------------------------------------------------------
+    # scheduling primitives
+    # ------------------------------------------------------------------
+    def call_at(self, time: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to run at virtual ``time``.
+
+        Times in the past are clamped to *now*: an event can never
+        rewind the clock (this arises when e.g. a message's modeled
+        arrival precedes the receiver's current time after contention).
+        """
+        if time < self.now:
+            time = self.now
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, callback))
+
+    def call_after(self, dt: float, callback: Callable[[], None]) -> None:
+        self.call_at(self.now + dt, callback)
+
+    # ------------------------------------------------------------------
+    # process management
+    # ------------------------------------------------------------------
+    def spawn(self, gen: Generator, name: str = "proc",
+              daemon: bool = False) -> ProcessHandle:
+        """Register ``gen`` as a process; it takes its first step at the
+        current virtual time (via the heap, preserving global ordering)."""
+        handle = ProcessHandle(name)
+        proc = _Process(gen, handle, self, daemon=daemon)
+        self._procs.append(proc)
+        if not daemon:
+            self._live += 1
+        self.call_at(self.now, lambda: self._step(proc, None))
+        return handle
+
+    def set_flag(self, flag: EventFlag, payload: Any = None) -> None:
+        """Set ``flag`` at the current virtual time and wake all waiters."""
+        if flag.is_set:
+            return
+        flag.is_set = True
+        flag.time = self.now
+        flag.payload = payload
+        waiters, flag._waiters = flag._waiters, []
+        for proc in waiters:
+            self.call_at(self.now, lambda p=proc, f=flag: self._step(p, f.payload))
+
+    # ------------------------------------------------------------------
+    # the interpreter loop
+    # ------------------------------------------------------------------
+    def _step(self, proc: _Process, sendval: Any) -> None:
+        """Advance one process by one syscall."""
+        while True:
+            try:
+                cmd = proc.gen.send(sendval)
+            except StopIteration as stop:
+                proc.handle.value = stop.value
+                proc.blocked_on = "done"
+                if not proc.daemon:
+                    self._live -= 1
+                self.set_flag(proc.handle.done_flag, stop.value)
+                return
+            except BaseException as exc:  # propagate to run()
+                proc.handle.error = exc
+                proc.blocked_on = "error"
+                if not proc.daemon:
+                    self._live -= 1
+                self.set_flag(proc.handle.done_flag, None)
+                raise
+            if isinstance(cmd, Delay):
+                proc.blocked_on = f"delay({cmd.dt:.3g})"
+                self.call_after(cmd.dt, lambda p=proc: self._step(p, None))
+                return
+            if isinstance(cmd, WaitFlag):
+                flag = cmd.flag
+                if flag.is_set:
+                    # already satisfied: continue synchronously at `now`
+                    sendval = flag.payload
+                    continue
+                proc.blocked_on = f"wait({flag.label})"
+                flag._waiters.append(proc)
+                return
+            if isinstance(cmd, Spawn):
+                sendval = self.spawn(cmd.gen, cmd.name, daemon=cmd.daemon)
+                continue
+            raise TypeError(
+                f"process {proc.handle.name!r} yielded unsupported syscall "
+                f"{cmd!r}; expected Delay/WaitFlag/Spawn"
+            )
+
+    def run(self) -> float:
+        """Drain the event heap; return the final virtual time.
+
+        Raises :class:`~repro.simmpi.errors.DeadlockError` when processes
+        remain blocked after the heap empties, listing each stuck process
+        and the primitive it is blocked in.
+        """
+        from .errors import DeadlockError
+
+        heap = self._heap
+        while heap:
+            time_, _seq, callback = heapq.heappop(heap)
+            self._events_fired += 1
+            if self.max_events is not None and self._events_fired > self.max_events:
+                raise RuntimeError(
+                    f"event budget exceeded ({self.max_events} events); "
+                    "likely a livelock in a simulated protocol"
+                )
+            if time_ > self.now:
+                self.now = time_
+            callback()
+        if self._live > 0:
+            blocked = {
+                p.handle.name: p.blocked_on
+                for p in self._procs
+                if not p.daemon and p.blocked_on not in ("done", "error")
+            }
+            raise DeadlockError(blocked)
+        return self.now
+
+    @property
+    def events_fired(self) -> int:
+        return self._events_fired
+
+
+def delay(dt: float) -> Generator[Delay, None, None]:
+    """Convenience coroutine: ``yield from delay(dt)``."""
+    yield Delay(dt)
+
+
+def wait_flag(flag: EventFlag) -> Generator[WaitFlag, None, Any]:
+    """Convenience coroutine: block on ``flag`` and return its payload."""
+    payload = yield WaitFlag(flag)
+    return payload

@@ -1,0 +1,69 @@
+"""MPI-like error hierarchy for the simulated runtime.
+
+The simulated runtime mirrors the error classes an MPI implementation
+reports, so application code and tests can assert on specific failure
+modes (truncation, invalid rank, communicator misuse) exactly as they
+would against a real MPI library.
+"""
+
+from __future__ import annotations
+
+
+class SimMPIError(Exception):
+    """Base class for all errors raised by the simulated MPI runtime."""
+
+
+class InvalidRankError(SimMPIError):
+    """A point-to-point or collective call referenced a rank outside the
+    communicator, or a negative rank other than the wildcards."""
+
+
+class InvalidTagError(SimMPIError):
+    """A tag was negative (other than ``ANY_TAG``) or exceeded ``TAG_UB``."""
+
+
+class TruncationError(SimMPIError):
+    """A receive posted a buffer smaller than the matched message.
+
+    Mirrors ``MPI_ERR_TRUNCATE``: matching succeeds on (source, tag) only,
+    and a too-small receive is an application error, not a silent clip.
+    """
+
+
+class CommunicatorError(SimMPIError):
+    """Misuse of a communicator: operating on a freed communicator, a rank
+    calling a collective on a communicator it does not belong to, etc."""
+
+
+class RequestError(SimMPIError):
+    """Misuse of a request object (double wait, waiting on a freed
+    persistent request, starting an active persistent request...)."""
+
+
+class DatatypeError(SimMPIError):
+    """Malformed datatype definition (negative counts, zero-size base...)."""
+
+
+class TopologyError(SimMPIError):
+    """Invalid Cartesian topology construction or coordinate query."""
+
+
+class IOError_(SimMPIError):
+    """MPI-IO failure (file not opened, bad view, write on read-only...)."""
+
+
+class DeadlockError(SimMPIError):
+    """The event queue drained while one or more ranks were still blocked.
+
+    A real MPI job would hang; the simulator detects the condition and
+    reports every blocked rank together with the primitive it is stuck in,
+    which makes communication-protocol bugs in applications immediately
+    visible in tests.
+    """
+
+    def __init__(self, blocked: dict):
+        self.blocked = dict(blocked)
+        detail = ", ".join(
+            f"rank {r}: {why}" for r, why in sorted(self.blocked.items())
+        )
+        super().__init__(f"simulation deadlock; blocked ranks: {detail}")

@@ -1,0 +1,280 @@
+"""MPI-IO on a modeled parallel filesystem.
+
+Implements the three write paths the paper's particle-I/O study
+exercises (Section IV-D2):
+
+``File.write_all``  (collective, two-phase)
+    Real two-phase I/O: ranks agree on sizes (allgather), ship their
+    buffers to a small set of aggregator ranks with *real simulated
+    messages* (so the incast cost at scale is genuine), aggregators
+    stream to the storage servers, and the collective completes with a
+    barrier.  A changed file view charges ``view_setup_overhead`` —
+    the cost iPIC3D pays every step because particle counts change.
+
+``File.write_shared``  (independent, shared file pointer)
+    Every write serializes through a global shared-pointer lock
+    (``shared_pointer_overhead``) before streaming to the servers —
+    cheap at low concurrency, a scaling sore at 8k ranks.
+
+``File.write_at``  (independent, explicit offset)
+    Just client overhead + server streaming; the primitive the
+    decoupled I/O group uses underneath its aggressive buffering.
+
+The storage backend is ``stripe_count`` servers of equal bandwidth
+(summing to ``aggregate_bandwidth``); a write occupies the earliest-
+free server, which yields contention under bursty collective dumps and
+near-linear throughput for a few large buffered writes — exactly the
+contrast Fig. 8 turns on.  Written bytes are retained in memory so
+numeric-mode tests can assert on file contents.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from .comm import Comm, World
+from .datatypes import payload_nbytes
+from .engine import Delay
+from .errors import IOError_
+
+
+class _FileData:
+    """Shared per-file state: content segments + shared pointer."""
+
+    __slots__ = ("name", "segments", "shared_pointer", "open_count", "views")
+
+    def __init__(self, name: str):
+        self.name = name
+        # list of (offset, payload, nbytes); offset None = append order
+        self.segments: List[Tuple[Optional[int], Any, int]] = []
+        self.shared_pointer = 0
+        self.open_count = 0
+        self.views: Dict[int, Tuple[int, Any]] = {}  # rank -> (disp, filetype)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(n for _, _, n in self.segments)
+
+
+class FileSystem:
+    """The modeled storage backend (one per :class:`World`)."""
+
+    def __init__(self, world: World):
+        self.world = world
+        self.cfg = world.config.io
+        self.files: Dict[str, _FileData] = {}
+        self._backend_free = 0.0
+        self._pointer_lock_free = 0.0
+        # statistics
+        self.write_calls = 0
+        self.bytes_written = 0
+
+    # ------------------------------------------------------------------
+    def get_file(self, name: str, create: bool) -> _FileData:
+        fd = self.files.get(name)
+        if fd is None:
+            if not create:
+                raise IOError_(f"file {name!r} does not exist")
+            fd = _FileData(name)
+            self.files[name] = fd
+        return fd
+
+    def server_write(self, nbytes: int, ready: float) -> float:
+        """Commit ``nbytes`` to the striped backend; return completion.
+
+        Large writes stripe across all OSTs, so a single write moves at
+        ``min(per_client_bandwidth, aggregate_bandwidth)``; *concurrent*
+        writers share the backend: each write occupies the aggregate
+        timeline for ``nbytes / aggregate_bandwidth``, which serializes
+        bursts (the collective-dump pile-up) while leaving a lone
+        buffered writer client-bound.
+        """
+        occupancy = nbytes / self.cfg.aggregate_bandwidth
+        start = max(ready, self._backend_free)
+        self._backend_free = start + occupancy
+        client_done = ready + nbytes / self.cfg.per_client_bandwidth
+        end = max(start + occupancy, client_done)
+        self.write_calls += 1
+        self.bytes_written += nbytes
+        return end
+
+    def acquire_shared_pointer(self, ready: float) -> float:
+        """Serialize through the shared-file-pointer lock; returns the
+        time the pointer update completes."""
+        start = max(ready, self._pointer_lock_free)
+        end = start + self.cfg.shared_pointer_overhead
+        self._pointer_lock_free = end
+        return end
+
+
+def _filesystem(world: World) -> FileSystem:
+    if world.filesystem is None:
+        world.filesystem = FileSystem(world)
+    return world.filesystem
+
+
+class File:
+    """Per-rank handle to an open simulated file."""
+
+    def __init__(self, comm: Comm, data: _FileData, mode: str):
+        self.comm = comm
+        self._data = data
+        self.mode = mode
+        self.closed = False
+        self._view_disp = 0
+        self._view_set = False
+
+    # ------------------------------------------------------------------
+    def _check_writable(self) -> None:
+        if self.closed:
+            raise IOError_(f"write on closed file {self._data.name!r}")
+        if "w" not in self.mode and "a" not in self.mode:
+            raise IOError_(f"file {self._data.name!r} not opened for writing")
+
+    @property
+    def fs(self) -> FileSystem:
+        return _filesystem(self.comm.world)
+
+    @property
+    def name(self) -> str:
+        return self._data.name
+
+    # ------------------------------------------------------------------
+    def set_view(self, displacement: int, filetype: Any = None
+                 ) -> Generator[Any, Any, None]:
+        """Collective view definition.
+
+        Charges ``view_setup_overhead`` on every rank plus an allgather
+        (displacement agreement) — the recurring cost of collective
+        particle I/O with a changing layout."""
+        self._check_writable()
+        yield Delay(self.fs.cfg.view_setup_overhead)
+        yield from self.comm.allgather(displacement)
+        self._data.views[self.comm.rank] = (displacement, filetype)
+        self._view_disp = displacement
+        self._view_set = True
+
+    def write_at(self, offset: int, data: Any, nbytes: Optional[int] = None
+                 ) -> Generator[Any, Any, int]:
+        """Independent write at an explicit offset; returns bytes written."""
+        self._check_writable()
+        n = payload_nbytes(data) if nbytes is None else int(nbytes)
+        t0 = self.comm.world.engine.now
+        yield Delay(self.fs.cfg.client_overhead)
+        done = self.fs.server_write(n, self.comm.world.engine.now)
+        yield Delay(max(0.0, done - self.comm.world.engine.now))
+        self._data.segments.append((offset, data, n))
+        self._record_io(t0)
+        return n
+
+    def write_shared(self, data: Any, nbytes: Optional[int] = None
+                     ) -> Generator[Any, Any, int]:
+        """Independent write at the shared file pointer.
+
+        Serializes through the global pointer lock, then streams."""
+        self._check_writable()
+        n = payload_nbytes(data) if nbytes is None else int(nbytes)
+        t0 = self.comm.world.engine.now
+        yield Delay(self.fs.cfg.client_overhead)
+        now = self.comm.world.engine.now
+        pointer_done = self.fs.acquire_shared_pointer(now)
+        offset = self._data.shared_pointer
+        self._data.shared_pointer += n
+        amplified = int(n * self.fs.cfg.shared_fragment_factor)
+        done = self.fs.server_write(amplified, pointer_done)
+        yield Delay(max(0.0, done - now))
+        self._data.segments.append((offset, data, n))
+        self._record_io(t0)
+        return n
+
+    def write_all(self, data: Any, nbytes: Optional[int] = None
+                  ) -> Generator[Any, Any, int]:
+        """Collective two-phase write (``MPI_File_write_all``).
+
+        Every rank of the communicator must call.  Phase 1 allgathers
+        sizes and ships buffers to ``min(stripe_count, P)`` aggregator
+        ranks (real messages — incast is modeled, not assumed); phase 2
+        has aggregators stream to the servers; a barrier closes the
+        collective.
+        """
+        self._check_writable()
+        comm = self.comm
+        cfg = self.fs.cfg
+        n = payload_nbytes(data) if nbytes is None else int(nbytes)
+        t0 = comm.world.engine.now
+        yield Delay(cfg.client_overhead)
+        # collective bookkeeping cost grows linearly in P (two-phase
+        # exchange metadata), paid by every rank
+        yield Delay(cfg.collective_exchange_overhead * comm.size)
+        sizes = yield from comm.allgather(n)
+        naggr = max(1, min(cfg.stripe_count, comm.size))
+        my_aggr = comm.rank % naggr
+        is_aggr = comm.rank < naggr
+        tag = comm._next_coll_tag()
+        # displacement of this rank in the shared dump
+        my_offset = self._view_disp + sum(sizes[:comm.rank])
+
+        from .datatypes import SizedPayload
+        if is_aggr:
+            # collect from my clients (including myself, locally)
+            chunks = [(my_offset, data, n)]
+            clients = [r for r in range(comm.size)
+                       if r % naggr == comm.rank and r != comm.rank]
+            for _ in clients:
+                (payload, _st) = yield from comm.wait(
+                    comm.irecv(source=-1, tag=tag), label="write_all-gather"
+                )
+                chunks.append(payload.data)
+            total = sum(c[2] for c in chunks)
+            # dynamic-view collective writes hit stripe read-modify-write
+            amplified = int(total * (cfg.collective_unaligned_factor
+                                     if self._view_set else 1.0))
+            done = self.fs.server_write(amplified, comm.world.engine.now)
+            yield Delay(max(0.0, done - comm.world.engine.now))
+            for off, payload, sz in chunks:
+                if sz > 0:
+                    self._data.segments.append((off, payload, sz))
+        else:
+            wire = SizedPayload((my_offset, data, n), n + 16)
+            yield from comm.send(wire, dest=my_aggr, tag=tag)
+        yield from comm.barrier()
+        self._record_io(t0)
+        return n
+
+    def close(self) -> Generator[Any, Any, None]:
+        """Collective close (barrier + handle invalidation)."""
+        if self.closed:
+            raise IOError_(f"double close of {self._data.name!r}")
+        yield from self.comm.barrier()
+        self.closed = True
+        self._data.open_count -= 1
+
+    # ------------------------------------------------------------------
+    def _record_io(self, t0: float) -> None:
+        """Trace the whole I/O call as one ``io`` interval."""
+        tracer = self.comm.world.tracer
+        if tracer is not None:
+            tracer.record(self.comm.global_rank, "io", self._data.name,
+                          t0, self.comm.world.engine.now)
+
+
+def open_file(comm: Comm, name: str, mode: str = "w"
+              ) -> Generator[Any, Any, File]:
+    """Collective file open (``MPI_File_open``).
+
+    All ranks of ``comm`` must call with the same name and mode."""
+    fs = _filesystem(comm.world)
+    yield Delay(fs.cfg.open_overhead)
+    yield from comm.barrier()
+    data = fs.get_file(name, create=("w" in mode or "a" in mode))
+    data.open_count += 1
+    return File(comm, data, mode)
+
+
+def read_back(world: World, name: str) -> List[Tuple[Optional[int], Any, int]]:
+    """Test helper: the (offset, payload, nbytes) segments written to
+    ``name``, in commit order."""
+    fs = _filesystem(world)
+    if name not in fs.files:
+        raise IOError_(f"file {name!r} does not exist")
+    return list(fs.files[name].segments)

@@ -1,0 +1,118 @@
+"""Message envelopes and (source, tag, context) matching.
+
+MPI matching semantics, reproduced exactly because the paper's stream
+library leans on them: messages between a given (sender, receiver,
+context) pair match in FIFO order; receives may wildcard the source
+(``ANY_SOURCE``) and/or tag (``ANY_TAG``); a posted receive matches the
+*earliest-delivered* compatible unexpected message.
+
+``ANY_SOURCE`` receives are what give MPIStream its first-come-first-
+served, imbalance-absorbing behaviour (Section III-A step 3): the
+consumer takes whichever producer's element arrives first.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Optional
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+TAG_UB = 1 << 30
+
+
+class Envelope:
+    """A message (or rendezvous header) sitting in a mailbox."""
+
+    __slots__ = (
+        "src", "tag", "context", "nbytes", "payload",
+        "eager", "delivered_time", "on_match",
+    )
+
+    def __init__(self, src: int, tag: int, context: int, nbytes: int,
+                 payload: Any, eager: bool, delivered_time: float,
+                 on_match: Optional[Callable] = None):
+        self.src = src
+        self.tag = tag
+        self.context = context
+        self.nbytes = nbytes
+        self.payload = payload
+        self.eager = eager
+        self.delivered_time = delivered_time
+        # rendezvous: called with the match time when a receive matches;
+        # the transport then schedules the actual transfer.
+        self.on_match = on_match
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        mode = "eager" if self.eager else "rndv"
+        return (f"Envelope(src={self.src}, tag={self.tag}, ctx={self.context}, "
+                f"n={self.nbytes}, {mode})")
+
+
+class PostedRecv:
+    """A receive waiting in the mailbox for a matching envelope."""
+
+    __slots__ = ("source", "tag", "context", "max_nbytes", "on_match")
+
+    def __init__(self, source: int, tag: int, context: int,
+                 max_nbytes: Optional[int], on_match: Callable):
+        self.source = source
+        self.tag = tag
+        self.context = context
+        self.max_nbytes = max_nbytes
+        # called with the matched Envelope
+        self.on_match = on_match
+
+
+def _compatible(post: PostedRecv, env: Envelope) -> bool:
+    if post.context != env.context:
+        return False
+    if post.source != ANY_SOURCE and post.source != env.src:
+        return False
+    if post.tag != ANY_TAG and post.tag != env.tag:
+        return False
+    return True
+
+
+class Mailbox:
+    """Per-rank matching state: posted receives + unexpected messages."""
+
+    __slots__ = ("posted", "unexpected")
+
+    def __init__(self) -> None:
+        self.posted: Deque[PostedRecv] = deque()
+        self.unexpected: Deque[Envelope] = deque()
+
+    # ------------------------------------------------------------------
+    def deliver(self, env: Envelope) -> Optional[PostedRecv]:
+        """An envelope arrives: match the oldest compatible posted receive,
+        else queue as unexpected.  Returns the matched receive, if any."""
+        for i, post in enumerate(self.posted):
+            if _compatible(post, env):
+                del self.posted[i]
+                post.on_match(env)
+                return post
+        self.unexpected.append(env)
+        return None
+
+    def post(self, post: PostedRecv) -> Optional[Envelope]:
+        """A receive is posted: match the oldest compatible unexpected
+        envelope, else queue.  Returns the matched envelope, if any."""
+        for i, env in enumerate(self.unexpected):
+            if _compatible(post, env):
+                del self.unexpected[i]
+                post.on_match(env)
+                return env
+        self.posted.append(post)
+        return None
+
+    def probe(self, source: int, tag: int, context: int) -> Optional[Envelope]:
+        """Non-destructive check for a matching unexpected message."""
+        fake = PostedRecv(source, tag, context, None, lambda e: None)
+        for env in self.unexpected:
+            if _compatible(fake, env):
+                return env
+        return None
+
+    def pending_counts(self) -> tuple:
+        return (len(self.posted), len(self.unexpected))

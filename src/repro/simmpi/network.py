@@ -1,0 +1,108 @@
+"""Interconnect timing model.
+
+The network model answers one question for the transport layer: given a
+message of ``nbytes`` from rank *s* to rank *d* injected at time *t*,
+when does it (a) free the sender's NIC, (b) arrive at the destination,
+and (c) finish occupying the destination's NIC?
+
+Design points, chosen to reproduce the paper's *shapes*:
+
+* **Per-NIC serialization.**  Each rank has a transmit and a receive
+  NIC timeline; back-to-back messages queue.  This is what produces the
+  paper's observed master-process congestion in the MapReduce reduce
+  group at 4,096+ processes (Section IV-B) — thousands of producers
+  funnel into one consumer whose rx NIC serializes them.
+* **Intra-node shortcut.**  Ranks on the same node communicate with
+  lower latency / higher bandwidth (shared memory).
+* **Fabric dilation.**  One-way latency grows mildly (logarithmically)
+  with the job size beyond a base allocation, standing in for the extra
+  dragonfly hops and adaptive-routing traffic of large jobs.
+
+The model is deliberately first-order: deterministic, O(1) per message,
+and calibrated rather than cycle-accurate (see DESIGN.md §7).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from .config import MachineConfig
+
+
+@dataclass(frozen=True)
+class TransferTiming:
+    """Resolved timing of one message transfer."""
+
+    inject_start: float   # when the payload starts leaving the sender NIC
+    sender_free: float    # when the sender NIC is free again
+    arrival: float        # when the last byte reaches the receiver NIC
+    delivered: float      # when the receiver NIC has drained it (match time)
+
+
+class Network:
+    """Stateful NIC-timeline network model."""
+
+    def __init__(self, config: MachineConfig, nranks: int):
+        self.config = config
+        self.nranks = nranks
+        self._tx_free: Dict[int, float] = {}
+        self._rx_free: Dict[int, float] = {}
+        net = config.network
+        if nranks > net.dilation_base and net.fabric_dilation > 0:
+            dil = 1.0 + net.fabric_dilation * math.log2(nranks / net.dilation_base)
+        else:
+            dil = 1.0
+        self._dilation = dil
+        # statistics
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    # ------------------------------------------------------------------
+    def _link(self, src: int, dst: int) -> Tuple[float, float]:
+        """(latency, bandwidth) for the src->dst pair."""
+        net = self.config.network
+        if src == dst:
+            # self-send: memcpy-like
+            return (0.0, net.intra_node_bandwidth)
+        if self.config.node_of(src) == self.config.node_of(dst):
+            return (net.intra_node_latency, net.intra_node_bandwidth)
+        return (net.latency * self._dilation, net.bandwidth)
+
+    def transfer(self, src: int, dst: int, nbytes: int, ready: float) -> TransferTiming:
+        """Timing for ``nbytes`` from ``src`` to ``dst``, ready at ``ready``.
+
+        ``ready`` is when the sender has finished its CPU-side overhead
+        and the payload could start injecting.  Mutates the NIC
+        timelines (this call *commits* the transfer).
+        """
+        if nbytes < 0:
+            raise ValueError("negative message size")
+        latency, bandwidth = self._link(src, dst)
+        serial = nbytes / bandwidth
+        inject_start = max(ready, self._tx_free.get(src, 0.0))
+        sender_free = inject_start + serial
+        self._tx_free[src] = sender_free
+        arrival = sender_free + latency
+        delivered = max(arrival, self._rx_free.get(dst, 0.0)) + (
+            serial if src != dst else 0.0
+        )
+        # rx occupancy only for the wire transfer; self-sends don't queue.
+        if src != dst:
+            self._rx_free[dst] = delivered
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+        return TransferTiming(inject_start, sender_free, arrival, delivered)
+
+    # ------------------------------------------------------------------
+    def overheads(self) -> Tuple[float, float]:
+        """(o_send, o_recv) CPU overheads per message."""
+        net = self.config.network
+        return (net.o_send, net.o_recv)
+
+    def is_eager(self, nbytes: int) -> bool:
+        return nbytes <= self.config.network.eager_threshold
+
+    def dilation(self) -> float:
+        return self._dilation

@@ -1,0 +1,114 @@
+"""Noise and imbalance models.
+
+The paper's decoupling strategy claims two benefits: pipelining and
+*imbalance absorption*.  To measure absorption we need imbalance to
+exist in the simulation; this module produces it deterministically.
+
+Two effects are modeled, matching Section I of the paper ("interference
+from system noises is unavoidable", "higher temperature variance ...
+vary the speed of processors"):
+
+* a **persistent per-rank speed factor** — each rank draws a constant
+  multiplicative slowdown from a lognormal distribution, representing
+  core-to-core frequency / thermal variance;
+* **transient noise** — while computing, a rank loses a random fraction
+  of each noise quantum, representing OS daemons and interrupts
+  (Petrini et al., SC'03).  Over an interval of nominal length ``t`` the
+  expected inflation is ``quantum_fraction``; the realized inflation is
+  sampled per compute call so long phases smooth out and short phases
+  jitter, as on a real machine.
+
+Both draws come from per-rank ``numpy`` generators seeded from the
+config seed and the rank id, so a simulation is reproducible and two
+runs that only differ elsewhere see identical noise.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+import numpy as np
+
+from .config import NoiseConfig
+
+
+class NoiseModel:
+    """Deterministic per-rank compute-time inflation."""
+
+    def __init__(self, config: NoiseConfig, nranks: int):
+        config.validate()
+        self.config = config
+        self.nranks = nranks
+        self._skew: Dict[int, float] = {}
+        self._rngs: Dict[int, np.random.Generator] = {}
+
+    def _rng(self, rank: int) -> np.random.Generator:
+        rng = self._rngs.get(rank)
+        if rng is None:
+            rng = np.random.default_rng(
+                np.random.SeedSequence(entropy=self.config.seed, spawn_key=(rank,))
+            )
+            self._rngs[rank] = rng
+        return rng
+
+    def persistent_factor(self, rank: int) -> float:
+        """Constant speed factor (>= ~1) for ``rank``.
+
+        Lognormal with median 1 and sigma = ``persistent_skew``; floored
+        at 1.0 so the *fastest* ranks define the baseline — what matters
+        for synchronization cost is the spread, and flooring keeps
+        calibrated absolute times stable under noise sweeps.
+        """
+        factor = self._skew.get(rank)
+        if factor is None:
+            sigma = self.config.persistent_skew
+            if sigma <= 0:
+                factor = 1.0
+            else:
+                factor = max(1.0, float(self._rng(rank).lognormal(0.0, sigma)))
+            self._skew[rank] = factor
+        return factor
+
+    def inflate(self, rank: int, duration: float) -> float:
+        """Actual virtual-time cost of ``duration`` nominal compute seconds."""
+        if duration <= 0:
+            return 0.0
+        actual = duration * self.persistent_factor(rank)
+        frac = self.config.quantum_fraction
+        if frac > 0.0:
+            # Number of noise quanta this interval spans; each quantum
+            # contributes an exponentially-distributed detour with mean
+            # `frac * quantum`.  For intervals much longer than a quantum
+            # the total concentrates around `frac * duration` (LLN); for
+            # short intervals it is bursty.
+            quanta = duration / self.config.quantum
+            n_events = int(self._rng(rank).poisson(max(quanta, 1e-12)))
+            if n_events > 0:
+                detours = self._rng(rank).exponential(
+                    frac * self.config.quantum, size=n_events
+                )
+                actual += float(detours.sum())
+        return actual
+
+    def expected_inflation(self, duration: float) -> float:
+        """Mean cost of ``duration`` under transient noise only (analytic).
+
+        Used by the performance model (Eq. 1's ``T_sigma``) to predict
+        imbalance cost without running the simulation.
+        """
+        return duration * (1.0 + self.config.quantum_fraction)
+
+    def expected_max_factor(self, nranks: int) -> float:
+        """Approximate E[max of nranks persistent factors].
+
+        For a lognormal(0, sigma) sample of size n the maximum
+        concentrates near ``exp(sigma * sqrt(2 ln n))``; this is the
+        analytic counterpart of the synchronization penalty a bulk-
+        synchronous code pays at each barrier, and grows with scale —
+        the paper's core motivation for absorbing imbalance.
+        """
+        sigma = self.config.persistent_skew
+        if sigma <= 0 or nranks <= 1:
+            return 1.0
+        return math.exp(sigma * math.sqrt(2.0 * math.log(nranks)))

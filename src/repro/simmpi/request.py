@@ -1,0 +1,108 @@
+"""Request objects for non-blocking and persistent operations.
+
+A :class:`Request` wraps an :class:`~repro.simmpi.engine.EventFlag`; the
+transport sets the flag when the operation completes (for receives, the
+flag payload is ``(data, Status)``).  ``Comm.wait`` / ``Comm.waitall`` /
+``Comm.waitany`` block on these flags; ``test`` polls them.
+
+Persistent requests (``send_init`` / ``recv_init`` + ``start``) mirror
+MPI persistent communication, which the paper's MPIStream library is
+built on: the argument set is frozen once and each ``start`` spawns a
+fresh transfer with those arguments.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from .engine import EventFlag
+from .errors import RequestError
+
+
+class Status:
+    """Completion status of a receive: source, tag, and message size."""
+
+    __slots__ = ("source", "tag", "nbytes")
+
+    def __init__(self, source: int, tag: int, nbytes: int):
+        self.source = source
+        self.tag = tag
+        self.nbytes = nbytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Status(source={self.source}, tag={self.tag}, nbytes={self.nbytes})"
+
+
+class Request:
+    """Handle for an in-flight non-blocking operation."""
+
+    __slots__ = ("flag", "kind", "_waited")
+
+    def __init__(self, kind: str, label: str = ""):
+        self.flag = EventFlag(label=label or kind)
+        self.kind = kind
+        self._waited = False
+
+    @property
+    def done(self) -> bool:
+        return self.flag.is_set
+
+    def test(self) -> bool:
+        """Non-blocking completion check (``MPI_Test`` without the wait)."""
+        return self.flag.is_set
+
+    def result(self) -> Any:
+        """Value delivered at completion; raises if not complete yet."""
+        if not self.flag.is_set:
+            raise RequestError(f"request {self.flag.label!r} not complete")
+        return self.flag.payload
+
+    def _mark_waited(self) -> None:
+        if self._waited:
+            raise RequestError(
+                f"request {self.flag.label!r} waited on twice; requests are "
+                "single-completion objects (use persistent requests to reuse)"
+            )
+        self._waited = True
+
+
+def completed_request(kind: str, payload: Any = None) -> Request:
+    """A request that is already complete (zero-size sends, self-matches)."""
+    req = Request(kind)
+    req.flag.is_set = True
+    req.flag.payload = payload
+    return req
+
+
+class PersistentRequest:
+    """Frozen argument set for repeated point-to-point operations.
+
+    Created by ``Comm.send_init`` / ``Comm.recv_init``; each
+    ``Comm.start`` launches one transfer with these arguments and
+    returns a fresh :class:`Request`.  At most one started transfer may
+    be active at a time, per MPI semantics.
+    """
+
+    __slots__ = ("kind", "comm", "peer", "tag", "data_factory", "active", "freed")
+
+    def __init__(self, kind: str, comm, peer: int, tag: int, data_factory=None):
+        self.kind = kind            # "send" or "recv"
+        self.comm = comm
+        self.peer = peer
+        self.tag = tag
+        self.data_factory = data_factory  # callable -> payload (send side)
+        self.active: Optional[Request] = None
+        self.freed = False
+
+    def _check_startable(self) -> None:
+        if self.freed:
+            raise RequestError("start on a freed persistent request")
+        if self.active is not None and not self.active.done:
+            raise RequestError(
+                "persistent request started while a previous start is active"
+            )
+
+    def free(self) -> None:
+        if self.active is not None and not self.active.done:
+            raise RequestError("free on an active persistent request")
+        self.freed = True

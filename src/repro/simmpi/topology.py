@@ -1,0 +1,163 @@
+"""Cartesian process topologies.
+
+iPIC3D and the CG solver decompose a 3-D domain over a Cartesian grid
+of processes; the reference particle exchange forwards along the
+topology's six direct neighbours with a worst case of
+``DimX + DimY + DimZ`` steps (Section IV-D1).  This module provides
+``dims_create`` (the MPI balanced factorization), a :class:`CartComm`
+wrapper with ``coords``/``shift``/``neighbors``, and periodic wrap.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional, Sequence, Tuple
+
+from .comm import Comm
+from .errors import TopologyError
+
+
+def dims_create(nnodes: int, ndims: int) -> List[int]:
+    """Balanced factorization of ``nnodes`` into ``ndims`` dimensions,
+    mirroring ``MPI_Dims_create``: dims are as close as possible and
+    sorted non-increasing."""
+    if nnodes <= 0 or ndims <= 0:
+        raise TopologyError("nnodes and ndims must be positive")
+    dims = [1] * ndims
+    remaining = nnodes
+    # greedy: repeatedly assign the largest prime factor to the smallest dim
+    factors = _prime_factors(remaining)
+    for f in sorted(factors, reverse=True):
+        dims[dims.index(min(dims))] *= f
+    if _prod(dims) != nnodes:
+        raise TopologyError(
+            f"cannot factor {nnodes} into {ndims} dims (internal error)"
+        )
+    return sorted(dims, reverse=True)
+
+
+def _prime_factors(n: int) -> List[int]:
+    out: List[int] = []
+    d = 2
+    while d * d <= n:
+        while n % d == 0:
+            out.append(d)
+            n //= d
+        d += 1
+    if n > 1:
+        out.append(n)
+    return out
+
+
+def _prod(xs: Sequence[int]) -> int:
+    p = 1
+    for x in xs:
+        p *= x
+    return p
+
+
+class CartComm:
+    """A communicator with Cartesian coordinates attached.
+
+    Wraps (does not subclass) a :class:`~repro.simmpi.comm.Comm`: the
+    underlying communicator stays usable, and the wrapper adds
+    coordinate queries and neighbour shifts.  Ranks are row-major in
+    coordinate order, as in MPI with reorder=false.
+    """
+
+    def __init__(self, comm: Comm, dims: Sequence[int],
+                 periods: Optional[Sequence[bool]] = None):
+        dims = list(dims)
+        if _prod(dims) != comm.size:
+            raise TopologyError(
+                f"dims {dims} do not cover communicator size {comm.size}"
+            )
+        if any(d <= 0 for d in dims):
+            raise TopologyError(f"non-positive dimension in {dims}")
+        self.comm = comm
+        self.dims = tuple(dims)
+        self.periods = tuple(bool(p) for p in (periods or [False] * len(dims)))
+        if len(self.periods) != len(self.dims):
+            raise TopologyError("periods length must match dims")
+
+    # ------------------------------------------------------------------
+    @property
+    def ndims(self) -> int:
+        return len(self.dims)
+
+    @property
+    def rank(self) -> int:
+        return self.comm.rank
+
+    @property
+    def size(self) -> int:
+        return self.comm.size
+
+    def coords(self, rank: Optional[int] = None) -> Tuple[int, ...]:
+        """Coordinates of ``rank`` (default: the calling rank)."""
+        r = self.comm.rank if rank is None else rank
+        if not (0 <= r < self.comm.size):
+            raise TopologyError(f"rank {r} out of range")
+        out = []
+        for d in reversed(self.dims):
+            out.append(r % d)
+            r //= d
+        return tuple(reversed(out))
+
+    def rank_of(self, coords: Sequence[int]) -> Optional[int]:
+        """Rank at ``coords`` with periodic wrap; None if off-grid."""
+        if len(coords) != self.ndims:
+            raise TopologyError("coords length must match ndims")
+        fixed = []
+        for c, d, p in zip(coords, self.dims, self.periods):
+            if 0 <= c < d:
+                fixed.append(c)
+            elif p:
+                fixed.append(c % d)
+            else:
+                return None
+        r = 0
+        for c, d in zip(fixed, self.dims):
+            r = r * d + c
+        return r
+
+    def shift(self, dim: int, disp: int = 1) -> Tuple[Optional[int], Optional[int]]:
+        """(source, dest) ranks for a shift along ``dim`` by ``disp``,
+        as in ``MPI_Cart_shift`` (None plays MPI_PROC_NULL)."""
+        if not (0 <= dim < self.ndims):
+            raise TopologyError(f"dim {dim} out of range")
+        me = list(self.coords())
+        up = list(me)
+        up[dim] += disp
+        down = list(me)
+        down[dim] -= disp
+        return self.rank_of(down), self.rank_of(up)
+
+    def neighbors(self) -> List[int]:
+        """The (up to) ``2*ndims`` direct neighbours, de-duplicated,
+        order: (-x,+x,-y,+y,...)."""
+        out: List[int] = []
+        for dim in range(self.ndims):
+            src, dst = self.shift(dim, 1)
+            for r in (src, dst):
+                if r is not None and r != self.rank and r not in out:
+                    out.append(r)
+        return out
+
+    def max_forwarding_steps(self) -> int:
+        """Upper bound of the paper's neighbour-forwarding particle
+        exchange: DimX + DimY + DimZ steps (Section IV-D1)."""
+        return sum(self.dims)
+
+
+def cart_create(comm: Comm, dims: Optional[Sequence[int]] = None,
+                periods: Optional[Sequence[bool]] = None, ndims: int = 3
+                ) -> Generator:
+    """Collective Cartesian-communicator creation.
+
+    Synchronizes like ``MPI_Cart_create`` (a barrier) and returns a
+    :class:`CartComm` over a dup of ``comm``.
+    """
+    if dims is None:
+        dims = dims_create(comm.size, ndims)
+    sub = yield from comm.dup()
+    return CartComm(sub, dims, periods)

@@ -1,0 +1,17 @@
+"""Execution tracing and timeline analysis (the simulation's HPCToolkit)."""
+
+from .analysis import (
+    concurrency_profile,
+    idle_fraction,
+    imbalance_stats,
+    measured_beta,
+    overlap_fraction,
+)
+from .recorder import Interval, Tracer, measure, merge_intervals
+from .timeline import legend, render
+
+__all__ = [
+    "Interval", "Tracer", "concurrency_profile", "idle_fraction",
+    "imbalance_stats", "legend", "measure", "measured_beta",
+    "merge_intervals", "overlap_fraction", "render",
+]

@@ -1,0 +1,138 @@
+"""Quantitative trace analysis: overlap, idle time, measured beta.
+
+These metrics turn the Fig. 2 picture into numbers the tests and
+benchmarks assert on:
+
+* :func:`overlap_fraction` — how much of operation A's busy time runs
+  concurrently with operation B somewhere in the job (the pipelining
+  the decoupling strategy creates);
+* :func:`measured_beta` — the empirical Eq. 3/4 beta: the fraction of
+  A that ran while B had *not* started processing;
+* :func:`idle_fraction` — per-rank idle share (the imbalance cost the
+  strategy absorbs);
+* :func:`imbalance_stats` — spread of per-rank busy time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .recorder import Interval, Tracer, measure, merge_intervals
+
+
+def _spans(tracer: Tracer, label: Optional[str] = None,
+           category: Optional[str] = None,
+           ranks: Optional[Iterable[int]] = None) -> List[Tuple[float, float]]:
+    rankset = set(ranks) if ranks is not None else None
+    out = []
+    for iv in tracer.intervals:
+        if label is not None and iv.label != label:
+            continue
+        if category is not None and iv.category != category:
+            continue
+        if rankset is not None and iv.rank not in rankset:
+            continue
+        out.append((iv.t0, iv.t1))
+    return out
+
+
+def overlap_fraction(tracer: Tracer, label_a: str, label_b: str) -> float:
+    """Fraction of label-A busy time that coincides with label-B busy time
+    (union across ranks on both sides).  1.0 = A fully hidden behind B."""
+    a = merge_intervals(_spans(tracer, label=label_a))
+    b = merge_intervals(_spans(tracer, label=label_b))
+    total_a = sum(t1 - t0 for t0, t1 in a)
+    if total_a == 0:
+        return 0.0
+    overlap = 0.0
+    j = 0
+    for a0, a1 in a:
+        while j < len(b) and b[j][1] <= a0:
+            j += 1
+        k = j
+        while k < len(b) and b[k][0] < a1:
+            overlap += min(a1, b[k][1]) - max(a0, b[k][0])
+            k += 1
+    return overlap / total_a
+
+
+def measured_beta(tracer: Tracer, op0_label: str, op1_label: str) -> float:
+    """Empirical beta of Eq. 3: the fraction of Op0's busy time that
+    elapsed before Op1 first became active.
+
+    The paper defines beta as "the portion of Op0 without overlapping":
+    beta = 0.3 means Op1 starts once Op0 is 30% done.  A staged
+    execution measures ~1.0; a perfectly pipelined one ~0.0.
+    """
+    a = merge_intervals(_spans(tracer, label=op0_label))
+    b = merge_intervals(_spans(tracer, label=op1_label))
+    total_a = sum(t1 - t0 for t0, t1 in a)
+    if total_a == 0 or not b:
+        return 1.0
+    op1_start = b[0][0]
+    before = sum(min(t1, op1_start) - t0 for t0, t1 in a if t0 < op1_start)
+    return max(0.0, min(1.0, before / total_a))
+
+
+def idle_fraction(tracer: Tracer, rank: int, t_end: Optional[float] = None,
+                  idle_categories: Tuple[str, ...] = ("wait",)) -> float:
+    """Share of [start-of-trace, t_end] this rank spent idle or waiting."""
+    ivs = tracer.for_rank(rank)
+    if not ivs:
+        return 0.0
+    t0 = min(iv.t0 for iv in ivs)
+    t1 = t_end if t_end is not None else max(iv.t1 for iv in ivs)
+    horizon = t1 - t0
+    if horizon <= 0:
+        return 0.0
+    busy = measure(
+        (iv.t0, min(iv.t1, t1)) for iv in ivs
+        if iv.category not in idle_categories and iv.t0 < t1
+    )
+    return max(0.0, min(1.0, 1.0 - busy / horizon))
+
+
+def imbalance_stats(tracer: Tracer, category: str = "compute",
+                    label: Optional[str] = None) -> Dict[str, float]:
+    """min / max / mean / CV of per-rank busy time in ``category``."""
+    per_rank: Dict[int, float] = {}
+    for iv in tracer.intervals:
+        if iv.category != category:
+            continue
+        if label is not None and iv.label != label:
+            continue
+        per_rank[iv.rank] = per_rank.get(iv.rank, 0.0) + iv.duration
+    if not per_rank:
+        return {"min": 0.0, "max": 0.0, "mean": 0.0, "cv": 0.0, "ranks": 0}
+    vals = list(per_rank.values())
+    mean = sum(vals) / len(vals)
+    var = sum((v - mean) ** 2 for v in vals) / len(vals)
+    cv = (var ** 0.5) / mean if mean > 0 else 0.0
+    return {"min": min(vals), "max": max(vals), "mean": mean, "cv": cv,
+            "ranks": len(vals)}
+
+
+def concurrency_profile(tracer: Tracer, label: str, nbuckets: int = 50
+                        ) -> List[int]:
+    """How many ranks were running ``label`` in each time bucket —
+    the shape of a phase's parallelism over time."""
+    spans_by_rank: Dict[int, List[Tuple[float, float]]] = {}
+    for iv in tracer.intervals:
+        if iv.label == label:
+            spans_by_rank.setdefault(iv.rank, []).append((iv.t0, iv.t1))
+    if not spans_by_rank:
+        return [0] * nbuckets
+    t0 = min(s[0] for spans in spans_by_rank.values() for s in spans)
+    t1 = max(s[1] for spans in spans_by_rank.values() for s in spans)
+    if t1 <= t0:
+        return [0] * nbuckets
+    dt = (t1 - t0) / nbuckets
+    out = []
+    for b in range(nbuckets):
+        lo, hi = t0 + b * dt, t0 + (b + 1) * dt
+        n = sum(
+            1 for spans in spans_by_rank.values()
+            if any(s0 < hi and s1 > lo for s0, s1 in spans)
+        )
+        out.append(n)
+    return out

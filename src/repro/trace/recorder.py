@@ -1,0 +1,125 @@
+"""Per-rank interval tracing (the simulation's HPCToolkit).
+
+Every traced activity is an interval ``(rank, category, label, t0, t1)``.
+The communicator layer records ``compute`` and ``wait`` intervals
+automatically when a tracer is attached; applications can add their own
+phases with :meth:`Tracer.record` or the :meth:`Tracer.phase` helper.
+
+The recorder is intentionally dumb — an append-only list — so tracing
+overhead never perturbs simulated timing (virtual time only advances
+through engine events).  Analysis and rendering live in
+:mod:`repro.trace.timeline` and :mod:`repro.trace.analysis`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Interval:
+    """One traced activity on one rank."""
+
+    rank: int
+    category: str   # "compute" | "wait" | "io" | application-defined
+    label: str
+    t0: float
+    t1: float
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+
+class Tracer:
+    """Append-only interval store with cheap filters."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.intervals: List[Interval] = []
+
+    def record(self, rank: int, category: str, label: str,
+               t0: float, t1: float) -> None:
+        """Record one interval; no-op when disabled or zero-length."""
+        if not self.enabled or t1 <= t0:
+            return
+        self.intervals.append(Interval(rank, category, label, t0, t1))
+
+    def for_rank(self, rank: int) -> List[Interval]:
+        return [iv for iv in self.intervals if iv.rank == rank]
+
+    def by_category(self, category: str) -> List[Interval]:
+        return [iv for iv in self.intervals if iv.category == category]
+
+    def by_label(self, label: str) -> List[Interval]:
+        return [iv for iv in self.intervals if iv.label == label]
+
+    def ranks(self) -> List[int]:
+        return sorted({iv.rank for iv in self.intervals})
+
+    def span(self) -> Tuple[float, float]:
+        """(earliest start, latest end) across all intervals."""
+        if not self.intervals:
+            return (0.0, 0.0)
+        return (
+            min(iv.t0 for iv in self.intervals),
+            max(iv.t1 for iv in self.intervals),
+        )
+
+    def total_time(self, rank: Optional[int] = None,
+                   category: Optional[str] = None,
+                   label: Optional[str] = None) -> float:
+        """Summed duration of intervals matching all given filters."""
+        total = 0.0
+        for iv in self.intervals:
+            if rank is not None and iv.rank != rank:
+                continue
+            if category is not None and iv.category != category:
+                continue
+            if label is not None and iv.label != label:
+                continue
+            total += iv.duration
+        return total
+
+    def category_breakdown(self, rank: Optional[int] = None
+                           ) -> Dict[str, float]:
+        """Total duration per category (optionally one rank)."""
+        out: Dict[str, float] = {}
+        for iv in self.intervals:
+            if rank is not None and iv.rank != rank:
+                continue
+            out[iv.category] = out.get(iv.category, 0.0) + iv.duration
+        return out
+
+    def to_records(self) -> List[dict]:
+        """Plain-dict export (JSON-serializable)."""
+        return [
+            {"rank": iv.rank, "category": iv.category, "label": iv.label,
+             "t0": iv.t0, "t1": iv.t1}
+            for iv in self.intervals
+        ]
+
+
+def merge_intervals(spans: Iterable[Tuple[float, float]]
+                    ) -> List[Tuple[float, float]]:
+    """Union of possibly-overlapping (t0, t1) spans, sorted and merged.
+
+    Shared by the overlap metrics: the *busy time* of a rank or group is
+    the measure of the union of its intervals, not the sum (concurrent
+    activities must not double-count).
+    """
+    spans = sorted((s for s in spans if s[1] > s[0]), key=lambda s: s[0])
+    out: List[Tuple[float, float]] = []
+    for t0, t1 in spans:
+        if out and t0 <= out[-1][1]:
+            if t1 > out[-1][1]:
+                out[-1] = (out[-1][0], t1)
+        else:
+            out.append((t0, t1))
+    return out
+
+
+def measure(spans: Iterable[Tuple[float, float]]) -> float:
+    """Total length of the union of spans."""
+    return sum(t1 - t0 for t0, t1 in merge_intervals(spans))

@@ -1,0 +1,87 @@
+"""ASCII timeline rendering (the Fig. 2 view).
+
+Renders a :class:`~repro.trace.recorder.Tracer` as one text row per
+rank, one character per time bucket, using a category glyph for the
+dominant activity in each bucket::
+
+    rank 0 |ccccccccmmmmmm......|
+    rank 1 |ccccccmmmmmmmm......|
+            0.0s            2.0s
+
+Default glyphs: compute phases get letters derived from their label,
+``.`` is idle, ``~`` is wait.  This is deliberately the same picture
+HPCToolkit's trace view gives — enough to *see* whether two operations
+overlap — and the benchmark for Fig. 2 asserts on the measured overlap
+rather than on pixels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .recorder import Interval, Tracer
+
+IDLE_CHAR = "."
+DEFAULT_GLYPHS = {
+    "wait": "~",
+    "io": "#",
+}
+
+
+def _glyph_for(category: str, label: str,
+               glyphs: Dict[str, str]) -> str:
+    if label in glyphs:
+        return glyphs[label]
+    if category in glyphs:
+        return glyphs[category]
+    base = label or category or "?"
+    return base[0].lower() or "?"
+
+
+def render(tracer: Tracer, width: int = 72,
+           ranks: Optional[List[int]] = None,
+           glyphs: Optional[Dict[str, str]] = None,
+           span: Optional[Tuple[float, float]] = None) -> str:
+    """Render the tracer's intervals as an ASCII timeline."""
+    glyphs = {**DEFAULT_GLYPHS, **(glyphs or {})}
+    if ranks is None:
+        ranks = tracer.ranks()
+    if not ranks:
+        return "(empty trace)"
+    t0, t1 = span if span is not None else tracer.span()
+    if t1 <= t0:
+        return "(empty trace)"
+    dt = (t1 - t0) / width
+    lines = []
+    rank_width = max(len(str(r)) for r in ranks)
+    for rank in ranks:
+        # bucket -> (coverage, glyph) keeping the longest-covering interval
+        buckets: List[Tuple[float, str]] = [(0.0, IDLE_CHAR)] * width
+        for iv in tracer.for_rank(rank):
+            g = _glyph_for(iv.category, iv.label, glyphs)
+            b0 = max(0, int((iv.t0 - t0) / dt))
+            b1 = min(width - 1, int((iv.t1 - t0) / dt))
+            for b in range(b0, b1 + 1):
+                lo = t0 + b * dt
+                hi = lo + dt
+                cover = min(iv.t1, hi) - max(iv.t0, lo)
+                if cover > buckets[b][0]:
+                    buckets[b] = (cover, g)
+        row = "".join(g for _, g in buckets)
+        lines.append(f"rank {rank:>{rank_width}} |{row}|")
+    footer = f"{' ' * (6 + rank_width)} {t0:<10.4g}{' ' * max(0, width - 20)}{t1:>10.4g}"
+    lines.append(footer)
+    return "\n".join(lines)
+
+
+def legend(tracer: Tracer, glyphs: Optional[Dict[str, str]] = None) -> str:
+    """One line per distinct (category, label) with its glyph."""
+    glyphs = {**DEFAULT_GLYPHS, **(glyphs or {})}
+    seen = {}
+    for iv in tracer.intervals:
+        key = (iv.category, iv.label)
+        if key not in seen:
+            seen[key] = _glyph_for(iv.category, iv.label, glyphs)
+    return "\n".join(
+        f"  {g}  {cat}:{lbl}" for (cat, lbl), g in sorted(seen.items())
+    )

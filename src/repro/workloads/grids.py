@@ -1,0 +1,96 @@
+"""3-D block domain decomposition helpers.
+
+Shared by the CG solver and iPIC3D: a global Cartesian grid is split
+into per-process blocks; each block exchanges one-cell-deep halos with
+its six face neighbours.  The paper's CG weak scaling keeps 120^3 grid
+points per process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+#: paper's CG weak-scaling block: 120^3 points per process
+CG_POINTS_PER_PROCESS = 120
+
+
+@dataclass(frozen=True)
+class BlockSpec:
+    """One process's sub-block of the global grid."""
+
+    nx: int
+    ny: int
+    nz: int
+    value_bytes: int = 8  # double precision
+
+    def __post_init__(self):
+        if min(self.nx, self.ny, self.nz) < 1:
+            raise ValueError("block dimensions must be >= 1")
+        if self.value_bytes <= 0:
+            raise ValueError("value_bytes must be positive")
+
+    @property
+    def points(self) -> int:
+        return self.nx * self.ny * self.nz
+
+    @property
+    def interior_points(self) -> int:
+        """Points computable before any halo arrives (>= 1 cell from every
+        face); zero if the block is too thin to have an interior."""
+        ix = max(0, self.nx - 2)
+        iy = max(0, self.ny - 2)
+        iz = max(0, self.nz - 2)
+        return ix * iy * iz
+
+    @property
+    def boundary_points(self) -> int:
+        return self.points - self.interior_points
+
+    def face_points(self, axis: int) -> int:
+        """Points on one face perpendicular to ``axis`` (0=x, 1=y, 2=z)."""
+        if axis == 0:
+            return self.ny * self.nz
+        if axis == 1:
+            return self.nx * self.nz
+        if axis == 2:
+            return self.nx * self.ny
+        raise ValueError(f"axis must be 0..2, got {axis}")
+
+    def face_bytes(self, axis: int) -> int:
+        return self.face_points(axis) * self.value_bytes
+
+    @property
+    def halo_bytes_total(self) -> int:
+        """Bytes sent per halo exchange (both faces of all three axes)."""
+        return 2 * sum(self.face_bytes(ax) for ax in range(3)) \
+            if min(self.nx, self.ny, self.nz) > 0 else 0
+
+    @property
+    def nbytes(self) -> int:
+        return self.points * self.value_bytes
+
+
+def cubic_block(points_per_axis: int = CG_POINTS_PER_PROCESS,
+                value_bytes: int = 8) -> BlockSpec:
+    """The paper's per-process CG block (120^3 doubles)."""
+    return BlockSpec(points_per_axis, points_per_axis, points_per_axis,
+                     value_bytes)
+
+
+def global_grid(dims: Sequence[int], block: BlockSpec) -> Tuple[int, int, int]:
+    """Global grid extent for ``dims`` processes holding ``block`` each."""
+    if len(dims) != 3:
+        raise ValueError("dims must have three entries")
+    return (dims[0] * block.nx, dims[1] * block.ny, dims[2] * block.nz)
+
+
+def laplacian_flops(block: BlockSpec) -> int:
+    """Floating-point operations of one 7-point stencil sweep (8 per
+    point: 6 adds + 1 multiply + 1 subtract)."""
+    return 8 * block.points
+
+
+def dot_flops(block: BlockSpec) -> int:
+    """FLOPs of one local dot product (multiply+add per point)."""
+    return 2 * block.points

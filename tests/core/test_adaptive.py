@@ -1,0 +1,197 @@
+"""Tests for the adaptive configuration extension."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.adaptive import (
+    AlphaController,
+    EpochMeasurement,
+    GranularityController,
+    epoch_from_trace,
+)
+from repro.trace import Tracer
+
+
+def _epoch(cu, du):
+    """Measurement with the given utilizations (unit horizon)."""
+    return EpochMeasurement(compute_busy=cu, compute_idle=1 - cu,
+                            decoupled_busy=du, decoupled_idle=1 - du)
+
+
+# ----------------------------------------------------------------------
+# EpochMeasurement
+# ----------------------------------------------------------------------
+
+def test_utilizations():
+    m = _epoch(0.8, 0.4)
+    assert m.compute_utilization == pytest.approx(0.8)
+    assert m.decoupled_utilization == pytest.approx(0.4)
+
+
+def test_zero_horizon_is_zero_utilization():
+    m = EpochMeasurement(0, 0, 0, 0)
+    assert m.compute_utilization == 0.0
+
+
+def test_negative_measurement_rejected():
+    with pytest.raises(ValueError):
+        EpochMeasurement(-1, 0, 0, 0)
+
+
+# ----------------------------------------------------------------------
+# AlphaController
+# ----------------------------------------------------------------------
+
+def test_saturated_decoupled_group_grows_alpha():
+    ctl = AlphaController(alpha=0.0625, nprocs=64)
+    new = ctl.update(_epoch(cu=0.5, du=1.0))
+    assert new > 0.0625
+
+
+def test_idle_decoupled_group_shrinks_alpha():
+    ctl = AlphaController(alpha=0.0625, nprocs=64)
+    new = ctl.update(_epoch(cu=1.0, du=0.3))
+    assert new < 0.0625
+
+
+def test_dead_band_freezes_alpha():
+    ctl = AlphaController(alpha=0.0625, nprocs=64, dead_band=0.1)
+    new = ctl.update(_epoch(cu=0.9, du=0.95))
+    assert new == 0.0625
+
+
+def test_alpha_clamped_to_bounds():
+    ctl = AlphaController(alpha=0.4, nprocs=64, alpha_max=0.5, eta=1.0)
+    for _ in range(20):
+        ctl.update(_epoch(cu=0.1, du=1.0))
+    assert ctl.alpha == pytest.approx(0.5)
+    ctl2 = AlphaController(alpha=0.01, nprocs=64, alpha_min=1 / 256, eta=1.0)
+    for _ in range(20):
+        ctl2.update(_epoch(cu=1.0, du=0.05))
+    assert ctl2.alpha == pytest.approx(1 / 256)
+
+
+def test_controller_converges_on_balanced_feedback():
+    """Synthetic plant: decoupled utilization falls as alpha grows
+    (more servers for the same load); the controller must settle."""
+    ctl = AlphaController(alpha=0.02, nprocs=256, eta=0.4)
+    load = 0.08  # the load would saturate a group of 8% of the machine
+    for _ in range(40):
+        du = min(1.0, load / ctl.alpha)
+        cu = 0.95
+        ctl.update(_epoch(cu=cu, du=du))
+    assert ctl.converged
+    # settles near the balance point load/cu
+    assert 0.04 < ctl.alpha < 0.2
+
+
+def test_group_size_bounds():
+    ctl = AlphaController(alpha=0.001, nprocs=8, alpha_min=1e-4)
+    assert ctl.group_size() == 1
+    ctl2 = AlphaController(alpha=0.9, nprocs=8, alpha_max=0.95)
+    assert ctl2.group_size() <= 7
+
+
+def test_controller_validation():
+    with pytest.raises(ValueError):
+        AlphaController(alpha=0.0, nprocs=8)
+    with pytest.raises(ValueError):
+        AlphaController(alpha=0.1, nprocs=1)
+    with pytest.raises(ValueError):
+        AlphaController(alpha=0.1, nprocs=8, eta=0.0)
+    with pytest.raises(ValueError):
+        AlphaController(alpha=0.1, nprocs=8, alpha_min=0.5, alpha_max=0.2)
+
+
+@given(cu=st.floats(min_value=0, max_value=1),
+       du=st.floats(min_value=0, max_value=1))
+@settings(max_examples=80)
+def test_property_alpha_stays_in_bounds(cu, du):
+    ctl = AlphaController(alpha=0.1, nprocs=128, eta=1.0)
+    for _ in range(5):
+        ctl.update(_epoch(cu, du))
+        assert ctl.alpha_min <= ctl.alpha <= ctl.alpha_max
+
+
+# ----------------------------------------------------------------------
+# GranularityController
+# ----------------------------------------------------------------------
+
+def test_granularity_moves_toward_model_optimum():
+    ctl = GranularityController(granularity=64.0)
+    s1 = ctl.update(t_w0=10, t_sigma=0.5, t_w1_decoupled=1, alpha=0.25,
+                    volume_bytes=1e8, per_element_overhead=2e-5)
+    assert s1 > 64.0  # the Eq. 4 optimum is far coarser than 64 B
+
+
+def test_granularity_step_limited():
+    ctl = GranularityController(granularity=64.0, max_step=2.0)
+    s1 = ctl.update(10, 0.5, 1, 0.25, 1e8, 2e-5)
+    assert s1 <= 128.0
+
+
+def test_granularity_zero_volume_noop():
+    ctl = GranularityController(granularity=1024.0)
+    assert ctl.update(1, 0, 1, 0.5, 0, 1e-6) == 1024.0
+
+
+def test_granularity_validation():
+    with pytest.raises(ValueError):
+        GranularityController(granularity=0)
+    with pytest.raises(ValueError):
+        GranularityController(granularity=10, max_step=1.0)
+
+
+# ----------------------------------------------------------------------
+# epoch_from_trace
+# ----------------------------------------------------------------------
+
+def test_epoch_from_trace_windows_and_groups():
+    tr = Tracer()
+    tr.record(0, "compute", "op0", 0.0, 0.8)    # compute rank: 80% busy
+    tr.record(1, "compute", "op1", 0.0, 0.3)    # decoupled rank: 30% busy
+    tr.record(1, "wait", "recv", 0.3, 1.0)
+    m = epoch_from_trace(tr, compute_ranks=[0], decoupled_ranks=[1],
+                         t0=0.0, t1=1.0)
+    assert m.compute_utilization == pytest.approx(0.8)
+    assert m.decoupled_utilization == pytest.approx(0.3)
+
+
+def test_epoch_from_trace_clips_to_window():
+    tr = Tracer()
+    tr.record(0, "compute", "op0", 0.0, 10.0)   # spans beyond window
+    m = epoch_from_trace(tr, [0], [0], t0=2.0, t1=3.0)
+    assert m.compute_busy == pytest.approx(1.0)
+
+
+def test_adaptive_end_to_end_with_simulation():
+    """Drive the controller with real trace epochs from the simulator:
+    an overloaded 1-rank consumer group must push alpha up."""
+    from repro.mpistream import attach, create_channel
+    from repro.simmpi import quiet_testbed, run
+
+    def app(comm):
+        is_worker = comm.rank < comm.size - 1
+        ch = yield from create_channel(comm, is_worker, not is_worker)
+
+        def op1(element):
+            yield from comm.compute(0.05, "op1")   # heavy consumer work
+
+        s = yield from attach(ch, op1)
+        if is_worker:
+            for _ in range(4):
+                yield from comm.compute(0.02, "op0")
+                yield from s.isend(0)
+            yield from s.terminate()
+        else:
+            yield from s.operate()
+        yield from ch.free()
+
+    result = run(app, 8, machine=quiet_testbed(), trace=True)
+    m = epoch_from_trace(result.tracer, compute_ranks=range(7),
+                         decoupled_ranks=[7], t0=0.0,
+                         t1=result.elapsed)
+    ctl = AlphaController(alpha=1 / 8, nprocs=8)
+    new_alpha = ctl.update(m)
+    assert new_alpha > 1 / 8  # consumer saturated -> grow the group

@@ -1,0 +1,100 @@
+"""Unit tests for the Section II-E suitability scorer."""
+
+import pytest
+
+from repro.core.categories import (
+    CATEGORY_NAMES,
+    PAPER_PROFILES,
+    OperationProfile,
+    rank_operations,
+    score_operation,
+)
+
+
+def test_all_five_categories_scored():
+    rep = score_operation(OperationProfile(name="op"))
+    assert set(rep.category_scores) == set(CATEGORY_NAMES)
+
+
+def test_orthogonal_operation():
+    rep = score_operation(OperationProfile(name="op", data_dependency=0.0))
+    assert rep.category_scores["orthogonal"] == 1.0
+    assert "orthogonal" in rep.matched_categories
+    assert rep.suitable
+
+
+def test_tightly_coupled_not_orthogonal():
+    rep = score_operation(OperationProfile(name="op", data_dependency=1.0))
+    assert rep.category_scores["orthogonal"] == 0.0
+
+
+def test_complexity_weights_ordered():
+    scores = [
+        score_operation(OperationProfile(name="op", complexity_growth=g)
+                        ).category_scores["complexity_at_scale"]
+        for g in ("constant", "log", "linear", "quadratic")
+    ]
+    assert scores == sorted(scores)
+    assert scores[0] == 0.0 and scores[-1] == 1.0
+
+
+def test_variance_saturates():
+    hi = score_operation(OperationProfile(name="op", time_variance_cv=5.0))
+    assert hi.category_scores["time_variance"] == 1.0
+
+
+def test_special_hardware_flag():
+    rep = score_operation(
+        OperationProfile(name="op", wants_special_hardware=True))
+    assert rep.category_scores["special_hardware"] == 1.0
+
+
+def test_unsuitable_operation():
+    """A regular, coupled, bursty, software-only op matches nothing."""
+    rep = score_operation(OperationProfile(
+        name="dense-local-kernel",
+        data_dependency=0.9,
+        complexity_growth="constant",
+        time_variance_cv=0.05,
+        flow_continuity=0.1,
+    ))
+    assert not rep.suitable
+
+
+def test_profile_validation():
+    with pytest.raises(ValueError):
+        OperationProfile(name="x", data_dependency=2.0)
+    with pytest.raises(ValueError):
+        OperationProfile(name="x", complexity_growth="cubic")
+    with pytest.raises(ValueError):
+        OperationProfile(name="x", time_variance_cv=-1)
+    with pytest.raises(ValueError):
+        OperationProfile(name="x", flow_continuity=-0.1)
+
+
+def test_paper_case_studies_all_pass_the_bar():
+    """Every operation the paper decouples scores as suitable."""
+    for name, profile in PAPER_PROFILES.items():
+        rep = score_operation(profile)
+        assert rep.suitable, name
+
+
+def test_paper_reduce_matches_expected_categories():
+    rep = score_operation(PAPER_PROFILES["mapreduce_reduce"])
+    assert "time_variance" in rep.matched_categories
+    assert "continuous_flow" in rep.matched_categories
+
+
+def test_paper_io_matches_special_hardware():
+    rep = score_operation(PAPER_PROFILES["particle_io"])
+    assert "special_hardware" in rep.matched_categories
+
+
+def test_rank_operations_orders_by_score():
+    ranked = rank_operations(list(PAPER_PROFILES.values()))
+    scores = [s for _, s in ranked]
+    assert scores == sorted(scores, reverse=True)
+    assert len(ranked) == len(PAPER_PROFILES)
+    # particle_io matches 4 categories incl. hardware; it should lead
+    assert ranked[0][0] in ("particle_io", "particle_communication",
+                            "mapreduce_reduce")

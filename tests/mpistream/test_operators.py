@@ -1,0 +1,161 @@
+"""Unit tests for the builtin stream operators (no simulation needed)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpistream import (
+    Aggregator,
+    Collector,
+    Forwarder,
+    ReduceByKey,
+    RunningStats,
+    StreamElement,
+)
+
+
+def _el(data, source=0, seq=0):
+    return StreamElement(data, source, seq, nbytes=8)
+
+
+# ----------------------------------------------------------------------
+# Collector
+# ----------------------------------------------------------------------
+
+def test_collector_keeps_order_and_sources():
+    c = Collector()
+    c(_el("a", source=2))
+    c(_el("b", source=5))
+    assert c.items == ["a", "b"]
+    assert c.sources == [2, 5]
+
+
+# ----------------------------------------------------------------------
+# ReduceByKey
+# ----------------------------------------------------------------------
+
+def test_reduce_by_key_single_pairs():
+    r = ReduceByKey()
+    for pair in (("x", 1), ("y", 2), ("x", 3)):
+        r(_el(pair))
+    assert r.table == {"x": 4, "y": 2}
+
+
+def test_reduce_by_key_batch():
+    r = ReduceByKey()
+    r(_el([("a", 1), ("b", 2)]))
+    r(_el([("a", 5)]))
+    assert r.table == {"a": 6, "b": 2}
+
+
+def test_reduce_by_key_custom_combiner():
+    r = ReduceByKey(combine=max)
+    for pair in (("k", 3), ("k", 7), ("k", 5)):
+        r(_el(pair))
+    assert r.table == {"k": 7}
+
+
+@given(st.lists(st.tuples(st.sampled_from("abc"),
+                          st.integers(-100, 100)), max_size=40))
+@settings(max_examples=60)
+def test_property_reduce_by_key_equals_dict_fold(pairs):
+    r = ReduceByKey()
+    for pair in pairs:
+        r(_el(pair))
+    expected = {}
+    for k, v in pairs:
+        expected[k] = expected.get(k, 0) + v
+    assert r.table == expected
+
+
+# ----------------------------------------------------------------------
+# RunningStats
+# ----------------------------------------------------------------------
+
+def test_running_stats_empty():
+    s = RunningStats()
+    assert s.mean == 0.0
+    assert s.summary()["count"] == 0
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                          allow_nan=False), min_size=1, max_size=50))
+@settings(max_examples=60)
+def test_property_running_stats(xs):
+    s = RunningStats()
+    for x in xs:
+        s(_el(x))
+    assert s.count == len(xs)
+    assert s.min == pytest.approx(min(xs))
+    assert s.max == pytest.approx(max(xs))
+    assert s.mean == pytest.approx(sum(xs) / len(xs), rel=1e-9, abs=1e-9)
+
+
+# ----------------------------------------------------------------------
+# Aggregator
+# ----------------------------------------------------------------------
+
+def _drain(gen):
+    """Run an operator generator that never actually yields syscalls."""
+    if gen is None:
+        return
+    try:
+        while True:
+            next(gen)
+    except StopIteration:
+        pass
+
+
+def test_aggregator_batches_by_key():
+    flushed = []
+
+    def flush(key, batch):
+        flushed.append((key, list(batch)))
+        return
+        yield  # pragma: no cover
+
+    agg = Aggregator(key_fn=lambda el: el.data % 2, flush=flush,
+                     batch_size=2)
+    for v in range(5):
+        _drain(agg(_el(v)))
+    # evens: 0,2 flushed; odds: 1,3 flushed; 4 pending
+    assert (0, [0, 2]) in flushed
+    assert (1, [1, 3]) in flushed
+    _drain(agg.drain())
+    assert (0, [4]) in flushed
+    assert agg.flushes == 3
+
+
+def test_aggregator_rejects_bad_batch():
+    with pytest.raises(ValueError):
+        Aggregator(key_fn=lambda e: 0, flush=lambda k, b: None,
+                   batch_size=0)
+
+
+# ----------------------------------------------------------------------
+# Forwarder
+# ----------------------------------------------------------------------
+
+class _FakeStream:
+    def __init__(self):
+        self.sent = []
+
+    def isend(self, data):
+        self.sent.append(data)
+        return
+        yield  # pragma: no cover
+
+
+def test_forwarder_passes_through():
+    ds = _FakeStream()
+    f = Forwarder(ds)
+    _drain(f(_el(42)))
+    assert ds.sent == [42]
+    assert f.forwarded == 1
+
+
+def test_forwarder_transform():
+    ds = _FakeStream()
+    f = Forwarder(ds, transform=lambda x: x * 2)
+    _drain(f(_el(21)))
+    assert ds.sent == [42]

@@ -1,0 +1,347 @@
+"""Integration + property tests for collective operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simmpi import beskow, ideal_network_testbed, quiet_testbed, run
+
+SIZES = [1, 2, 3, 4, 7, 8, 16, 33]
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_bcast_all_roots(p):
+    def prog(comm, root):
+        data = f"payload-{root}" if comm.rank == root else None
+        out = yield from comm.bcast(data, root=root)
+        return out
+
+    for root in {0, p // 2, p - 1}:
+        r = run(prog, p, args=(root,))
+        assert r.values == [f"payload-{root}"] * p
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_reduce_sum(p):
+    def prog(comm):
+        out = yield from comm.reduce(comm.rank + 1, root=0)
+        return out
+
+    r = run(prog, p)
+    assert r.values[0] == p * (p + 1) // 2
+    assert all(v is None for v in r.values[1:])
+
+
+def test_reduce_nonzero_root():
+    def prog(comm):
+        out = yield from comm.reduce(1, root=2)
+        return out
+
+    r = run(prog, 5)
+    assert r.values[2] == 5
+    assert r.values[0] is None
+
+
+def test_reduce_custom_op():
+    def prog(comm):
+        out = yield from comm.reduce(comm.rank, op=max, root=0)
+        return out
+
+    assert run(prog, 9).values[0] == 8
+
+
+def test_reduce_numpy_arrays_elementwise():
+    def prog(comm):
+        v = np.full(4, float(comm.rank))
+        out = yield from comm.allreduce(v)
+        return out
+
+    r = run(prog, 4)
+    for v in r.values:
+        np.testing.assert_allclose(v, [6.0, 6.0, 6.0, 6.0])
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_allreduce(p):
+    def prog(comm):
+        out = yield from comm.allreduce(comm.rank)
+        return out
+
+    expect = p * (p - 1) // 2
+    assert run(prog, p).values == [expect] * p
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_gather_preserves_rank_order(p):
+    def prog(comm):
+        out = yield from comm.gather(comm.rank * 2, root=0)
+        return out
+
+    r = run(prog, p)
+    assert r.values[0] == [2 * i for i in range(p)]
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_allgather(p):
+    def prog(comm):
+        out = yield from comm.allgather(chr(ord("a") + comm.rank % 26))
+        return out
+
+    expect = [chr(ord("a") + i % 26) for i in range(p)]
+    assert run(prog, p).values == [expect] * p
+
+
+def test_allgatherv_variable_sizes():
+    def prog(comm):
+        mine = list(range(comm.rank))  # rank r contributes r elements
+        out = yield from comm.allgatherv(mine)
+        return out
+
+    r = run(prog, 5)
+    expect = [list(range(i)) for i in range(5)]
+    assert r.values == [expect] * 5
+
+
+@pytest.mark.parametrize("p", [1, 2, 4, 5, 8])
+def test_scatter(p):
+    def prog(comm):
+        vals = [f"v{i}" for i in range(comm.size)] if comm.rank == 0 else None
+        out = yield from comm.scatter(vals, root=0)
+        return out
+
+    assert run(prog, p).values == [f"v{i}" for i in range(p)]
+
+
+def test_scatter_requires_full_vector():
+    def prog(comm):
+        yield from comm.scatter([1], root=0)
+
+    with pytest.raises(ValueError):
+        run(prog, 2)
+
+
+@pytest.mark.parametrize("p", [1, 2, 3, 4, 8])
+def test_alltoall(p):
+    def prog(comm):
+        vals = [f"{comm.rank}->{d}" for d in range(comm.size)]
+        out = yield from comm.alltoall(vals)
+        return out
+
+    r = run(prog, p)
+    for rank, got in enumerate(r.values):
+        assert got == [f"{s}->{rank}" for s in range(p)]
+
+
+@pytest.mark.parametrize("p", [1, 2, 5, 8])
+def test_scan_inclusive_prefix(p):
+    def prog(comm):
+        out = yield from comm.scan(comm.rank + 1)
+        return out
+
+    r = run(prog, p)
+    assert r.values == [sum(range(1, i + 2)) for i in range(p)]
+
+
+def test_barrier_synchronizes_ranks():
+    def prog(comm):
+        yield from comm.compute(0.1 * comm.rank)
+        yield from comm.barrier()
+        return comm.time
+
+    r = run(prog, 8, machine=quiet_testbed())
+    latest_arrival = 0.1 * 7
+    assert all(t >= latest_arrival for t in r.values)
+
+
+def test_consecutive_collectives_dont_cross():
+    def prog(comm):
+        a = yield from comm.allreduce(1)
+        b = yield from comm.allreduce(10)
+        c = yield from comm.allreduce(100)
+        return (a, b, c)
+
+    p = 7
+    assert run(prog, p).values == [(p, 10 * p, 100 * p)] * p
+
+
+def test_collectives_dont_match_p2p_traffic():
+    """A pending wildcard p2p recv must not swallow collective messages."""
+    def prog(comm):
+        req = comm.irecv()  # wildcard, posted before the collective
+        total = yield from comm.allreduce(comm.rank)
+        if comm.rank == 0:
+            yield from comm.send("direct", dest=1)
+            yield from comm.wait(req)  # matched by rank1's reply below
+            return total
+        if comm.rank == 1:
+            data, _ = yield from comm.wait(req)
+            yield from comm.send("reply", dest=0)
+            return (total, data)
+        yield from comm.send("reply", dest=comm.rank - 1)
+        # ranks >=2: their wildcard recv is matched by rank+1's send (ring)
+        if comm.rank < comm.size - 1:
+            yield from comm.wait(req)
+        return total
+
+    # simpler 2-rank version to keep the ring sane
+    r = run(prog, 2)
+    assert r.values[1] == (1, "direct")
+
+
+def test_ibarrier_overlaps_compute():
+    def prog(comm):
+        req = yield from comm.ibarrier()
+        yield from comm.compute(1.0)
+        yield from comm.wait(req)
+        return comm.time
+
+    r = run(prog, 8, machine=quiet_testbed())
+    # barrier costs microseconds; total should stay ~1.0 (full overlap)
+    assert all(t < 1.1 for t in r.values)
+
+
+def test_ireduce_result_on_root():
+    def prog(comm):
+        req = yield from comm.ireduce(comm.rank + 1, root=0)
+        yield from comm.compute(0.01)
+        result = yield from comm.wait(req)
+        return result
+
+    r = run(prog, 16)
+    assert r.values[0] == 16 * 17 // 2
+
+
+def test_iallgatherv_matches_blocking():
+    def prog(comm):
+        req = yield from comm.iallgatherv([comm.rank] * comm.rank)
+        out = yield from comm.wait(req)
+        return out
+
+    r = run(prog, 6)
+    expect = [[i] * i for i in range(6)]
+    assert r.values == [expect] * 6
+
+
+def test_iallreduce():
+    def prog(comm):
+        req = yield from comm.iallreduce(2)
+        out = yield from comm.wait(req)
+        return out
+
+    assert run(prog, 10).values == [20] * 10
+
+
+def test_reduce_op_cost_charges_compute_time():
+    def prog(comm):
+        out = yield from comm.reduce(
+            1.0, root=0, op_cost=lambda a, b: 0.5
+        )
+        return comm.time
+
+    r = run(prog, 2, machine=quiet_testbed())
+    assert r.values[0] >= 0.5  # one merge on root
+
+
+def test_reduce_cost_scales_with_size():
+    """Collective latency grows with P — the paper's premise that moving a
+    reduction to a smaller group shrinks its cost."""
+    def prog(comm):
+        yield from comm.allreduce(comm.rank)
+        return comm.time
+
+    small = run(prog, 16, machine=beskow()).elapsed
+    large = run(prog, 1024, machine=beskow()).elapsed
+    assert large > small * 1.5
+
+
+def test_split_into_groups():
+    def prog(comm):
+        color = comm.rank % 2
+        sub = yield from comm.split(color, key=comm.rank)
+        total = yield from sub.allreduce(comm.rank)
+        return (sub.rank, sub.size, total)
+
+    r = run(prog, 8)
+    evens = sum(range(0, 8, 2))
+    odds = sum(range(1, 8, 2))
+    for rank, (srank, ssize, total) in enumerate(r.values):
+        assert ssize == 4
+        assert srank == rank // 2
+        assert total == (evens if rank % 2 == 0 else odds)
+
+
+def test_split_with_none_color_opts_out():
+    def prog(comm):
+        color = 0 if comm.rank < 2 else None
+        sub = yield from comm.split(color)
+        if sub is None:
+            return None
+        out = yield from sub.allreduce(1)
+        return out
+
+    r = run(prog, 4)
+    assert r.values == [2, 2, None, None]
+
+
+def test_split_key_orders_ranks():
+    def prog(comm):
+        # reverse order by key
+        sub = yield from comm.split(0, key=-comm.rank)
+        return sub.rank
+
+    r = run(prog, 4)
+    assert r.values == [3, 2, 1, 0]
+
+
+def test_dup_isolates_traffic():
+    def prog(comm):
+        dup = yield from comm.dup()
+        if comm.rank == 0:
+            yield from comm.send("on-parent", dest=1, tag=0)
+            yield from dup.send("on-dup", dest=1, tag=0)
+            return None
+        a = yield from dup.recv(source=0, tag=0)
+        b = yield from comm.recv(source=0, tag=0)
+        return (a, b)
+
+    r = run(prog, 2)
+    assert r.values[1] == ("on-dup", "on-parent")
+
+
+def test_sub_communicator_p2p_uses_local_ranks():
+    def prog(comm):
+        sub = yield from comm.split(comm.rank // 2)  # pairs
+        if sub.rank == 0:
+            yield from sub.send(comm.rank, dest=1)
+            return None
+        got = yield from sub.recv(source=0)
+        return got
+
+    r = run(prog, 6)
+    assert r.values == [None, 0, None, 2, None, 4]
+
+
+@given(p=st.integers(min_value=1, max_value=24),
+       root=st.integers(min_value=0, max_value=23))
+@settings(max_examples=25, deadline=None)
+def test_property_reduce_equals_python_sum(p, root):
+    root = root % p
+
+    def prog(comm):
+        out = yield from comm.reduce(comm.rank * 3 + 1, root=root)
+        return out
+
+    r = run(prog, p, machine=ideal_network_testbed())
+    assert r.values[root] == sum(i * 3 + 1 for i in range(p))
+
+
+@given(p=st.integers(min_value=1, max_value=16))
+@settings(max_examples=16, deadline=None)
+def test_property_allgather_identity(p):
+    def prog(comm):
+        out = yield from comm.allgather(comm.rank)
+        return out
+
+    r = run(prog, p, machine=ideal_network_testbed())
+    assert r.values == [list(range(p))] * p

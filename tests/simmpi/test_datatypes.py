@@ -1,0 +1,146 @@
+"""Unit + property tests for datatype descriptors and payload sizing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simmpi.datatypes import (
+    BYTE,
+    DOUBLE,
+    FLOAT,
+    INT,
+    Datatype,
+    SizedPayload,
+    contiguous,
+    payload_nbytes,
+    struct,
+    vector,
+)
+from repro.simmpi.errors import DatatypeError
+
+
+def test_base_type_sizes():
+    assert INT.size == 4
+    assert DOUBLE.size == 8
+    assert BYTE.size == 1
+    assert FLOAT.extent == 4
+
+
+def test_contiguous_scales_size_and_extent():
+    t = contiguous(10, DOUBLE)
+    assert t.size == 80
+    assert t.extent == 80
+
+
+def test_contiguous_zero_count():
+    t = contiguous(0, INT)
+    assert t.size == 0 and t.extent == 0
+
+
+def test_vector_noncontiguous_extent_exceeds_size():
+    # 3 blocks of 2 doubles, stride 5: the paper's zero-copy layout shape
+    t = vector(3, 2, 5, DOUBLE)
+    assert t.size == 3 * 2 * 8
+    assert t.extent == ((3 - 1) * 5 + 2) * 8
+    assert t.extent > t.size
+
+
+def test_vector_contiguous_when_stride_equals_blocklength():
+    t = vector(4, 3, 3, FLOAT)
+    assert t.size == t.extent == 4 * 3 * 4
+
+
+def test_vector_invalid_stride_rejected():
+    with pytest.raises(DatatypeError):
+        vector(3, 4, 2, INT)
+
+
+def test_struct_accumulates_fields():
+    t = struct([(3, INT), (2, DOUBLE)])
+    assert t.size == 3 * 4 + 2 * 8
+
+
+def test_datatype_invariant_enforced():
+    with pytest.raises(DatatypeError):
+        Datatype("bad", size=10, extent=5)
+    with pytest.raises(DatatypeError):
+        Datatype("bad", size=-1, extent=0)
+
+
+def test_negative_counts_rejected():
+    with pytest.raises(DatatypeError):
+        contiguous(-1, INT)
+    with pytest.raises(DatatypeError):
+        vector(-1, 1, 1, INT)
+    with pytest.raises(DatatypeError):
+        struct([(-1, INT)])
+
+
+# ----------------------------------------------------------------------
+# payload sizing
+# ----------------------------------------------------------------------
+
+def test_numpy_array_sized_exactly():
+    a = np.zeros(100, dtype=np.float64)
+    assert payload_nbytes(a) == 800
+
+
+def test_bytes_and_str():
+    assert payload_nbytes(b"abcd") == 4
+    assert payload_nbytes("abcd") == 4
+    assert payload_nbytes("é") == 2  # utf-8
+
+
+def test_scalars():
+    assert payload_nbytes(5) == 8
+    assert payload_nbytes(1.5) == 8
+    assert payload_nbytes(True) == 1
+    assert payload_nbytes(1 + 2j) == 16
+    assert payload_nbytes(None) == 0
+    assert payload_nbytes(np.float32(1.0)) == 4
+
+
+def test_containers_recurse():
+    assert payload_nbytes([1, 2, 3]) == 24
+    assert payload_nbytes((1.0, 2.0)) == 16
+    assert payload_nbytes({"ab": 1}) == 2 + 8
+
+
+def test_explicit_datatype_overrides():
+    a = np.zeros(100, dtype=np.float64)
+    assert payload_nbytes(a, datatype=DOUBLE, count=10) == 80
+
+
+def test_sized_payload_wrapper():
+    p = SizedPayload({"summary": 1}, nbytes=123456)
+    assert payload_nbytes(p) == 123456
+    assert p.data == {"summary": 1}
+
+
+def test_sized_payload_rejects_negative():
+    with pytest.raises(DatatypeError):
+        SizedPayload(None, -1)
+
+
+@given(st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=50)
+def test_sized_payload_roundtrip(n):
+    assert payload_nbytes(SizedPayload("x", n)) == n
+
+
+@given(st.lists(st.floats(allow_nan=False, allow_infinity=False), max_size=50))
+@settings(max_examples=50)
+def test_list_of_floats_is_8_per_element(xs):
+    assert payload_nbytes(xs) == 8 * len(xs)
+
+
+@given(
+    count=st.integers(min_value=0, max_value=1000),
+    blocklength=st.integers(min_value=0, max_value=100),
+    extra_stride=st.integers(min_value=0, max_value=100),
+)
+@settings(max_examples=80)
+def test_vector_size_never_exceeds_extent(count, blocklength, extra_stride):
+    t = vector(count, blocklength, blocklength + extra_stride, DOUBLE)
+    assert t.size <= t.extent

@@ -1,0 +1,274 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.simmpi.engine import (
+    Delay,
+    Engine,
+    EventFlag,
+    Spawn,
+    WaitFlag,
+    delay,
+    wait_flag,
+)
+from repro.simmpi.errors import DeadlockError
+
+
+def test_clock_starts_at_zero():
+    eng = Engine()
+    assert eng.now == 0.0
+
+
+def test_delay_advances_virtual_time():
+    eng = Engine()
+
+    def proc():
+        yield Delay(1.5)
+        yield Delay(0.5)
+
+    eng.spawn(proc())
+    assert eng.run() == pytest.approx(2.0)
+
+
+def test_zero_delay_is_legal():
+    eng = Engine()
+
+    def proc():
+        yield Delay(0.0)
+
+    eng.spawn(proc())
+    assert eng.run() == 0.0
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(ValueError):
+        Delay(-1.0)
+
+
+def test_return_value_captured():
+    eng = Engine()
+
+    def proc():
+        yield Delay(1.0)
+        return 42
+
+    h = eng.spawn(proc())
+    eng.run()
+    assert h.value == 42
+    assert h.done
+
+
+def test_two_processes_interleave():
+    eng = Engine()
+    order = []
+
+    def slow():
+        yield Delay(2.0)
+        order.append(("slow", eng.now))
+
+    def fast():
+        yield Delay(1.0)
+        order.append(("fast", eng.now))
+
+    eng.spawn(slow())
+    eng.spawn(fast())
+    eng.run()
+    assert order == [("fast", 1.0), ("slow", 2.0)]
+
+
+def test_equal_time_events_fire_in_insertion_order():
+    eng = Engine()
+    order = []
+    eng.call_at(1.0, lambda: order.append("a"))
+    eng.call_at(1.0, lambda: order.append("b"))
+    eng.call_at(1.0, lambda: order.append("c"))
+    eng.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_call_at_in_the_past_clamps_to_now():
+    eng = Engine()
+    seen = []
+    eng.call_at(5.0, lambda: eng.call_at(1.0, lambda: seen.append(eng.now)))
+    eng.run()
+    assert seen == [5.0]
+
+
+def test_flag_wakes_waiter_with_payload():
+    eng = Engine()
+    flag = EventFlag("f")
+    got = []
+
+    def waiter():
+        val = yield WaitFlag(flag)
+        got.append((eng.now, val))
+
+    def setter():
+        yield Delay(3.0)
+        eng.set_flag(flag, "hello")
+
+    eng.spawn(waiter())
+    eng.spawn(setter())
+    eng.run()
+    assert got == [(3.0, "hello")]
+
+
+def test_wait_on_already_set_flag_does_not_block():
+    eng = Engine()
+    flag = EventFlag("f")
+
+    def setter():
+        eng.set_flag(flag, 7)
+        return None
+        yield  # pragma: no cover
+
+    def waiter():
+        yield Delay(1.0)
+        val = yield WaitFlag(flag)
+        return (eng.now, val)
+
+    eng.spawn(setter())
+    h = eng.spawn(waiter())
+    eng.run()
+    assert h.value == (1.0, 7)
+
+
+def test_set_flag_is_idempotent():
+    eng = Engine()
+    flag = EventFlag("f")
+    eng.set_flag(flag, 1)
+    eng.set_flag(flag, 2)  # ignored
+    assert flag.payload == 1
+
+
+def test_multiple_waiters_all_wake():
+    eng = Engine()
+    flag = EventFlag("f")
+    woke = []
+
+    def waiter(i):
+        yield WaitFlag(flag)
+        woke.append(i)
+
+    for i in range(5):
+        eng.spawn(waiter(i))
+
+    def setter():
+        yield Delay(1.0)
+        eng.set_flag(flag)
+
+    eng.spawn(setter())
+    eng.run()
+    assert sorted(woke) == [0, 1, 2, 3, 4]
+
+
+def test_spawn_returns_handle_to_parent():
+    eng = Engine()
+
+    def child():
+        yield Delay(2.0)
+        return "done-child"
+
+    def parent():
+        h = yield Spawn(child(), "c")
+        val = yield WaitFlag(h.done_flag)
+        return (eng.now, val, h.value)
+
+    h = eng.spawn(parent())
+    eng.run()
+    assert h.value == (2.0, "done-child", "done-child")
+
+
+def test_deadlock_detected_and_reported():
+    eng = Engine()
+    flag = EventFlag("never")
+
+    def stuck():
+        yield WaitFlag(flag)
+
+    eng.spawn(stuck(), name="victim")
+    with pytest.raises(DeadlockError) as ei:
+        eng.run()
+    assert "victim" in str(ei.value)
+
+
+def test_daemon_process_does_not_deadlock():
+    eng = Engine()
+    flag = EventFlag("never")
+
+    def stuck():
+        yield WaitFlag(flag)
+
+    def main():
+        yield Spawn(stuck(), "watcher", daemon=True)
+        yield Delay(1.0)
+
+    eng.spawn(main())
+    assert eng.run() == 1.0
+
+
+def test_exception_in_process_propagates():
+    eng = Engine()
+
+    def bad():
+        yield Delay(1.0)
+        raise RuntimeError("boom")
+
+    eng.spawn(bad())
+    with pytest.raises(RuntimeError, match="boom"):
+        eng.run()
+
+
+def test_event_budget_guards_livelocks():
+    eng = Engine()
+    eng.max_events = 10
+
+    def spin():
+        while True:
+            yield Delay(0.0)
+
+    eng.spawn(spin())
+    with pytest.raises(RuntimeError, match="event budget"):
+        eng.run()
+
+
+def test_helper_coroutines():
+    eng = Engine()
+    flag = EventFlag("f")
+
+    def main():
+        yield from delay(1.0)
+        eng.set_flag(flag, "v")
+
+    def waiter():
+        val = yield from wait_flag(flag)
+        return val
+
+    h = eng.spawn(waiter())
+    eng.spawn(main())
+    eng.run()
+    assert h.value == "v"
+
+
+def test_unsupported_syscall_raises_typeerror():
+    eng = Engine()
+
+    def bad():
+        yield "not-a-syscall"
+
+    eng.spawn(bad())
+    with pytest.raises(TypeError, match="unsupported syscall"):
+        eng.run()
+
+
+def test_events_fired_counter():
+    eng = Engine()
+
+    def proc():
+        yield Delay(1.0)
+        yield Delay(1.0)
+
+    eng.spawn(proc())
+    eng.run()
+    # first step + two delay resumptions
+    assert eng.events_fired == 3

@@ -1,0 +1,214 @@
+"""Tests for the MPI-IO layer and filesystem model."""
+
+import pytest
+
+from repro.simmpi import SizedPayload, beskow, quiet_testbed, run
+from repro.simmpi.errors import IOError_
+from repro.simmpi.iolib import FileSystem, open_file, read_back
+
+
+def test_open_write_at_close_roundtrip():
+    def prog(comm):
+        f = yield from open_file(comm, "out.dat", "w")
+        yield from f.write_at(comm.rank * 4, b"abcd")
+        yield from f.close()
+        return None
+
+    r = run(prog, 4)
+    world = r.extras["world"]
+    segs = read_back(world, "out.dat")
+    assert len(segs) == 4
+    assert {off for off, _, _ in segs} == {0, 4, 8, 12}
+    assert all(payload == b"abcd" for _, payload, _ in segs)
+
+
+def test_write_shared_assigns_disjoint_offsets():
+    def prog(comm):
+        f = yield from open_file(comm, "shared.dat", "w")
+        yield from f.write_shared(b"x" * 10)
+        yield from f.close()
+
+    r = run(prog, 8)
+    segs = read_back(r.extras["world"], "shared.dat")
+    offsets = sorted(off for off, _, _ in segs)
+    assert offsets == [i * 10 for i in range(8)]
+
+
+def test_write_all_preserves_rank_order_offsets():
+    def prog(comm):
+        f = yield from open_file(comm, "coll.dat", "w")
+        payload = bytes([comm.rank]) * (comm.rank + 1)  # variable sizes
+        yield from f.write_all(payload)
+        yield from f.close()
+
+    r = run(prog, 6)
+    segs = read_back(r.extras["world"], "coll.dat")
+    by_offset = sorted(segs, key=lambda s: s[0])
+    expected_off = 0
+    for i, (off, payload, n) in enumerate(by_offset):
+        assert off == expected_off
+        assert n == i + 1
+        expected_off += n
+
+
+def test_write_all_with_view_displacement():
+    def prog(comm):
+        f = yield from open_file(comm, "view.dat", "w")
+        yield from f.set_view(1000)
+        yield from f.write_all(b"ab")
+        yield from f.close()
+
+    r = run(prog, 3)
+    segs = read_back(r.extras["world"], "view.dat")
+    assert sorted(off for off, _, _ in segs) == [1000, 1002, 1004]
+
+
+def test_shared_pointer_serializes_concurrent_writers():
+    """P simultaneous write_shared calls pay ~P * pointer overhead."""
+    def prog(comm):
+        f = yield from open_file(comm, "s.dat", "w")
+        t0 = comm.time
+        yield from f.write_shared(SizedPayload(None, 1000))
+        yield from f.close()
+        return comm.time - t0
+
+    cfg = quiet_testbed()
+    r = run(prog, 16, machine=cfg)
+    slowest = max(r.values)
+    assert slowest >= 16 * cfg.io.shared_pointer_overhead * 0.9
+
+
+def test_write_at_avoids_pointer_lock():
+    def prog(comm):
+        f = yield from open_file(comm, "w.dat", "w")
+        t0 = comm.time
+        yield from f.write_at(comm.rank * 1000, SizedPayload(None, 1000))
+        yield from f.close()
+        return comm.time - t0
+
+    cfg = quiet_testbed()
+    shared_time = max(run(lambda c: _shared_prog(c), 16, machine=cfg).values)
+    at_time = max(run(prog, 16, machine=cfg).values)
+    assert at_time < shared_time
+
+
+def _shared_prog(comm):
+    f = yield from open_file(comm, "s.dat", "w")
+    t0 = comm.time
+    yield from f.write_shared(SizedPayload(None, 1000))
+    yield from f.close()
+    return comm.time - t0
+
+
+def test_aggregate_bandwidth_shared_across_writers():
+    """Total time for P concurrent 100MB writes is bounded below by
+    total_bytes / aggregate_bandwidth."""
+    def prog(comm):
+        f = yield from open_file(comm, "big.dat", "w")
+        yield from f.write_at(0, SizedPayload(None, 100_000_000))
+        yield from f.close()
+
+    cfg = quiet_testbed()
+    r = run(prog, 64, machine=cfg)
+    floor = 64 * 100_000_000 / cfg.io.aggregate_bandwidth
+    assert r.elapsed >= floor * 0.9
+
+
+def test_view_setup_charges_overhead():
+    def prog(comm):
+        f = yield from open_file(comm, "v.dat", "w")
+        t0 = comm.time
+        yield from f.set_view(0)
+        dt = comm.time - t0
+        yield from f.close()
+        return dt
+
+    cfg = quiet_testbed()
+    r = run(prog, 4, machine=cfg)
+    assert all(dt >= cfg.io.view_setup_overhead for dt in r.values)
+
+
+def test_write_on_closed_file_rejected():
+    def prog(comm):
+        f = yield from open_file(comm, "c.dat", "w")
+        yield from f.close()
+        yield from f.write_at(0, b"x")
+
+    with pytest.raises(IOError_):
+        run(prog, 2)
+
+
+def test_read_mode_rejects_writes():
+    def prog(comm):
+        f = yield from open_file(comm, "r.dat", "w")
+        yield from f.close()
+        f2 = yield from open_file(comm, "r.dat", "r")
+        yield from f2.write_at(0, b"x")
+
+    with pytest.raises(IOError_):
+        run(prog, 1)
+
+
+def test_open_nonexistent_read_rejected():
+    def prog(comm):
+        yield from open_file(comm, "nope.dat", "r")
+
+    with pytest.raises(IOError_):
+        run(prog, 1)
+
+
+def test_double_close_rejected():
+    def prog(comm):
+        f = yield from open_file(comm, "d.dat", "w")
+        yield from f.close()
+        yield from f.close()
+
+    with pytest.raises(IOError_):
+        run(prog, 1)
+
+
+def test_filesystem_statistics():
+    def prog(comm):
+        f = yield from open_file(comm, "st.dat", "w")
+        yield from f.write_at(0, SizedPayload(None, 500))
+        yield from f.close()
+
+    r = run(prog, 4)
+    fs = r.extras["world"].filesystem
+    assert fs.write_calls == 4
+    assert fs.bytes_written == 2000
+
+
+def test_collective_write_scales_worse_than_buffered():
+    """Per-step collective dumps with changing views vs a small buffered
+    writer group flushing the same volume in large chunks: the buffered
+    path wins at scale (the Fig. 8 mechanism)."""
+    nprocs = 512
+    per_rank_per_step = 250_000
+    steps = 8
+    total = nprocs * per_rank_per_step * steps
+
+    def collective(comm):
+        f = yield from open_file(comm, "c.dat", "w")
+        for step in range(steps):
+            # particle layout changes every step -> view re-negotiation
+            yield from f.set_view(step * nprocs * per_rank_per_step)
+            yield from f.write_all(SizedPayload(None, per_rank_per_step))
+        yield from f.close()
+        return comm.time
+
+    def buffered(comm):
+        # an I/O group sized like the paper's (alpha = 6.25%) flushes the
+        # whole volume in large buffered chunks
+        f = yield from open_file(comm, "b.dat", "w")
+        nwriters = nprocs // 16
+        if comm.rank < nwriters:
+            chunk = total // nwriters
+            yield from f.write_at(comm.rank * chunk, SizedPayload(None, chunk))
+        yield from f.close()
+        return comm.time
+
+    cfg = beskow()
+    t_coll = max(run(collective, nprocs, machine=cfg).values)
+    t_buf = max(run(buffered, nprocs, machine=cfg).values)
+    assert t_buf < t_coll

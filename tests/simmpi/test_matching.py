@@ -1,0 +1,162 @@
+"""Unit + property tests for message matching semantics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simmpi.matching import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Envelope,
+    Mailbox,
+    PostedRecv,
+)
+
+
+def _env(src=0, tag=0, ctx=0, n=10):
+    return Envelope(src, tag, ctx, n, payload=f"m{src}.{tag}",
+                    eager=True, delivered_time=0.0)
+
+
+def _post(matched, source=ANY_SOURCE, tag=ANY_TAG, ctx=0):
+    return PostedRecv(source, tag, ctx, None, matched.append)
+
+
+def test_deliver_then_post_matches_unexpected():
+    mb = Mailbox()
+    mb.deliver(_env(src=3, tag=7))
+    matched = []
+    mb.post(_post(matched, source=3, tag=7))
+    assert len(matched) == 1
+    assert matched[0].src == 3
+
+
+def test_post_then_deliver_matches_posted():
+    mb = Mailbox()
+    matched = []
+    mb.post(_post(matched, source=3, tag=7))
+    mb.deliver(_env(src=3, tag=7))
+    assert len(matched) == 1
+
+
+def test_wildcards_match_anything():
+    mb = Mailbox()
+    matched = []
+    mb.post(_post(matched))
+    mb.deliver(_env(src=9, tag=42))
+    assert matched[0].src == 9 and matched[0].tag == 42
+
+
+def test_source_mismatch_queues_as_unexpected():
+    mb = Mailbox()
+    matched = []
+    mb.post(_post(matched, source=1))
+    mb.deliver(_env(src=2))
+    assert not matched
+    assert mb.pending_counts() == (1, 1)
+
+
+def test_tag_mismatch_queues():
+    mb = Mailbox()
+    matched = []
+    mb.post(_post(matched, tag=5))
+    mb.deliver(_env(tag=6))
+    assert not matched
+
+
+def test_context_isolation():
+    """Collective-context traffic must never match app receives."""
+    mb = Mailbox()
+    matched = []
+    mb.post(_post(matched, ctx=0))
+    mb.deliver(_env(ctx=1))
+    assert not matched
+
+
+def test_fifo_order_between_same_pair():
+    """Non-overtaking: two messages from the same (src, tag) match posted
+    receives in delivery order."""
+    mb = Mailbox()
+    got = []
+    mb.deliver(Envelope(0, 0, 0, 1, "first", True, 0.0))
+    mb.deliver(Envelope(0, 0, 0, 1, "second", True, 1.0))
+    mb.post(PostedRecv(0, 0, 0, None, lambda e: got.append(e.payload)))
+    mb.post(PostedRecv(0, 0, 0, None, lambda e: got.append(e.payload)))
+    assert got == ["first", "second"]
+
+
+def test_posted_receives_match_in_post_order():
+    mb = Mailbox()
+    got = []
+    mb.post(PostedRecv(ANY_SOURCE, ANY_TAG, 0, None, lambda e: got.append("r1")))
+    mb.post(PostedRecv(ANY_SOURCE, ANY_TAG, 0, None, lambda e: got.append("r2")))
+    mb.deliver(_env())
+    assert got == ["r1"]
+
+
+def test_any_source_takes_first_arrival():
+    """The FCFS property MPIStream relies on: a wildcard receive gets
+    whichever producer's message arrived first."""
+    mb = Mailbox()
+    mb.deliver(_env(src=5, tag=1))
+    mb.deliver(_env(src=2, tag=1))
+    got = []
+    mb.post(PostedRecv(ANY_SOURCE, 1, 0, None, lambda e: got.append(e.src)))
+    assert got == [5]
+
+
+def test_specific_recv_skips_earlier_nonmatching():
+    mb = Mailbox()
+    mb.deliver(_env(src=5, tag=1))
+    mb.deliver(_env(src=2, tag=1))
+    got = []
+    mb.post(PostedRecv(2, 1, 0, None, lambda e: got.append(e.src)))
+    assert got == [2]
+    # the src=5 one is still there
+    assert mb.pending_counts() == (0, 1)
+
+
+def test_probe_is_nondestructive():
+    mb = Mailbox()
+    mb.deliver(_env(src=4, tag=9))
+    env = mb.probe(ANY_SOURCE, 9, 0)
+    assert env is not None and env.src == 4
+    assert mb.pending_counts() == (0, 1)
+    assert mb.probe(ANY_SOURCE, 3, 0) is None
+
+
+@given(
+    srcs=st.lists(st.integers(min_value=0, max_value=4), min_size=1, max_size=30),
+)
+@settings(max_examples=60)
+def test_every_message_eventually_matches_wildcard_receives(srcs):
+    """Property: N deliveries + N wildcard posts => N matches, FIFO."""
+    mb = Mailbox()
+    for i, s in enumerate(srcs):
+        mb.deliver(Envelope(s, 0, 0, 1, i, True, float(i)))
+    got = []
+    for _ in srcs:
+        mb.post(PostedRecv(ANY_SOURCE, ANY_TAG, 0, None,
+                           lambda e: got.append(e.payload)))
+    assert got == list(range(len(srcs)))
+    assert mb.pending_counts() == (0, 0)
+
+
+@given(
+    order_flip=st.lists(st.booleans(), min_size=1, max_size=20),
+)
+@settings(max_examples=60)
+def test_match_count_independent_of_arrival_order(order_flip):
+    """Whether the recv or the message arrives first never changes the
+    number of matches."""
+    mb = Mailbox()
+    matches = []
+    for i, post_first in enumerate(order_flip):
+        post = PostedRecv(ANY_SOURCE, i, 0, None, lambda e: matches.append(e.tag))
+        env = Envelope(0, i, 0, 1, None, True, 0.0)
+        if post_first:
+            mb.post(post)
+            mb.deliver(env)
+        else:
+            mb.deliver(env)
+            mb.post(post)
+    assert sorted(matches) == list(range(len(order_flip)))

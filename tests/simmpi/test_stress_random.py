@@ -1,0 +1,115 @@
+"""Randomized stress tests: arbitrary communication patterns must
+complete, deliver every message exactly once, and stay deterministic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simmpi import ANY_SOURCE, beskow, quiet_testbed, run
+
+
+@given(
+    nprocs=st.integers(min_value=2, max_value=8),
+    nmsgs=st.integers(min_value=1, max_value=12),
+    seed=st.integers(min_value=0, max_value=999),
+)
+@settings(max_examples=40, deadline=None)
+def test_random_all_to_root_patterns(nprocs, nmsgs, seed):
+    """Every non-root rank sends a random number of messages at random
+    times; the root (wildcard) receives them all, exactly once."""
+    rng = np.random.default_rng(seed)
+    plan = {
+        rank: [(float(rng.random() * 0.1), int(rng.integers(0, 100)))
+               for _ in range(int(rng.integers(1, nmsgs + 1)))]
+        for rank in range(1, nprocs)
+    }
+    total = sum(len(v) for v in plan.values())
+
+    def prog(comm):
+        if comm.rank == 0:
+            got = []
+            for _ in range(total):
+                data, st_ = yield from comm.recv(source=ANY_SOURCE, tag=7,
+                                                 status=True)
+                got.append((st_.source, data))
+            return sorted(got)
+        for delay, value in plan[comm.rank]:
+            yield from comm.compute(delay)
+            yield from comm.send((comm.rank, value), dest=0, tag=7)
+        return None
+
+    r = run(prog, nprocs, machine=quiet_testbed())
+    expected = sorted(
+        (rank, (rank, value))
+        for rank, msgs in plan.items() for _, value in msgs
+    )
+    assert r.values[0] == expected
+
+
+@given(
+    nprocs=st.integers(min_value=2, max_value=6),
+    seed=st.integers(min_value=0, max_value=500),
+)
+@settings(max_examples=30, deadline=None)
+def test_random_ring_permutation(nprocs, seed):
+    """Each rank sends one payload around a random ring offset; all
+    payloads arrive and the run is deterministic."""
+    rng = np.random.default_rng(seed)
+    offset = int(rng.integers(1, nprocs))
+
+    def prog(comm):
+        dest = (comm.rank + offset) % comm.size
+        src = (comm.rank - offset) % comm.size
+        got = yield from comm.sendrecv(comm.rank * 11, dest=dest,
+                                       source=src)
+        return got
+
+    r1 = run(prog, nprocs, machine=beskow())
+    r2 = run(prog, nprocs, machine=beskow())
+    assert r1.values == [((i - offset) % nprocs) * 11
+                         for i in range(nprocs)]
+    assert r1.elapsed == r2.elapsed  # determinism under noise
+
+
+@given(
+    nprocs=st.integers(min_value=2, max_value=8),
+    seed=st.integers(min_value=0, max_value=200),
+)
+@settings(max_examples=25, deadline=None)
+def test_random_collective_mix(nprocs, seed):
+    """A random sequence of collectives agrees with a Python oracle."""
+    rng = np.random.default_rng(seed)
+    ops = [int(x) for x in rng.integers(0, 3, size=5)]
+
+    def prog(comm):
+        acc = comm.rank + 1
+        results = []
+        for op in ops:
+            if op == 0:
+                acc = yield from comm.allreduce(acc)
+            elif op == 1:
+                vec = yield from comm.allgather(acc)
+                acc = max(vec)
+            else:
+                acc = yield from comm.bcast(acc, root=0)
+            results.append(acc)
+        return results
+
+    r = run(prog, nprocs, machine=quiet_testbed())
+
+    # oracle
+    accs = [rank + 1 for rank in range(nprocs)]
+    oracle = [[] for _ in range(nprocs)]
+    for op in ops:
+        if op == 0:
+            s = sum(accs)
+            accs = [s] * nprocs
+        elif op == 1:
+            m = max(accs)
+            accs = [m] * nprocs
+        else:
+            accs = [accs[0]] * nprocs
+        for i in range(nprocs):
+            oracle[i].append(accs[i])
+    assert r.values == oracle

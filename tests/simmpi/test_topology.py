@@ -1,0 +1,176 @@
+"""Unit tests for Cartesian topology support."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simmpi import run
+from repro.simmpi.errors import TopologyError
+from repro.simmpi.topology import CartComm, cart_create, dims_create
+
+
+# ----------------------------------------------------------------------
+# dims_create
+# ----------------------------------------------------------------------
+
+def test_dims_create_perfect_cube():
+    assert dims_create(27, 3) == [3, 3, 3]
+
+
+def test_dims_create_powers_of_two():
+    assert dims_create(8, 3) == [2, 2, 2]
+    assert sorted(dims_create(16, 3), reverse=True) == [4, 2, 2]
+
+
+def test_dims_create_prime():
+    assert dims_create(7, 3) == [7, 1, 1]
+
+
+def test_dims_create_2d():
+    assert dims_create(12, 2) == [4, 3]
+
+
+def test_dims_create_product_invariant():
+    for n in (1, 2, 6, 30, 64, 100, 8192):
+        dims = dims_create(n, 3)
+        p = 1
+        for d in dims:
+            p *= d
+        assert p == n
+
+
+def test_dims_create_rejects_bad_input():
+    with pytest.raises(TopologyError):
+        dims_create(0, 3)
+    with pytest.raises(TopologyError):
+        dims_create(4, 0)
+
+
+@given(n=st.integers(min_value=1, max_value=4096),
+       nd=st.integers(min_value=1, max_value=4))
+@settings(max_examples=80)
+def test_dims_create_property(n, nd):
+    dims = dims_create(n, nd)
+    assert len(dims) == nd
+    p = 1
+    for d in dims:
+        assert d >= 1
+        p *= d
+    assert p == n
+    assert dims == sorted(dims, reverse=True)
+
+
+# ----------------------------------------------------------------------
+# CartComm coordinate math (using a lightweight fake comm)
+# ----------------------------------------------------------------------
+
+class _FakeComm:
+    def __init__(self, rank, size):
+        self.rank = rank
+        self.size = size
+
+
+def test_coords_row_major():
+    cart = CartComm(_FakeComm(0, 24), dims=[2, 3, 4])
+    assert cart.coords(0) == (0, 0, 0)
+    assert cart.coords(1) == (0, 0, 1)
+    assert cart.coords(4) == (0, 1, 0)
+    assert cart.coords(12) == (1, 0, 0)
+    assert cart.coords(23) == (1, 2, 3)
+
+
+def test_rank_of_inverts_coords():
+    cart = CartComm(_FakeComm(0, 24), dims=[2, 3, 4])
+    for r in range(24):
+        assert cart.rank_of(cart.coords(r)) == r
+
+
+def test_rank_of_off_grid_is_none_without_periods():
+    cart = CartComm(_FakeComm(0, 8), dims=[2, 2, 2])
+    assert cart.rank_of((2, 0, 0)) is None
+    assert cart.rank_of((-1, 0, 0)) is None
+
+
+def test_periodic_wrap():
+    cart = CartComm(_FakeComm(0, 8), dims=[2, 2, 2],
+                    periods=[True, True, True])
+    assert cart.rank_of((2, 0, 0)) == cart.rank_of((0, 0, 0))
+    assert cart.rank_of((-1, 0, 0)) == cart.rank_of((1, 0, 0))
+
+
+def test_shift_interior():
+    cart = CartComm(_FakeComm(5, 27), dims=[3, 3, 3])  # coords (0,1,2)
+    src, dst = cart.shift(1, 1)
+    assert cart.coords(dst)[1] == 2
+    assert cart.coords(src)[1] == 0
+
+
+def test_shift_at_boundary_nonperiodic():
+    cart = CartComm(_FakeComm(0, 8), dims=[2, 2, 2])
+    src, dst = cart.shift(0, 1)
+    assert src is None            # nothing below
+    assert dst is not None
+
+
+def test_neighbors_interior_count():
+    # 3x3x3, center rank has 6 distinct neighbours
+    center = 13  # coords (1,1,1)
+    cart = CartComm(_FakeComm(center, 27), dims=[3, 3, 3])
+    assert len(cart.neighbors()) == 6
+
+
+def test_neighbors_dedup_small_grid():
+    # 2x1x1 with periodic x: both shifts give the same peer
+    cart = CartComm(_FakeComm(0, 2), dims=[2, 1, 1], periods=[True, False, False])
+    assert cart.neighbors() == [1]
+
+
+def test_max_forwarding_steps_matches_paper_bound():
+    """Paper: a 10x10x10 communicator bounds forwarding at 30 steps."""
+    cart = CartComm(_FakeComm(0, 1000), dims=[10, 10, 10])
+    assert cart.max_forwarding_steps() == 30
+
+
+def test_dims_size_mismatch_rejected():
+    with pytest.raises(TopologyError):
+        CartComm(_FakeComm(0, 8), dims=[3, 3])
+
+
+def test_bad_queries_rejected():
+    cart = CartComm(_FakeComm(0, 8), dims=[2, 2, 2])
+    with pytest.raises(TopologyError):
+        cart.coords(99)
+    with pytest.raises(TopologyError):
+        cart.rank_of((0, 0))
+    with pytest.raises(TopologyError):
+        cart.shift(5)
+
+
+# ----------------------------------------------------------------------
+# collective creation + halo exchange over the topology
+# ----------------------------------------------------------------------
+
+def test_cart_create_collective():
+    def prog(comm):
+        cart = yield from cart_create(comm, ndims=3)
+        return (cart.dims, cart.coords())
+
+    r = run(prog, 8)
+    dims = r.values[0][0]
+    assert dims == (2, 2, 2)
+    coords = {v[1] for v in r.values}
+    assert len(coords) == 8
+
+
+def test_halo_exchange_over_cartesian_grid():
+    """Each rank exchanges its rank id with the +x neighbour (periodic)."""
+    def prog(comm):
+        cart = yield from cart_create(comm, dims=[4, 1, 1],
+                                      periods=[True, False, False])
+        src, dst = cart.shift(0, 1)
+        got = yield from cart.comm.sendrecv(cart.rank, dest=dst, source=src)
+        return got
+
+    r = run(prog, 4)
+    # rank r receives from (r-1) mod 4
+    assert r.values == [3, 0, 1, 2]
