@@ -10,9 +10,9 @@ both exchanges deliver identical particle sets.
 Run:  python examples/plasma_trace.py
 """
 
+from repro.api import Simulation
 from repro.apps.ipic3d import IPICConfig, pcomm_decoupled, pcomm_reference
 from repro.bench import fig2_traces
-from repro.simmpi import quiet_testbed, run
 from repro.trace import legend, render
 
 
@@ -40,9 +40,9 @@ def physics_demo():
     print("\n=== physics check: identical particle sets ===")
     cfg = IPICConfig(nprocs=8, numeric=True, steps=8,
                      numeric_particles_per_rank=200)
-    ref = run(pcomm_reference, 8, args=(cfg,), machine=quiet_testbed())
+    ref = Simulation(8, machine="quiet").run(pcomm_reference, args=(cfg,))
     dcfg = cfg.with_(nprocs=9, alpha=0.12)
-    dec = run(pcomm_decoupled, 9, args=(dcfg,), machine=quiet_testbed())
+    dec = Simulation(9, machine="quiet").run(pcomm_decoupled, args=(dcfg,))
     movers = [v for v in dec.values if v["role"] == "mover"]
     ids_ref = sorted(i for v in ref.values for i in v["ids"])
     ids_dec = sorted(i for v in movers for i in v["ids"])

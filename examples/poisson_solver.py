@@ -10,6 +10,7 @@ Run:  python examples/poisson_solver.py
 
 import numpy as np
 
+from repro.api import Simulation
 from repro.apps.cg import (
     CGConfig,
     cg_blocking,
@@ -18,7 +19,6 @@ from repro.apps.cg import (
     poisson_rhs,
     sequential_cg,
 )
-from repro.simmpi import beskow, run
 
 
 def correctness_demo():
@@ -26,7 +26,7 @@ def correctness_demo():
     n = 12
     cfg = CGConfig(nprocs=9, numeric=True, iterations=40,
                    numeric_block_points=n, alpha=0.12)
-    r = run(cg_decoupled, 9, args=(cfg,), machine=beskow())
+    r = Simulation(9, machine="beskow").run(cg_decoupled, args=(cfg,))
     comp = [v for v in r.values if v.get("role") == "compute"]
     dims = comp[0]["dims"]
     U = np.zeros((dims[0] * n, dims[1] * n, dims[2] * n))
@@ -50,12 +50,12 @@ def scaling_demo():
     iters = 15
     factor = 300 / iters
     cfg = CGConfig(nprocs=p, iterations=iters)
+    sim = Simulation(p, machine="beskow")
     rows = []
     for name, impl in (("blocking", cg_blocking),
                        ("non-blocking", cg_nonblocking),
                        ("decoupled", cg_decoupled)):
-        t = max(v["elapsed"] for v in
-                run(impl, p, args=(cfg,), machine=beskow()).values)
+        t = max(v["elapsed"] for v in sim.run(impl, args=(cfg,)).values)
         rows.append((name, t * factor))
     for name, t in rows:
         print(f"  {name:>12}: {t:6.1f} s")

@@ -1,56 +1,57 @@
 #!/usr/bin/env python
-"""Quickstart: decouple an analysis operation with MPIStream.
+"""Quickstart: decouple an analysis operation, declaratively.
 
-The paper's Listing 1, runnable: a compute group performs calculations
-and streams workload samples to a small analysis group, which keeps
-running min/max/mean statistics — decoupling the three MPI reductions
-the conventional version would pay every round.
+The paper's Listing 1 on the high-level ``repro.api`` front-end: a
+compute stage performs calculations and streams workload samples to a
+small analysis stage, which keeps running min/max/mean statistics —
+decoupling the three MPI reductions the conventional version would pay
+every round.
+
+Declare the stages and the flow; plan construction, communicator
+formation, channel creation and stream attachment are compiled for
+you, and the ``with``-handle guarantees the stream is flushed,
+terminated and the channel freed.  (The hand-wired version of this
+program lives on in ``repro.mpistream`` — see tests/api for the
+equivalence check.)
 
 Run:  python examples/quickstart.py
 """
 
-from repro.mpistream import RunningStats, attach, create_channel
-from repro.simmpi import beskow, run
+from repro.api import Simulation, StreamGraph
+from repro.mpistream import RunningStats
 
 NPROCS = 16
 ROUNDS = 12
 
 
-def program(comm):
-    # --- MPIStream_CreateChannel: last rank analyzes, the rest compute
-    is_consumer = comm.rank == comm.size - 1
-    channel = yield from create_channel(
-        comm, is_producer=not is_consumer, is_consumer=is_consumer)
-
-    # --- MPIStream_Attach: the analyze_workload() operator
-    stats = RunningStats()
-    stream = yield from attach(channel, stats)
-
-    if not is_consumer:
-        # --- the computation group
+def compute_body(ctx):
+    """The computation stage: calculate, then stream each sample out."""
+    with ctx.producer("samples") as out:
         for rnd in range(ROUNDS):
             # pretend calculation whose cost varies per rank and round
-            workload = 0.01 * (1 + (comm.rank + rnd) % 4)
-            yield from comm.compute(workload, label="calculation")
-            # --- MPIStream_Isend: stream the workload sample out
-            yield from stream.isend(workload)
-        # --- MPIStream_Terminate
-        yield from stream.terminate()
-    else:
-        # --- MPIStream_Operate: analyze on the fly, FCFS
-        yield from stream.operate()
+            workload = 0.01 * (1 + (ctx.comm.rank + rnd) % 4)
+            yield from ctx.compute(workload, label="calculation")
+            yield from out.send(workload)
+    # no terminate/free bookkeeping: the runtime does it on exit
 
-    # --- MPIStream_FreeChannel
-    yield from channel.free()
-    return stats.summary() if is_consumer else None
+
+#: last 1/16th of the machine analyzes on the fly (FCFS), the rest
+#: compute; the analyze stage needs no body — its flow's operator is
+#: applied to each element as it arrives
+graph = (
+    StreamGraph("quickstart")
+    .stage("compute", fraction=15 / 16, body=compute_body)
+    .stage("analyze", fraction=1 / 16)
+    .flow("samples", src="compute", dst="analyze", operator=RunningStats)
+)
 
 
 def main():
-    result = run(program, NPROCS, machine=beskow())
-    summary = result.values[-1]
-    print(f"simulated {NPROCS} ranks on {beskow().name}")
-    print(f"virtual execution time: {result.elapsed * 1e3:.2f} ms")
-    print(f"messages on the network: {result.messages}")
+    report = Simulation(NPROCS, machine="beskow").run(graph)
+    summary = report.stage_values("analyze")[0]
+    print(f"simulated {NPROCS} ranks on beskow-xc40")
+    print(f"virtual execution time: {report.elapsed * 1e3:.2f} ms")
+    print(f"messages on the network: {report.messages}")
     print("decoupled workload analysis received "
           f"{summary['count']} samples:")
     print(f"  min  {summary['min']:.4f}")
@@ -58,6 +59,7 @@ def main():
     print(f"  mean {summary['mean']:.4f}")
     expected = (NPROCS - 1) * ROUNDS
     assert summary["count"] == expected, "lost stream elements!"
+    assert report.flow_elements("samples") == expected
     print("OK: every streamed element was analyzed exactly once")
 
 

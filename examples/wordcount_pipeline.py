@@ -8,21 +8,23 @@ a few hundred simulated ranks to show the performance story.
 Run:  python examples/wordcount_pipeline.py
 """
 
+from repro.api import Simulation
 from repro.apps.mapreduce import (
     MapReduceConfig,
-    decoupled_worker,
+    build_graph,
     reference_worker,
 )
-from repro.simmpi import beskow, run
 
 
 def numeric_demo():
     print("=== numeric mode: correctness ===")
     cfg = MapReduceConfig(nprocs=8, alpha=0.25, numeric=True)
-    ref = run(reference_worker, 8, args=(cfg,), machine=beskow())
-    dec = run(decoupled_worker, 8, args=(cfg,), machine=beskow())
+    sim = Simulation(8, machine="beskow")
+    ref = sim.run(reference_worker, args=(cfg,))
+    # the decoupled side is a declarative three-stage graph
+    dec = sim.run(build_graph(cfg))
     h_ref = ref.values[0]["result"].table
-    h_dec = [v for v in dec.values if v["role"] == "master"][0]["result"].table
+    h_dec = dec.stage_values("master")[0]["result"].table
     assert h_ref == h_dec, "decoupled result differs from reference!"
     top = sorted(h_ref.items(), key=lambda kv: -kv[1])[:5]
     print(f"histogram of {sum(h_ref.values())} words over "
@@ -36,12 +38,10 @@ def scaling_demo():
     print("=== scale mode: the Fig. 5 story at P=256 ===")
     p = 256
     cfg = MapReduceConfig(nprocs=p, alpha=0.0625)
+    sim = Simulation(p, machine="beskow")
     t_ref = max(v["elapsed"] for v in
-                run(reference_worker, p, args=(cfg,),
-                    machine=beskow()).values)
-    t_dec = max(v["elapsed"] for v in
-                run(decoupled_worker, p, args=(cfg,),
-                    machine=beskow()).values)
+                sim.run(reference_worker, args=(cfg,)).values)
+    t_dec = sim.run(build_graph(cfg)).elapsed
     print(f"reference:  {t_ref:7.1f} s   (map + Iallgatherv + Ireduce)")
     print(f"decoupled:  {t_dec:7.1f} s   (map group -> reduce group "
           f"-> master, alpha=6.25%)")

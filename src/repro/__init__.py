@@ -8,6 +8,8 @@ Layers (bottom-up):
 * :mod:`repro.core` — the decoupling strategy: groups, plans, the
   Section II-D performance model, operation-suitability scoring.
 * :mod:`repro.trace` — interval tracing + timeline/overlap analysis.
+* :mod:`repro.api` — the declarative front-end: ``Simulation`` +
+  ``StreamGraph`` compile stages/flows onto plans, channels and streams.
 * :mod:`repro.workloads` — synthetic corpora, particle ensembles, grids.
 * :mod:`repro.apps` — the paper's case studies (MapReduce, CG, iPIC3D).
 * :mod:`repro.bench` — the experiment harness regenerating every figure.

@@ -1,0 +1,15 @@
+"""Errors raised by the declarative front-end.
+
+:class:`GraphError` subclasses :class:`~repro.core.groups.PlanError` so
+code that already guards low-level plan construction keeps working when
+it moves to the builder API.
+"""
+
+from __future__ import annotations
+
+from ..core.groups import PlanError
+
+
+class GraphError(PlanError):
+    """An invalid :class:`~repro.api.graph.StreamGraph` declaration or an
+    illegal operation on a compiled graph's handles."""

@@ -1,0 +1,342 @@
+"""The declarative front-end: declare stages and flows, compile to a plan.
+
+A :class:`StreamGraph` is the builder form of the paper's decoupling
+strategy.  Users declare *stages* (named groups of processes sized by
+fraction or absolute count, each with a generator body) and *flows*
+(directional streams between stages, optionally carrying an operator
+and a router), then hand the graph to :class:`~repro.api.simulation.
+Simulation` — or embed it in a running rank program with
+``yield from graph.compile(P).execute(world)``.
+
+Compilation lowers the declaration onto the existing layers: a
+validated :class:`~repro.core.groups.DecouplingPlan`, communicator
+splitting + per-flow channel creation via :func:`~repro.core.runtime.
+run_decoupled`, and one attached stream per flow — in deterministic
+declaration order, so every rank agrees on tags and contexts without
+communication.  The per-stage runtime wraps the user body with an
+epilogue that terminates every un-terminated producer stream and frees
+every channel (bystanders included), making the ``terminate``/``free``
+protocol impossible to forget.
+
+    graph = (StreamGraph()
+             .stage("compute", fraction=0.9375, body=compute_body)
+             .stage("analyze", fraction=0.0625)
+             .flow("samples", src="compute", dst="analyze",
+                   operator=RunningStats))
+    report = Simulation(64, machine="beskow").run(graph)
+
+A stage may omit its body when it only consumes flows that declare
+operators: the runtime supplies a default body that operates each
+incoming flow in declaration order and reports the operator results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from ..core.groups import DecouplingPlan
+from ..core.runtime import GroupContext, run_decoupled
+from ..mpistream.stream import (
+    DEFAULT_ELEMENT_OVERHEAD,
+    DEFAULT_WINDOW,
+    attach,
+)
+from ..simmpi.comm import Comm
+from .errors import GraphError
+from .handles import (
+    ConsumerHandle,
+    ProducerHandle,
+    StageContext,
+    StageRecord,
+)
+
+Body = Callable[[StageContext], Generator]
+
+
+@dataclass(frozen=True)
+class StageDef:
+    """One declared stage: a named group with an optional body."""
+
+    name: str
+    fraction: Optional[float]
+    size: Optional[int]
+    body: Optional[Body]
+
+    def effective_fraction(self, total_procs: int) -> float:
+        if self.fraction is not None:
+            return self.fraction
+        return self.size / total_procs
+
+
+@dataclass(frozen=True)
+class FlowDef:
+    """One declared flow: a directional stream between two stages."""
+
+    name: str
+    src: str
+    dst: str
+    operator: Optional[Any] = None
+    operator_factory: Optional[Callable[[], Any]] = None
+    router: Optional[Callable] = None
+    window: int = DEFAULT_WINDOW
+    element_overhead: float = DEFAULT_ELEMENT_OVERHEAD
+    eager: bool = False
+
+    @property
+    def has_operator(self) -> bool:
+        return self.operator is not None or self.operator_factory is not None
+
+    def make_operator(self) -> Optional[Any]:
+        """A per-rank operator instance.
+
+        ``operator_factory`` (or a class passed as ``operator``) is
+        instantiated per consumer rank so stateful operators never share
+        state across ranks; a plain callable is used as-is."""
+        if self.operator_factory is not None:
+            return self.operator_factory()
+        if isinstance(self.operator, type):
+            return self.operator()
+        return self.operator
+
+
+class StreamGraph:
+    """Fluent builder for a decoupled streaming application."""
+
+    def __init__(self, name: str = "stream-graph"):
+        self.name = name
+        self._stages: Dict[str, StageDef] = {}
+        self._order: List[str] = []
+        self._flows: List[FlowDef] = []
+
+    # ------------------------------------------------------------------
+    # declaration
+    # ------------------------------------------------------------------
+    def stage(self, name: str, *, fraction: Optional[float] = None,
+              size: Optional[int] = None,
+              body: Optional[Body] = None) -> "StreamGraph":
+        """Declare a stage sized by ``fraction`` of P *or* absolute
+        ``size``; ``body(ctx)`` is a generator function (omit it for a
+        pure consumer stage whose flows declare operators)."""
+        if name in self._stages:
+            raise GraphError(f"duplicate stage {name!r}")
+        if (fraction is None) == (size is None):
+            raise GraphError(
+                f"stage {name!r}: give exactly one of fraction / size")
+        if fraction is not None and not (0.0 < fraction <= 1.0):
+            raise GraphError(
+                f"stage {name!r}: fraction must be in (0, 1], got {fraction}")
+        if size is not None and size < 1:
+            raise GraphError(f"stage {name!r}: size must be >= 1, got {size}")
+        if body is not None and not callable(body):
+            raise GraphError(f"stage {name!r}: body must be callable")
+        self._stages[name] = StageDef(name, fraction, size, body)
+        self._order.append(name)
+        return self
+
+    def flow(self, name: str, src: str, dst: str, *,
+             operator: Optional[Any] = None,
+             operator_factory: Optional[Callable[[], Any]] = None,
+             router: Optional[Callable] = None,
+             window: int = DEFAULT_WINDOW,
+             element_overhead: float = DEFAULT_ELEMENT_OVERHEAD,
+             eager: bool = False) -> "StreamGraph":
+        """Declare a flow from stage ``src`` to stage ``dst``.
+
+        ``operator`` is applied per element on the consumer — pass a
+        callable (shared), a class, or ``operator_factory`` for a fresh
+        stateful instance per consumer rank.  ``router``, ``window``,
+        ``element_overhead`` and ``eager`` forward to
+        :func:`~repro.mpistream.stream.attach`.
+        """
+        if any(f.name == name for f in self._flows):
+            raise GraphError(f"duplicate flow {name!r}")
+        for stage_name in (src, dst):
+            if stage_name not in self._stages:
+                raise GraphError(
+                    f"unknown stage {stage_name!r} in flow {name!r}; "
+                    f"declared stages: {self._order}")
+        if src == dst:
+            raise GraphError(
+                f"flow {name!r} must link two distinct stages")
+        if operator is not None and operator_factory is not None:
+            raise GraphError(
+                f"flow {name!r}: give at most one of operator / "
+                "operator_factory")
+        if window < 1:
+            raise GraphError(f"flow {name!r}: window must be >= 1")
+        if element_overhead < 0:
+            raise GraphError(
+                f"flow {name!r}: element_overhead must be >= 0")
+        self._flows.append(FlowDef(
+            name, src, dst, operator=operator,
+            operator_factory=operator_factory, router=router,
+            window=window, element_overhead=element_overhead, eager=eager))
+        return self
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def stages(self) -> List[StageDef]:
+        return [self._stages[n] for n in self._order]
+
+    @property
+    def flows(self) -> List[FlowDef]:
+        return list(self._flows)
+
+    def flows_in(self, stage: str) -> List[FlowDef]:
+        return [f for f in self._flows if f.dst == stage]
+
+    def flows_out(self, stage: str) -> List[FlowDef]:
+        return [f for f in self._flows if f.src == stage]
+
+    # ------------------------------------------------------------------
+    # compilation
+    # ------------------------------------------------------------------
+    def compile(self, total_procs: int) -> "CompiledGraph":
+        """Validate the declaration and lower it to a
+        :class:`~repro.core.groups.DecouplingPlan` sized for
+        ``total_procs`` processes."""
+        if not self._order:
+            raise GraphError("graph has no stages")
+        if total_procs < len(self._order):
+            raise GraphError(
+                f"{total_procs} processes cannot host "
+                f"{len(self._order)} stages")
+        coverage = sum(
+            s.effective_fraction(total_procs) for s in self.stages)
+        if coverage > 1.0 + 1e-9:
+            raise GraphError(
+                f"stage fractions overflow the machine: sum is "
+                f"{coverage:.4f} > 1 over {total_procs} processes")
+        # Stages must partition the machine: undercoverage would be
+        # silently absorbed by the largest group (the plan's drift
+        # rule), inflating it far beyond its declaration.  Allow only
+        # per-stage rounding slack.
+        slack = 0.5 * len(self._order) / total_procs + 1e-9
+        if coverage < 1.0 - slack:
+            raise GraphError(
+                f"stage fractions undercover the machine: sum is "
+                f"{coverage:.4f} < 1 over {total_procs} processes; "
+                "declare stages that partition all processes")
+        for s in self.stages:
+            if s.body is not None:
+                continue
+            incoming = self.flows_in(s.name)
+            outgoing = self.flows_out(s.name)
+            if outgoing:
+                raise GraphError(
+                    f"missing body: stage {s.name!r} produces flow(s) "
+                    f"{[f.name for f in outgoing]} and cannot be defaulted")
+            if not incoming:
+                raise GraphError(
+                    f"missing body: stage {s.name!r} touches no flows")
+            for f in incoming:
+                if not f.has_operator:
+                    raise GraphError(
+                        f"missing body: stage {s.name!r} consumes flow "
+                        f"{f.name!r} which declares no operator")
+
+        plan = DecouplingPlan(total_procs)
+        for s in self.stages:
+            plan.add_group(s.name, fraction=s.fraction, size=s.size)
+            plan.map_operation(s.name, s.name)
+        for f in self._flows:
+            plan.add_flow(f.name, f.src, f.dst)
+        plan.validate()
+        # The plan resolves rounding drift by resizing the largest
+        # group — fine for fraction-declared stages, but an explicit
+        # size the user wrote down must never be silently overridden.
+        for s in self.stages:
+            resolved = plan.groups[s.name].size
+            if s.size is not None and resolved != s.size:
+                raise GraphError(
+                    f"stage {s.name!r} declared size {s.size} but covering "
+                    f"{total_procs} processes needs {resolved}; declare "
+                    "sizes that sum to the machine, or use fractions")
+        return CompiledGraph(self, plan)
+
+
+class CompiledGraph:
+    """A validated graph bound to a concrete process count.
+
+    ``execute(world)`` is the SPMD generator main: it wires groups,
+    channels and streams through :func:`~repro.core.runtime.
+    run_decoupled`, runs this rank's stage body between an automatic
+    prologue (stream attachment) and epilogue (terminate + free), and
+    returns this rank's :class:`~repro.api.handles.StageRecord`.
+    """
+
+    def __init__(self, graph: StreamGraph, plan: DecouplingPlan):
+        self.graph = graph
+        self.plan = plan
+
+    @property
+    def total_procs(self) -> int:
+        return self.plan.total_procs
+
+    def execute(self, world: Comm) -> Generator[Any, Any, StageRecord]:
+        bodies = {s.name: self._make_body(s) for s in self.graph.stages}
+        record = yield from run_decoupled(world, self.plan, bodies)
+        return record
+
+    # ------------------------------------------------------------------
+    def _make_body(self, stage: StageDef):
+        graph = self.graph
+
+        def body(gctx: GroupContext) -> Generator[Any, Any, StageRecord]:
+            # prologue: attach one stream per touching flow, in
+            # declaration order (the tag-agreement contract)
+            handles: Dict[str, Any] = {}
+            for flow in graph.flows:
+                if stage.name == flow.src:
+                    stream = yield from attach(
+                        gctx.channel(flow.name), None,
+                        element_overhead=flow.element_overhead,
+                        window=flow.window, router=flow.router,
+                        eager=flow.eager)
+                    handles[flow.name] = ProducerHandle(flow.name, stream)
+                elif stage.name == flow.dst:
+                    stream = yield from attach(
+                        gctx.channel(flow.name), flow.make_operator(),
+                        element_overhead=flow.element_overhead,
+                        window=flow.window, router=flow.router,
+                        eager=flow.eager)
+                    handles[flow.name] = ConsumerHandle(
+                        flow.name, stream, stream.operator)
+
+            ctx = StageContext(stage.name, gctx, handles)
+            if stage.body is not None:
+                result = yield from stage.body(ctx)
+            else:
+                result = yield from self._default_consumer_body(ctx)
+
+            # epilogue: the terminate/free protocol, automatically
+            for flow in graph.flows:
+                h = handles.get(flow.name)
+                if isinstance(h, ProducerHandle) and not h.terminated:
+                    yield from h.terminate()
+            for flow in graph.flows:
+                ch = gctx.all_channels[flow.name]
+                if not ch.freed:
+                    yield from ch.free()
+
+            return StageRecord(
+                stage=stage.name, result=result,
+                profiles={name: h.profile for name, h in handles.items()})
+
+        return body
+
+    def _default_consumer_body(self, ctx: StageContext
+                               ) -> Generator[Any, Any, Any]:
+        """Operate every incoming flow in declaration order; report each
+        operator's result (single flow: the bare result)."""
+        results: Dict[str, Any] = {}
+        for flow in self.graph.flows_in(ctx.stage):
+            handle = ctx.consumer(flow.name)
+            yield from handle.operate()
+            results[flow.name] = handle.result()
+        if len(results) == 1:
+            return next(iter(results.values()))
+        return results

@@ -1,0 +1,243 @@
+"""Stage-side handles: what a stage body programs against.
+
+A stage body is a generator function ``body(ctx)`` receiving a
+:class:`StageContext`.  The context exposes this stage's group
+communicator, the world communicator, and one handle per flow touching
+the stage:
+
+* :class:`ProducerHandle` — ``yield from handle.send(data)`` injects one
+  element.  Used as a context manager (``with ctx.producer("f") as s:``)
+  the handle is *closed* when the block exits: further sends raise
+  :class:`~repro.api.errors.GraphError` and the runtime flushes the
+  in-flight window and terminates the stream automatically after the
+  body returns — the ``MPIStream_Terminate`` / ``MPIStream_FreeChannel``
+  protocol cannot be forgotten.
+* :class:`ConsumerHandle` — ``yield from handle.operate()`` services the
+  flow until every producer terminated, applying the flow's operator
+  (or a per-rank override) to each element on arrival.
+
+Neither handle performs simulated communication outside ``yield from``
+calls, so the with-statement itself is free: closing only flips local
+state, and the actual flush/terminate runs in the runtime's epilogue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, Optional
+
+from ..core.runtime import GroupContext
+from ..mpistream.channel import StreamChannel
+from ..mpistream.profiles import StreamProfile
+from ..mpistream.stream import Stream
+from .errors import GraphError
+
+
+@dataclass
+class StageRecord:
+    """What one rank of a compiled graph returns: the body's result plus
+    per-flow stream statistics (merged into the :class:`~repro.api.
+    report.Report`)."""
+
+    stage: str
+    result: Any
+    profiles: Dict[str, StreamProfile] = field(default_factory=dict)
+
+
+def operator_result(operator: Any) -> Any:
+    """The value a defaulted consumer stage reports for its operator:
+    ``operator.summary()`` when the operator offers one (e.g.
+    :class:`~repro.mpistream.operators.RunningStats`), otherwise the
+    operator object itself (e.g. a ``Collector`` whose ``items`` the
+    caller inspects)."""
+    summary = getattr(operator, "summary", None)
+    if callable(summary):
+        return summary()
+    return operator
+
+
+class ProducerHandle:
+    """Producer side of one flow on this rank."""
+
+    def __init__(self, flow_name: str, stream: Stream):
+        self.flow_name = flow_name
+        self._stream = stream
+        self.closed = False
+        self.terminated = False
+
+    # -- context-manager protocol: scoping + can't-forget-terminate ----
+    def __enter__(self) -> "ProducerHandle":
+        if self.closed:
+            raise GraphError(
+                f"producer for flow {self.flow_name!r} already closed")
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.closed = True
+        return False
+
+    # -- stream operations ---------------------------------------------
+    def send(self, data: Any) -> Generator[Any, Any, None]:
+        """Inject one element (``MPIStream_Isend``)."""
+        if self.closed or self.terminated:
+            raise GraphError(
+                f"send on closed producer for flow {self.flow_name!r}")
+        yield from self._stream.isend(data)
+
+    def terminate(self) -> Generator[Any, Any, None]:
+        """Flush the in-flight window and end this producer's flow.
+
+        Idempotent: the runtime epilogue calls it for any producer the
+        body did not terminate explicitly."""
+        if self.terminated:
+            return
+        self.terminated = True
+        self.closed = True
+        yield from self._stream.terminate()
+
+    @property
+    def profile(self) -> StreamProfile:
+        return self._stream.profile
+
+
+class ConsumerHandle:
+    """Consumer side of one flow on this rank."""
+
+    def __init__(self, flow_name: str, stream: Stream,
+                 operator: Optional[Callable] = None):
+        self.flow_name = flow_name
+        self._stream = stream
+        self.operator = operator
+        self.operated = False
+        self.closed = False
+
+    def __enter__(self) -> "ConsumerHandle":
+        if self.closed:
+            raise GraphError(
+                f"consumer for flow {self.flow_name!r} already closed")
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        # mirror of ProducerHandle: leaving the with-block closes the
+        # handle, so later operate/pending calls are caught as misuse
+        self.closed = True
+        return False
+
+    def operate(self, operator: Optional[Callable] = None
+                ) -> Generator[Any, Any, StreamProfile]:
+        """Service the flow until every producer terminated
+        (``MPIStream_Operate``).  ``operator`` overrides the flow-level
+        operator for this rank (e.g. a closure over body state)."""
+        if self.closed:
+            raise GraphError(
+                f"operate on closed consumer for flow {self.flow_name!r}")
+        op = operator if operator is not None else self.operator
+        if op is None:
+            raise GraphError(
+                f"flow {self.flow_name!r} has no operator; declare one on "
+                "the flow or pass one to operate()")
+        self.operator = op
+        self._stream.operator = op
+        profile = yield from self._stream.operate()
+        self.operated = True
+        return profile
+
+    def pending(self, operator: Optional[Callable] = None
+                ) -> Generator[Any, Any, int]:
+        """Drain only the elements already queued (non-blocking); lets a
+        consumer interleave stream service with its own work."""
+        if self.closed:
+            raise GraphError(
+                f"pending on closed consumer for flow {self.flow_name!r}")
+        op = operator if operator is not None else self.operator
+        if op is None:
+            raise GraphError(
+                f"flow {self.flow_name!r} has no operator; declare one on "
+                "the flow or pass one to pending()")
+        self.operator = op
+        self._stream.operator = op
+        n = yield from self._stream.operate_pending()
+        return n
+
+    @property
+    def active_producers(self) -> int:
+        return self._stream.active_producers
+
+    def result(self) -> Any:
+        return operator_result(self.operator)
+
+    @property
+    def profile(self) -> StreamProfile:
+        return self._stream.profile
+
+
+class StageContext:
+    """Everything a stage body needs, one level above
+    :class:`~repro.core.runtime.GroupContext`."""
+
+    def __init__(self, stage: str, group_ctx: GroupContext,
+                 handles: Dict[str, Any]):
+        self.stage = stage
+        self._group_ctx = group_ctx
+        self._handles = handles
+
+    # -- communicators --------------------------------------------------
+    @property
+    def comm(self):
+        """This stage's group communicator."""
+        return self._group_ctx.comm
+
+    @property
+    def world(self):
+        """The full (world) communicator."""
+        return self._group_ctx.world
+
+    @property
+    def plan(self):
+        return self._group_ctx.plan
+
+    @property
+    def alpha(self) -> float:
+        return self._group_ctx.alpha
+
+    @property
+    def time(self) -> float:
+        return self._group_ctx.world.time
+
+    def compute(self, seconds: float, label: str = "compute"
+                ) -> Generator[Any, Any, None]:
+        """Charge compute time on this rank (sugar for ``comm.compute``)."""
+        return self.comm.compute(seconds, label=label)
+
+    # -- flow handles ---------------------------------------------------
+    def _handle(self, flow_name: str) -> Any:
+        h = self._handles.get(flow_name)
+        if h is None:
+            raise GraphError(
+                f"flow {flow_name!r} does not touch stage {self.stage!r}")
+        return h
+
+    def producer(self, flow_name: str) -> ProducerHandle:
+        h = self._handle(flow_name)
+        if not isinstance(h, ProducerHandle):
+            raise GraphError(
+                f"stage {self.stage!r} is the consumer of flow "
+                f"{flow_name!r}, not its producer")
+        return h
+
+    def consumer(self, flow_name: str) -> ConsumerHandle:
+        h = self._handle(flow_name)
+        if not isinstance(h, ConsumerHandle):
+            raise GraphError(
+                f"stage {self.stage!r} is the producer of flow "
+                f"{flow_name!r}, not its consumer")
+        return h
+
+    def consume(self, flow_name: str, operator: Optional[Callable] = None
+                ) -> Generator[Any, Any, StreamProfile]:
+        """Sugar: ``yield from ctx.consume("f")`` operates the flow."""
+        return self.consumer(flow_name).operate(operator)
+
+    def channel(self, flow_name: str) -> StreamChannel:
+        """The underlying stream channel (finer-control escape hatch)."""
+        return self._group_ctx.channel(flow_name)

@@ -1,0 +1,167 @@
+"""The unified run report: simulation outcome + streams + trace analysis.
+
+A :class:`Report` merges what the lower layers return separately — the
+:class:`~repro.simmpi.launcher.SimResult`, each rank's per-flow
+:class:`~repro.mpistream.profiles.StreamProfile`, and (when tracing is
+enabled) the :mod:`repro.trace` overlap/idle/imbalance analyses — into
+one object figures and tests query directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from ..core.groups import DecouplingPlan
+from ..mpistream.profiles import StreamProfile
+from ..simmpi.launcher import SimResult
+from ..trace.analysis import (
+    idle_fraction,
+    imbalance_stats,
+    measured_beta,
+    overlap_fraction,
+)
+from .errors import GraphError
+from .handles import StageRecord
+
+
+@dataclass
+class Report:
+    """Outcome of one :class:`~repro.api.simulation.Simulation` run."""
+
+    sim: SimResult
+    plan: Optional[DecouplingPlan] = None
+    records: Optional[List[StageRecord]] = None
+
+    # ------------------------------------------------------------------
+    # SimResult passthroughs
+    # ------------------------------------------------------------------
+    @property
+    def nprocs(self) -> int:
+        return self.sim.nprocs
+
+    @property
+    def elapsed(self) -> float:
+        """Virtual time when the last rank finished."""
+        return self.sim.elapsed
+
+    @property
+    def messages(self) -> int:
+        return self.sim.messages
+
+    @property
+    def bytes(self) -> int:
+        return self.sim.bytes
+
+    @property
+    def events(self) -> int:
+        return self.sim.events
+
+    @property
+    def imbalance(self) -> float:
+        return self.sim.imbalance
+
+    @property
+    def tracer(self):
+        return self.sim.tracer
+
+    @property
+    def values(self) -> List[Any]:
+        """Per-rank body results (stage records unwrapped)."""
+        if self.records is not None:
+            return [r.result for r in self.records]
+        return self.sim.values
+
+    # ------------------------------------------------------------------
+    # stage / flow queries (graph runs)
+    # ------------------------------------------------------------------
+    def _require_records(self) -> List[StageRecord]:
+        if self.records is None:
+            raise GraphError(
+                "this report came from a plain rank program; stage and "
+                "flow queries need a StreamGraph run")
+        return self.records
+
+    def stage_of(self, rank: int) -> str:
+        records = self._require_records()
+        return records[rank].stage
+
+    def stage_ranks(self, stage: str) -> List[int]:
+        records = self._require_records()
+        out = [r for r, rec in enumerate(records) if rec.stage == stage]
+        if not out:
+            raise GraphError(f"unknown stage {stage!r}")
+        return out
+
+    def stage_values(self, stage: str) -> List[Any]:
+        """Body results of every rank in ``stage``, in rank order."""
+        records = self._require_records()
+        return [records[r].result for r in self.stage_ranks(stage)]
+
+    def flow_profiles(self, flow: str) -> Dict[int, StreamProfile]:
+        """``{world_rank: StreamProfile}`` for every rank touching
+        ``flow`` (producers and consumers)."""
+        records = self._require_records()
+        out = {r: rec.profiles[flow]
+               for r, rec in enumerate(records) if flow in rec.profiles}
+        if not out:
+            raise GraphError(f"unknown flow {flow!r}")
+        return out
+
+    def flow_elements(self, flow: str) -> int:
+        """Total elements delivered on ``flow`` (sum over consumers)."""
+        return sum(p.elements_received
+                   for p in self.flow_profiles(flow).values())
+
+    # ------------------------------------------------------------------
+    # trace analysis (requires trace=True)
+    # ------------------------------------------------------------------
+    def _require_tracer(self):
+        if self.sim.tracer is None:
+            raise GraphError(
+                "trace analysis needs Simulation(..., trace=True)")
+        return self.sim.tracer
+
+    def overlap(self, label_a: str, label_b: str) -> float:
+        """Fraction of label-A busy time hidden behind label-B."""
+        return overlap_fraction(self._require_tracer(), label_a, label_b)
+
+    def beta(self, op0_label: str, op1_label: str) -> float:
+        """Empirical Eq.-3 beta between two operations."""
+        return measured_beta(self._require_tracer(), op0_label, op1_label)
+
+    def idle(self, rank: int) -> float:
+        """Share of the run this rank spent waiting."""
+        return idle_fraction(self._require_tracer(), rank)
+
+    def busy_imbalance(self, category: str = "compute",
+                       label: Optional[str] = None) -> Dict[str, float]:
+        """min/max/mean/CV of per-rank busy time."""
+        return imbalance_stats(self._require_tracer(), category,
+                               label=label)
+
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, Any]:
+        """One dict with the headline numbers (reports, logs)."""
+        out: Dict[str, Any] = {
+            "nprocs": self.nprocs,
+            "elapsed": self.elapsed,
+            "messages": self.messages,
+            "bytes": self.bytes,
+            "events": self.events,
+            "imbalance": self.imbalance,
+        }
+        if self.plan is not None and self.records is not None:
+            out["stages"] = {
+                name: len(self.stage_ranks(name))
+                for name in (s.name for s in self.plan.groups.values())
+            }
+            out["flows"] = {
+                f.name: self.flow_elements(f.name) for f in self.plan.flows
+            }
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "graph" if self.records is not None else "program"
+        return (f"Report({kind}, nprocs={self.nprocs}, "
+                f"elapsed={self.elapsed:.4f}s, messages={self.messages})")

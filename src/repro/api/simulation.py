@@ -1,0 +1,155 @@
+"""The single run entry point of the declarative front-end.
+
+``Simulation`` bundles the platform knobs (machine preset, process
+count, tracing, noise) once, then runs either a :class:`~repro.api.
+graph.StreamGraph` or a plain rank program::
+
+    sim = Simulation(64, machine="beskow", trace=True)
+    report = sim.run(graph)                     # declarative graph
+    report = sim.run(worker, args=(cfg,))       # existing rank program
+
+Both paths return a :class:`~repro.api.report.Report`; the low-level
+:func:`repro.simmpi.run` / :func:`repro.core.run_decoupled` surface
+stays available unchanged for finer control.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Optional, Union
+
+from ..simmpi.config import (
+    MachineConfig,
+    NoiseConfig,
+    beskow,
+    ideal_network_testbed,
+    quiet_testbed,
+)
+from ..simmpi.launcher import run
+from .errors import GraphError
+from .graph import CompiledGraph, StreamGraph
+from .report import Report
+
+#: machine presets accepted by name
+MACHINE_PRESETS = {
+    "beskow": beskow,
+    "quiet": quiet_testbed,
+    "quiet_testbed": quiet_testbed,
+    "ideal": ideal_network_testbed,
+    "ideal_network": ideal_network_testbed,
+}
+
+
+def _resolve_machine(machine: Union[None, str, MachineConfig],
+                     noise: Union[None, bool, int, NoiseConfig]
+                     ) -> MachineConfig:
+    if machine is None:
+        cfg = quiet_testbed()
+    elif isinstance(machine, str):
+        factory = MACHINE_PRESETS.get(machine)
+        if factory is None:
+            raise GraphError(
+                f"unknown machine preset {machine!r}; choose from "
+                f"{sorted(MACHINE_PRESETS)} or pass a MachineConfig")
+        cfg = factory()
+    elif isinstance(machine, MachineConfig):
+        cfg = machine
+    else:
+        raise GraphError(
+            f"machine must be a preset name or MachineConfig, "
+            f"got {type(machine).__name__}")
+
+    if noise is None or noise is True:
+        return cfg
+    if noise is False:
+        return cfg.with_(noise=replace(
+            cfg.noise, persistent_skew=0.0, quantum_fraction=0.0))
+    if isinstance(noise, NoiseConfig):
+        return cfg.with_(noise=noise)
+    if isinstance(noise, int):
+        return cfg.with_(noise=replace(cfg.noise, seed=noise))
+    raise GraphError(
+        f"noise must be None, a bool, a seed or a NoiseConfig, "
+        f"got {type(noise).__name__}")
+
+
+class Simulation:
+    """One simulated platform + process count, ready to run work."""
+
+    def __init__(self, nprocs: int,
+                 machine: Union[None, str, MachineConfig] = None, *,
+                 trace: bool = False,
+                 noise: Union[None, bool, int, NoiseConfig] = None,
+                 max_events: Optional[int] = None):
+        """
+        Parameters
+        ----------
+        nprocs:
+            Number of simulated processes.
+        machine:
+            Platform: a :class:`~repro.simmpi.config.MachineConfig`, a
+            preset name (``"beskow"``, ``"quiet"``, ``"ideal"``) or
+            None for the quiet testbed.
+        trace:
+            Record a :class:`~repro.trace.recorder.Tracer`, enabling the
+            report's overlap/idle/imbalance analyses.
+        noise:
+            Noise override: ``False`` silences the machine's noise
+            model, an ``int`` reseeds it, a :class:`~repro.simmpi.
+            config.NoiseConfig` replaces it, ``None`` keeps the preset.
+        max_events:
+            Safety budget on engine events (livelock guard).
+        """
+        if nprocs <= 0:
+            raise GraphError("nprocs must be positive")
+        self.nprocs = nprocs
+        self.machine = _resolve_machine(machine, noise)
+        self.trace = trace
+        self.max_events = max_events
+
+    # ------------------------------------------------------------------
+    def run(self, target: Union[StreamGraph, CompiledGraph, Callable], *,
+            args: tuple = (),
+            rank_args: Optional[Callable[[int], tuple]] = None) -> Report:
+        """Run a :class:`StreamGraph` (compiling it for this machine) or
+        a plain generator rank program ``fn(comm, *args)``."""
+        if isinstance(target, (StreamGraph, CompiledGraph)):
+            if args or rank_args is not None:
+                raise GraphError(
+                    "args/rank_args apply to rank programs; parameterize "
+                    "a StreamGraph through its stage bodies instead")
+            return self._run_graph(target)
+        if callable(target):
+            return self._run_program(target, args, rank_args)
+        raise GraphError(
+            f"cannot run {type(target).__name__}; pass a StreamGraph "
+            "or a generator rank program")
+
+    # ------------------------------------------------------------------
+    def _run_graph(self, target: Union[StreamGraph, CompiledGraph]) -> Report:
+        compiled = (target if isinstance(target, CompiledGraph)
+                    else target.compile(self.nprocs))
+        if compiled.total_procs != self.nprocs:
+            raise GraphError(
+                f"graph compiled for {compiled.total_procs} processes, "
+                f"simulation has {self.nprocs}")
+
+        def main(comm):
+            record = yield from compiled.execute(comm)
+            return record
+
+        sim = run(main, self.nprocs, machine=self.machine,
+                  trace=self.trace, max_events=self.max_events)
+        return Report(sim=sim, plan=compiled.plan,
+                      records=list(sim.values))
+
+    def _run_program(self, fn: Callable, args: tuple,
+                     rank_args: Optional[Callable[[int], tuple]]) -> Report:
+        sim = run(fn, self.nprocs, machine=self.machine, args=args,
+                  rank_args=rank_args, trace=self.trace,
+                  max_events=self.max_events)
+        return Report(sim=sim)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Simulation(nprocs={self.nprocs}, "
+                f"machine={self.machine.name!r}, trace={self.trace})")

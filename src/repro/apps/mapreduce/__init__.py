@@ -10,11 +10,11 @@ from .common import (
     merge_cost_seconds,
     rank_file,
 )
-from .decoupled import decoupled_worker, roles
+from .decoupled import build_graph, decoupled_worker, roles
 from .reference import reference_worker
 
 __all__ = [
     "KeySetPayload", "MapReduceConfig", "RealHistogram", "SummaryHistogram",
-    "decoupled_worker", "expected_distinct_keys", "map_chunk",
+    "build_graph", "decoupled_worker", "expected_distinct_keys", "map_chunk",
     "merge_cost_seconds", "rank_file", "reference_worker", "roles",
 ]

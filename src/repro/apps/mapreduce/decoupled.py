@@ -1,12 +1,12 @@
-"""Decoupled MapReduce over MPIStream (Section IV-B).
+"""Decoupled MapReduce over a declarative stream graph (Section IV-B).
 
 Groups, exactly as the paper lays them out:
 
-* **map group** — (1 - alpha) * P ranks.  Each reads its log files and
+* **map stage** — (1 - alpha) * P ranks.  Each reads its log files and
   streams every chunk's partial histogram to its assigned local
   reducer *the moment the chunk is mapped* (continuous dataflow, no
   end-of-stage burst).
-* **reduce group** — alpha * P ranks, "further decoupled into one group
+* **reduce stage** — alpha * P ranks, "further decoupled into one group
   that reduces the streams locally and one master process that
   aggregates the global results".  Local reducers fold arriving
   partials first-come-first-served; every ``master_update_elements``
@@ -18,13 +18,20 @@ Groups, exactly as the paper lays them out:
 Because the same total workload runs on fewer map ranks, each mapper
 carries ``1/(1-alpha)`` more input (the paper's fairness rule,
 Section IV-A).
+
+The wiring is declared once in :func:`build_graph` and compiled onto
+``DecouplingPlan`` + ``run_decoupled`` by :mod:`repro.api`; the
+terminate/free protocol is applied by the runtime's handles instead of
+by hand.  :func:`decoupled_worker` keeps its original plain-rank-
+program signature so existing callers (benchmarks, sweeps) are
+unchanged.
 """
 
 from __future__ import annotations
 
 from typing import Any, Dict, Generator
 
-from ...mpistream import attach, create_channel
+from ...api import StreamGraph
 from ...simmpi.comm import Comm
 from .common import (
     MapReduceConfig,
@@ -48,86 +55,84 @@ def roles(cfg: MapReduceConfig, rank: int) -> str:
     return "reduce"
 
 
-def decoupled_worker(comm: Comm, cfg: MapReduceConfig
-                     ) -> Generator[Any, Any, Dict[str, Any]]:
-    """SPMD main of the decoupled implementation."""
-    if comm.size != cfg.nprocs:
-        raise ValueError("config/communicator size mismatch")
-    role = roles(cfg, comm.rank)
-    t_start = comm.time
+def build_graph(cfg: MapReduceConfig) -> StreamGraph:
+    """The three-stage graph: map -> reduce -> master."""
 
-    # map -> local reducers, then local reducers -> master
-    ch_mr = yield from create_channel(comm, is_producer=(role == "map"),
-                                      is_consumer=(role == "reduce"))
-    ch_rm = yield from create_channel(comm, is_producer=(role == "reduce"),
-                                      is_consumer=(role == "master"))
-
-    out: Dict[str, Any] = {"role": role}
-
-    if role == "map":
-        stream = yield from attach(ch_mr, None)
+    def map_body(ctx) -> Generator[Any, Any, Dict[str, Any]]:
         # Fairness rule (Section IV-A): the decoupled run processes the
         # SAME total workload — all cfg.nprocs files' chunks — spread
         # over the smaller map group, so each mapper carries
         # ~1/(1-alpha) more input than a reference rank.
-        my_index = comm.rank
+        my_index = ctx.comm.rank       # map block starts at world rank 0
         nmap = cfg.n_map
         total_bytes = 0
         chunks_done = 0
-        for item in range(my_index, cfg.nprocs * cfg.nchunks, nmap):
-            file_idx, chunk = divmod(item, cfg.nchunks)
-            file = rank_file(cfg, file_idx)
-            chunk_bytes = file.nbytes / cfg.nchunks
-            seconds = chunk_map_seconds(cfg, file_idx, chunk, chunk_bytes)
-            yield from comm.compute(seconds, label="map")
-            part = map_chunk(cfg, file, file_idx, chunk)
-            yield from stream.isend(part)
-            total_bytes += chunk_bytes
-            chunks_done += 1
-        yield from stream.terminate()
-        out["chunks"] = chunks_done
-        out["file_bytes"] = int(total_bytes)
+        with ctx.producer("intermediate") as out:
+            for item in range(my_index, cfg.nprocs * cfg.nchunks, nmap):
+                file_idx, chunk = divmod(item, cfg.nchunks)
+                file = rank_file(cfg, file_idx)
+                chunk_bytes = file.nbytes / cfg.nchunks
+                seconds = chunk_map_seconds(cfg, file_idx, chunk, chunk_bytes)
+                yield from ctx.compute(seconds, label="map")
+                part = map_chunk(cfg, file, file_idx, chunk)
+                yield from out.send(part)
+                total_bytes += chunk_bytes
+                chunks_done += 1
+        return {"chunks": chunks_done, "file_bytes": int(total_bytes)}
 
-    elif role == "reduce":
-        to_master = yield from attach(ch_rm, None)
+    def reduce_body(ctx) -> Generator[Any, Any, Dict[str, Any]]:
         state = {"partial": empty_histogram(cfg), "since_push": 0,
                  "elements": 0}
+        with ctx.producer("aggregate") as to_master:
 
-        def fold(element):
-            part = element.data
-            cost = merge_cost_seconds(state["partial"], part, cfg)
-            yield from comm.compute(cost, label="reduce")
-            state["partial"] = state["partial"].merge(part)
-            state["since_push"] += 1
-            state["elements"] += 1
-            if state["since_push"] >= cfg.master_update_elements:
-                yield from to_master.isend(state["partial"])
-                state["partial"] = empty_histogram(cfg)
-                state["since_push"] = 0
+            def fold(element):
+                part = element.data
+                cost = merge_cost_seconds(state["partial"], part, cfg)
+                yield from ctx.compute(cost, label="reduce")
+                state["partial"] = state["partial"].merge(part)
+                state["since_push"] += 1
+                state["elements"] += 1
+                if state["since_push"] >= cfg.master_update_elements:
+                    yield from to_master.send(state["partial"])
+                    state["partial"] = empty_histogram(cfg)
+                    state["since_push"] = 0
 
-        stream = yield from attach(ch_mr, fold)
-        yield from stream.operate()
-        if state["since_push"] > 0 or state["elements"] == 0:
-            yield from to_master.isend(state["partial"])
-        yield from to_master.terminate()
-        out["elements"] = state["elements"]
+            yield from ctx.consume("intermediate", operator=fold)
+            if state["since_push"] > 0 or state["elements"] == 0:
+                yield from to_master.send(state["partial"])
+        return {"elements": state["elements"]}
 
-    else:  # master
+    def master_body(ctx) -> Generator[Any, Any, Dict[str, Any]]:
         state = {"total": empty_histogram(cfg), "updates": 0}
 
         def aggregate(element):
             part = element.data
             cost = merge_cost_seconds(state["total"], part, cfg)
-            yield from comm.compute(cost, label="master-merge")
+            yield from ctx.compute(cost, label="master-merge")
             state["total"] = state["total"].merge(part)
             state["updates"] += 1
 
-        stream = yield from attach(ch_rm, aggregate)
-        yield from stream.operate()
-        out["updates"] = state["updates"]
-        out["result"] = state["total"]
+        yield from ctx.consume("aggregate", operator=aggregate)
+        return {"updates": state["updates"], "result": state["total"]}
 
-    yield from ch_mr.free()
-    yield from ch_rm.free()
+    return (
+        StreamGraph("mapreduce-decoupled")
+        .stage("map", size=cfg.n_map, body=map_body)
+        .stage("reduce", size=cfg.n_reduce - 1, body=reduce_body)
+        .stage("master", size=1, body=master_body)
+        .flow("intermediate", src="map", dst="reduce")
+        .flow("aggregate", src="reduce", dst="master")
+    )
+
+
+def decoupled_worker(comm: Comm, cfg: MapReduceConfig
+                     ) -> Generator[Any, Any, Dict[str, Any]]:
+    """SPMD main of the decoupled implementation (graph-compiled)."""
+    if comm.size != cfg.nprocs:
+        raise ValueError("config/communicator size mismatch")
+    t_start = comm.time
+    record = yield from build_graph(cfg).compile(cfg.nprocs).execute(comm)
+    out: Dict[str, Any] = {"role": record.stage}
+    out.update(record.result)
     out["elapsed"] = comm.time - t_start
     return out

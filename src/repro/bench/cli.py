@@ -5,6 +5,7 @@ rows and saving JSON artifacts::
 
     python -m repro.bench fig5 --points 32,128,512
     python -m repro.bench fig2
+    python -m repro.bench fig3 --out /tmp/artifacts
     python -m repro.bench all --points 32,128
 """
 
@@ -42,7 +43,8 @@ def _parse_points(text: Optional[str]) -> List[int]:
     return points
 
 
-def run_figure(name: str, points: List[int]) -> None:
+def run_figure(name: str, points: List[int],
+               out_dir: Optional[str] = None) -> None:
     if name == "fig2":
         from ..trace import render
         out = fig2_traces()
@@ -59,12 +61,13 @@ def run_figure(name: str, points: List[int]) -> None:
         for key in ("conventional", "nonblocking", "decoupled"):
             print(f"  {key:>14}: {out[key]:.3f}")
         save_artifact("fig3_models",
-                      [Series(k, points={0: v}) for k, v in out.items()])
+                      [Series(k, points={0: v}) for k, v in out.items()],
+                      out_dir=out_dir)
         return
     fn, title = SWEEP_FIGURES[name]
     series = fn(points)
     print(render_table(title, series))
-    save_artifact(f"{name}_cli", series)
+    save_artifact(f"{name}_cli", series, out_dir=out_dir)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -76,11 +79,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--points", default=None,
                         help="comma-separated process counts "
                              f"(default: {','.join(map(str, DEFAULT_POINTS))})")
+    parser.add_argument("--out", default=None, metavar="DIR",
+                        help="directory for JSON artifacts (default: "
+                             "$REPRO_RESULTS_DIR or benchmarks/results)")
     args = parser.parse_args(argv)
     points = _parse_points(args.points)
     names = ALL_FIGURES if args.figure == "all" else (args.figure,)
     for name in names:
-        run_figure(name, points)
+        run_figure(name, points, out_dir=args.out)
         print()
     return 0
 

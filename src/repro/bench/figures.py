@@ -20,7 +20,6 @@ from ..apps.ipic3d import (
 )
 from ..apps.mapreduce import MapReduceConfig, decoupled_worker, reference_worker
 from ..simmpi.config import beskow
-from ..simmpi.launcher import run
 from .harness import Series, max_elapsed, sweep
 
 #: paper parameters
@@ -136,32 +135,30 @@ def fig8_pio(points: List[int], sim_steps: int = 8) -> List[Series]:
 def fig2_traces(nprocs: int = 7, steps: int = 6) -> Dict[str, object]:
     """Seven-rank traces (paper: P0-P6) of the particle phase.
 
-    Returns both tracers plus overlap metrics: the decoupled trace must
-    show mover/exchange concurrency, the reference must not.
+    Returns both run reports plus overlap metrics: the decoupled trace
+    must show mover/exchange concurrency, the reference must not.
     """
-    from ..trace.analysis import overlap_fraction
+    from ..api import Simulation
 
     # a communication-heavy phase, as in the paper's trace (the GEM run
     # section where many particles cross subdomains)
     cfg_ref = IPICConfig(nprocs=nprocs - 1, steps=steps,
                          particles_per_rank=100_000,
                          exit_fraction_mean=0.15)
-    r_ref = run(pcomm_reference, nprocs - 1, args=(cfg_ref,),
-                machine=beskow(), trace=True)
+    r_ref = Simulation(nprocs - 1, machine=beskow(), trace=True).run(
+        pcomm_reference, args=(cfg_ref,))
     cfg_dec = IPICConfig(nprocs=nprocs, steps=steps, alpha=1.0 / nprocs,
                          particles_per_rank=100_000,
                          exit_fraction_mean=0.15)
-    r_dec = run(pcomm_decoupled, nprocs, args=(cfg_dec,),
-                machine=beskow(), trace=True)
+    r_dec = Simulation(nprocs, machine=beskow(), trace=True).run(
+        pcomm_decoupled, args=(cfg_dec,))
     return {
         "reference": r_ref,
         "decoupled": r_dec,
         # fraction of particle-communication busy time hidden behind
         # concurrent computation (the Fig. 2 contrast)
-        "ref_overlap": overlap_fraction(r_ref.tracer, "pcomm-handle",
-                                        "mover"),
-        "dec_overlap": overlap_fraction(r_dec.tracer, "exchange-handle",
-                                        "mover"),
+        "ref_overlap": r_ref.overlap("pcomm-handle", "mover"),
+        "dec_overlap": r_dec.overlap("exchange-handle", "mover"),
     }
 
 
@@ -172,9 +169,14 @@ def fig2_traces(nprocs: int = 7, steps: int = 6) -> Dict[str, object]:
 def fig3_execution_models(nprocs: int = 8, rounds: int = 8
                           ) -> Dict[str, float]:
     """The three execution models of Fig. 3 on a synthetic imbalanced
-    two-operation application; returns each model's makespan."""
-    from ..mpistream import attach, create_channel
-    from ..simmpi.config import quiet_testbed
+    two-operation application; returns each model's makespan.
+
+    The conventional and non-blocking models are plain rank programs;
+    the decoupled model is a two-stage :class:`~repro.api.graph.
+    StreamGraph`, compiled for the same machine by the same
+    :class:`~repro.api.simulation.Simulation` entry point.
+    """
+    from ..api import Simulation, StreamGraph
 
     work_red = 0.30     # the operation that stays on compute ranks
     work_blue = 0.07    # the operation that gets decoupled
@@ -212,31 +214,30 @@ def fig3_execution_models(nprocs: int = 8, rounds: int = 8
         yield from comm.wait(req)
         return comm.time
 
-    def decoupled(comm):
-        is_worker = comm.rank < comm.size - 1
-        ch = yield from create_channel(comm, is_worker, not is_worker)
-
-        def op1(element):
-            yield from comm.compute(work_blue_decoupled, "op1")
-
-        s = yield from attach(ch, op1)
-        if is_worker:
-            scale = comm.size / (comm.size - 1)
+    def worker_body(ctx):
+        scale = nprocs / (nprocs - 1)
+        with ctx.producer("results") as out:
             for rnd in range(rounds):
-                yield from comm.compute(
-                    red_seconds(comm.rank, rnd) * scale, "op0")
-                yield from s.isend(rnd)
-            yield from s.terminate()
-        else:
-            yield from s.operate()
-        yield from ch.free()
-        return comm.time
+                yield from ctx.compute(
+                    red_seconds(ctx.comm.rank, rnd) * scale, "op0")
+                yield from out.send(rnd)
 
-    machine = quiet_testbed()
-    out = {}
-    for name, fn in (("conventional", conventional),
-                     ("nonblocking", nonblocking),
-                     ("decoupled", decoupled)):
-        result = run(fn, nprocs, machine=machine)
-        out[name] = max(result.values)
-    return out
+    def op1_body(ctx):
+        def op1(element):
+            yield from ctx.compute(work_blue_decoupled, "op1")
+
+        yield from ctx.consume("results", operator=op1)
+
+    decoupled_graph = (
+        StreamGraph("fig3-decoupled")
+        .stage("workers", size=nprocs - 1, body=worker_body)
+        .stage("op1", size=1, body=op1_body)
+        .flow("results", src="workers", dst="op1")
+    )
+
+    sim = Simulation(nprocs, machine="quiet")
+    return {
+        "conventional": sim.run(conventional).elapsed,
+        "nonblocking": sim.run(nonblocking).elapsed,
+        "decoupled": sim.run(decoupled_graph).elapsed,
+    }

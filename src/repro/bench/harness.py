@@ -119,8 +119,12 @@ def results_dir() -> str:
 
 
 def save_artifact(name: str, series: List[Series],
-                  extra: Optional[Dict[str, Any]] = None) -> str:
-    """Persist a figure's series as JSON; returns the path."""
+                  extra: Optional[Dict[str, Any]] = None,
+                  out_dir: Optional[str] = None) -> str:
+    """Persist a figure's series as JSON; returns the path.
+
+    ``out_dir`` overrides the default artifact directory (which is
+    ``$REPRO_RESULTS_DIR`` or ``benchmarks/results``)."""
     payload = {
         "figure": name,
         "series": [
@@ -131,7 +135,12 @@ def save_artifact(name: str, series: List[Series],
         ],
         "extra": extra or {},
     }
-    path = os.path.join(results_dir(), f"{name}.json")
+    if out_dir is not None:
+        directory = os.path.abspath(out_dir)
+        os.makedirs(directory, exist_ok=True)
+    else:
+        directory = results_dir()
+    path = os.path.join(directory, f"{name}.json")
     with open(path, "w") as fh:
         json.dump(payload, fh, indent=2)
     return path

@@ -35,11 +35,12 @@ from .model import (
 from .runtime import GroupContext, conventional_baseline, run_decoupled
 
 __all__ = [
-    "AlphaController", "BetaModel", "EpochMeasurement",
-    "GranularityController", "epoch_from_trace", "CATEGORY_NAMES", "DecouplingPlan", "Flow", "GroupContext",
+    "AlphaController", "BetaModel", "CATEGORY_NAMES", "DecouplingPlan",
+    "EpochMeasurement", "Flow", "GranularityController", "GroupContext",
     "GroupSpec", "OperationProfile", "PAPER_PROFILES", "PlanError",
     "SuitabilityReport", "conventional_baseline", "conventional_time",
-    "decoupled_time_beta", "decoupled_time_full", "decoupled_time_overlap",
-    "optimal_alpha", "optimal_granularity", "predicted_sigma",
-    "rank_operations", "run_decoupled", "score_operation", "speedup",
+    "decoupled_time_beta", "decoupled_time_full",
+    "decoupled_time_overlap", "epoch_from_trace", "optimal_alpha",
+    "optimal_granularity", "predicted_sigma", "rank_operations",
+    "run_decoupled", "score_operation", "speedup",
 ]

@@ -3,7 +3,8 @@
 Given a validated :class:`~repro.core.groups.DecouplingPlan` and one
 body function per group, :func:`run_decoupled` is the SPMD main that:
 
-1. splits the world communicator into the plan's groups,
+1. forms the plan's group communicators (communication-free: plan
+   membership is deterministic on every rank),
 2. creates one stream channel per declared flow (a collective over the
    *world* communicator, producers = src group, consumers = dst group),
 3. invokes this rank's group body with a :class:`GroupContext`.
@@ -33,6 +34,10 @@ class GroupContext:
     world: Comm                      # the full communicator
     comm: Comm                       # this group's communicator
     channels: Dict[str, StreamChannel] = field(default_factory=dict)
+    #: every flow's channel, bystander ranks included — channel teardown
+    #: (``free`` barriers) is collective over the world communicator, so
+    #: runtimes that free channels automatically need them all
+    all_channels: Dict[str, StreamChannel] = field(default_factory=dict)
 
     @property
     def alpha(self) -> float:
@@ -64,24 +69,31 @@ def run_decoupled(world: Comm, plan: DecouplingPlan,
     if missing:
         raise PlanError(f"no body for group(s): {missing}")
 
+    # Group membership is a pure function of the plan (groups occupy
+    # contiguous, deterministic rank blocks), so the group communicator
+    # is formed without an agreement round — the MPI_Comm_create_group
+    # path rather than MPI_Comm_split.
     my_group = plan.group_of(world.rank)
-    group_comm = yield from world.split(plan.color_of(world.rank),
-                                        key=world.rank)
+    group_comm = world.group_from_ranks(
+        list(plan.groups[my_group].ranks), name=f"{world.name}/{my_group}")
 
     # channels are collective over the world communicator, in the
     # deterministic order flows were declared
     channels: Dict[str, StreamChannel] = {}
+    all_channels: Dict[str, StreamChannel] = {}
     for flow in plan.flows:
         ch = yield from create_channel(
             world,
             is_producer=(my_group == flow.src),
             is_consumer=(my_group == flow.dst),
         )
+        all_channels[flow.name] = ch
         if my_group in (flow.src, flow.dst):
             channels[flow.name] = ch
 
     ctx = GroupContext(plan=plan, group=my_group, world=world,
-                       comm=group_comm, channels=channels)
+                       comm=group_comm, channels=channels,
+                       all_channels=all_channels)
     result = yield from bodies[my_group](ctx)
     return result
 

@@ -31,7 +31,8 @@ Each ``isend`` charges the Eq.-4 per-element overhead ``o``
 from __future__ import annotations
 
 import inspect
-from typing import Any, Callable, Generator, List, Optional
+from collections import deque
+from typing import Any, Callable, Deque, Generator, Optional
 
 from ..simmpi.errors import CommunicatorError, RequestError
 from ..simmpi.matching import ANY_SOURCE
@@ -61,7 +62,7 @@ class Stream:
         self.eager = eager
         self.profile = StreamProfile()
         self._seq = 0
-        self._pending: List = []
+        self._pending: Deque = deque()
         self._terminated = False
         # consumer-side bookkeeping
         if channel.is_consumer:
@@ -89,9 +90,10 @@ class Stream:
         """Inject one stream element (``MPIStream_Isend``).
 
         Non-blocking: returns once the element is handed to the
-        transport.  If more than ``window`` elements are in flight, the
-        oldest is waited for first (bounded buffering, Section II-D's
-        memory argument).
+        transport.  When ``window`` elements are already in flight, the
+        oldest is waited for before the new one is injected, so at most
+        ``window`` elements are ever pending (bounded buffering,
+        Section II-D's memory argument).
         """
         self.channel.check_alive()
         if not self.channel.is_producer:
@@ -101,14 +103,14 @@ class Stream:
         comm = self.channel.comm
         if self.element_overhead > 0:
             yield from comm.compute(self.element_overhead, label="stream-inject")
+        if len(self._pending) >= self.window:
+            oldest = self._pending.popleft()
+            yield from comm.wait(oldest, label="stream-window")
         dest = self._dest(data)
         payload = (self._seq, data)
         req = yield from comm.isend(payload, dest, tag=self.tag,
                                     force_eager=self.eager)
         self._pending.append(req)
-        if len(self._pending) > self.window:
-            oldest = self._pending.pop(0)
-            yield from comm.wait(oldest, label="stream-window")
         self.profile.record_send(element_nbytes(data), self.element_overhead)
         self._seq += 1
 

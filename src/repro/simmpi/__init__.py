@@ -66,14 +66,14 @@ from .request import PersistentRequest, Request, Status
 from .topology import CartComm, cart_create, dims_create
 
 __all__ = [
-    "ANY_SOURCE", "ANY_TAG", "File", "FileSystem", "TAG_UB",
-    "BYTE", "CHAR", "DOUBLE", "FLOAT", "INT", "LONG",
-    "CartComm", "Comm", "CommunicatorError", "Datatype", "DeadlockError",
-    "Delay", "Engine", "EventFlag", "IOConfig", "InvalidRankError",
-    "InvalidTagError", "MachineConfig", "Network", "NetworkConfig",
-    "NoiseConfig", "NoiseModel", "PersistentRequest", "Request",
-    "RequestError", "SimMPIError", "SimResult", "SizedPayload", "Spawn",
-    "Status", "TopologyError", "TransferTiming", "TruncationError",
+    "ANY_SOURCE", "ANY_TAG", "BYTE", "CHAR", "CartComm", "Comm",
+    "CommunicatorError", "DOUBLE", "Datatype", "DeadlockError", "Delay",
+    "Engine", "EventFlag", "FLOAT", "File", "FileSystem", "INT",
+    "IOConfig", "InvalidRankError", "InvalidTagError", "LONG",
+    "MachineConfig", "Network", "NetworkConfig", "NoiseConfig",
+    "NoiseModel", "PersistentRequest", "Request", "RequestError",
+    "SimMPIError", "SimResult", "SizedPayload", "Spawn", "Status",
+    "TAG_UB", "TopologyError", "TransferTiming", "TruncationError",
     "WaitFlag", "beskow", "cart_create", "contiguous", "dims_create",
     "ideal_network_testbed", "open_file", "payload_nbytes",
     "quiet_testbed", "read_back", "run", "struct", "vector",

@@ -498,6 +498,39 @@ class Comm:
         return Comm(self.world, globals_, self._global, p2p, coll,
                     name=f"{self.name}/split{seq}c{color}")
 
+    def group_from_ranks(self, local_ranks: Sequence[int],
+                         name: Optional[str] = None) -> "Comm":
+        """Create a sub-communicator from a locally-known member list
+        *without communication* (cf. ``MPI_Comm_create_group``).
+
+        Every member rank must call this with the identical
+        ``local_ranks`` list at the same point in its communicator-
+        creation sequence.  Context ids come from the world's first-
+        creator cache exactly as :meth:`split` agrees on them, but no
+        agreement round is paid because the membership is already known
+        deterministically on every rank (e.g. derived from a validated
+        :class:`~repro.core.groups.DecouplingPlan`).
+        """
+        members = list(local_ranks)
+        if not members:
+            raise CommunicatorError("group_from_ranks needs members")
+        if len(set(members)) != len(members):
+            raise CommunicatorError(
+                "group_from_ranks members must be duplicate-free")
+        for r in members:
+            self._check_rank(r)
+        if self._rank not in members:
+            raise CommunicatorError(
+                f"rank {self._rank} is not in the requested group")
+        seq = self._create_seq
+        self._create_seq += 1
+        ctx_key = (self.context, "group", seq, tuple(members))
+        p2p, coll = self.world.get_or_create_contexts(ctx_key)
+        globals_ = [self.ranks[r] for r in members]
+        return Comm(self.world, globals_, self._global, p2p, coll,
+                    name=name or f"{self.name}/group{seq}",
+                    my_local=members.index(self._rank))
+
     def dup(self) -> Generator[Any, Any, "Comm"]:
         """Duplicate the communicator with fresh contexts (collective)."""
         from . import collectives

@@ -1,0 +1,247 @@
+"""Context-manager handle semantics: auto-terminate, auto-free, role
+checks."""
+
+import pytest
+
+from repro.api import GraphError, Simulation, StreamGraph
+from repro.mpistream import Collector
+
+
+def test_auto_terminate_and_auto_free():
+    """A producer body that never calls terminate/free still delivers
+    everything, terminates every stream and frees every channel."""
+
+    def produce(ctx):
+        with ctx.producer("f") as out:
+            for i in range(5):
+                yield from out.send((ctx.comm.rank, i))
+        # no terminate(), no free(): the runtime epilogue must do both
+        return ctx.channel("f")
+
+    graph = (StreamGraph()
+             .stage("src", size=3, body=produce)
+             .stage("dst", size=1)
+             .flow("f", "src", "dst", operator=Collector))
+    report = Simulation(4).run(graph)
+
+    sink = report.stage_values("dst")[0]
+    assert sorted(sink.items) == sorted(
+        (r, i) for r in range(3) for i in range(5))
+    # channels were freed on every rank (producers returned theirs)
+    for ch in report.stage_values("src"):
+        assert ch.freed
+    # every producer's TERM was absorbed by the consumer
+    prof = report.flow_profiles("f")[3]
+    assert prof.terminates_seen == 3
+    assert report.flow_elements("f") == 15
+
+
+def test_send_after_close_rejected():
+    def produce(ctx):
+        with ctx.producer("f") as out:
+            yield from out.send(1)
+        yield from out.send(2)   # closed: must raise
+
+    graph = (StreamGraph()
+             .stage("src", size=1, body=produce)
+             .stage("dst", size=1)
+             .flow("f", "src", "dst", operator=Collector))
+    with pytest.raises(GraphError, match="closed producer"):
+        Simulation(2).run(graph)
+
+
+def test_explicit_terminate_is_idempotent_with_epilogue():
+    def produce(ctx):
+        with ctx.producer("f") as out:
+            yield from out.send(41)
+            yield from out.terminate()     # explicit, early
+        return "done"
+
+    graph = (StreamGraph()
+             .stage("src", size=1, body=produce)
+             .stage("dst", size=1)
+             .flow("f", "src", "dst", operator=Collector))
+    report = Simulation(2).run(graph)
+    assert report.stage_values("src") == ["done"]
+    assert report.stage_values("dst")[0].items == [41]
+
+
+def test_send_after_terminate_rejected():
+    def produce(ctx):
+        out = ctx.producer("f")
+        yield from out.terminate()
+        yield from out.send(1)
+
+    graph = (StreamGraph()
+             .stage("src", size=1, body=produce)
+             .stage("dst", size=1)
+             .flow("f", "src", "dst", operator=Collector))
+    with pytest.raises(GraphError):
+        Simulation(2).run(graph)
+
+
+def test_role_mismatch_rejected():
+    def produce(ctx):
+        ctx.consumer("f")      # wrong side
+        yield from ctx.comm.barrier()
+
+    graph = (StreamGraph()
+             .stage("src", size=1, body=produce)
+             .stage("dst", size=1)
+             .flow("f", "src", "dst", operator=Collector))
+    with pytest.raises(GraphError, match="producer"):
+        Simulation(2).run(graph)
+
+
+def test_unknown_flow_in_context_rejected():
+    def produce(ctx):
+        ctx.producer("nope")
+        yield from ctx.comm.barrier()
+
+    graph = (StreamGraph()
+             .stage("src", size=1, body=produce)
+             .stage("dst", size=1)
+             .flow("f", "src", "dst", operator=Collector))
+    with pytest.raises(GraphError, match="does not touch"):
+        Simulation(2).run(graph)
+
+
+def test_operate_after_consumer_close_rejected():
+    def produce(ctx):
+        with ctx.producer("f") as out:
+            yield from out.send(1)
+
+    def consume(ctx):
+        with ctx.consumer("f") as sink:
+            pass
+        yield from sink.operate()   # closed: must raise
+
+    graph = (StreamGraph()
+             .stage("src", size=1, body=produce)
+             .stage("dst", size=1, body=consume)
+             .flow("f", "src", "dst", operator=Collector))
+    with pytest.raises(GraphError, match="closed consumer"):
+        Simulation(2).run(graph)
+
+
+def test_consumer_context_manager_scopes_operate():
+    def produce(ctx):
+        with ctx.producer("f") as out:
+            for i in range(3):
+                yield from out.send(i)
+
+    def consume(ctx):
+        with ctx.consumer("f") as sink:
+            yield from sink.operate()
+            return sink.result()
+
+    graph = (StreamGraph()
+             .stage("src", size=1, body=produce)
+             .stage("dst", size=1, body=consume)
+             .flow("f", "src", "dst", operator=Collector))
+    report = Simulation(2).run(graph)
+    assert report.stage_values("dst")[0].items == [0, 1, 2]
+
+
+def test_consumer_operator_override():
+    """A body-level closure operator replaces the flow-level one."""
+    def produce(ctx):
+        with ctx.producer("f") as out:
+            for i in range(4):
+                yield from out.send(i)
+
+    def consume(ctx):
+        got = []
+
+        def op(element):
+            got.append(element.data * 10)
+
+        yield from ctx.consume("f", operator=op)
+        return got
+
+    graph = (StreamGraph()
+             .stage("src", size=1, body=produce)
+             .stage("dst", size=1, body=consume)
+             .flow("f", "src", "dst"))
+    report = Simulation(2).run(graph)
+    assert report.stage_values("dst")[0] == [0, 10, 20, 30]
+
+
+def test_consume_without_any_operator_rejected():
+    def produce(ctx):
+        with ctx.producer("f") as out:
+            yield from out.send(1)
+
+    def consume(ctx):
+        yield from ctx.consume("f")   # flow declares no operator
+
+    graph = (StreamGraph()
+             .stage("src", size=1, body=produce)
+             .stage("dst", size=1, body=consume)
+             .flow("f", "src", "dst"))
+    with pytest.raises(GraphError, match="no operator"):
+        Simulation(2).run(graph)
+
+
+def test_stateful_operator_instances_are_per_rank():
+    """A class operator yields one fresh instance per consumer rank."""
+    def produce(ctx):
+        with ctx.producer("f") as out:
+            yield from out.send(ctx.comm.rank)
+
+    graph = (StreamGraph()
+             .stage("src", size=4, body=produce)
+             .stage("dst", size=2)
+             .flow("f", "src", "dst", operator=Collector))
+    report = Simulation(6).run(graph)
+    a, b = report.stage_values("dst")
+    assert a is not b
+    # blocked routing: producers 0,1 -> consumer 0; 2,3 -> consumer 1
+    assert sorted(a.items) == [0, 1]
+    assert sorted(b.items) == [2, 3]
+
+
+def test_stage_context_exposes_group_and_world():
+    seen = {}
+
+    def produce(ctx):
+        seen.setdefault("alpha", ctx.alpha)
+        yield from ctx.compute(0.001, label="calc")
+        with ctx.producer("f") as out:
+            yield from out.send((ctx.world.rank, ctx.comm.rank))
+        return (ctx.world.rank, ctx.comm.rank, ctx.stage)
+
+    graph = (StreamGraph()
+             .stage("src", size=2, body=produce)
+             .stage("dst", size=2)
+             .flow("f", "src", "dst", operator=Collector))
+    report = Simulation(4).run(graph)
+    assert report.stage_values("src") == [(0, 0, "src"), (1, 1, "src")]
+    assert seen["alpha"] == pytest.approx(0.5)
+
+
+def test_pipeline_of_three_stages():
+    """map -> transform -> sink, with a mid-stage that both consumes
+    and produces (the mapreduce shape)."""
+    def produce(ctx):
+        with ctx.producer("raw") as out:
+            for i in range(6):
+                yield from out.send(i)
+
+    def transform(ctx):
+        with ctx.producer("cooked") as out:
+            def double(element):
+                yield from out.send(element.data * 2)
+
+            yield from ctx.consume("raw", operator=double)
+        return "transformed"
+
+    graph = (StreamGraph()
+             .stage("src", size=2, body=produce)
+             .stage("mid", size=1, body=transform)
+             .stage("dst", size=1)
+             .flow("raw", "src", "mid")
+             .flow("cooked", "mid", "dst", operator=Collector))
+    report = Simulation(4).run(graph)
+    assert sorted(report.stage_values("dst")[0].items) == sorted(
+        i * 2 for i in range(6) for _ in range(2))

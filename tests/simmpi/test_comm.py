@@ -337,3 +337,36 @@ def test_run_determinism_end_to_end():
     r2 = run(prog, 32, machine=beskow())
     assert r1.elapsed == r2.elapsed
     assert r1.finish_times == r2.finish_times
+
+
+def test_group_from_ranks_is_communication_free():
+    """MPI_Comm_create_group analogue: a deterministic member list
+    yields a working sub-communicator at zero message cost."""
+    def prog(comm):
+        members = [0, 1] if comm.rank < 2 else [2, 3]
+        sub = comm.group_from_ranks(members)
+        total = yield from sub.allreduce(comm.rank)
+        return (sub.rank, sub.size, total)
+
+    r = run(prog, 4)
+    assert r.values == [(0, 2, 1), (1, 2, 1), (0, 2, 5), (1, 2, 5)]
+
+
+def test_group_from_ranks_rejects_bad_members():
+    from repro.simmpi import CommunicatorError
+
+    def dup(comm):
+        comm.group_from_ranks([0, 1, 1])
+        yield from comm.barrier()
+
+    def absent(comm):
+        comm.group_from_ranks([comm.size - 1] if comm.rank == 0 else [0])
+        yield from comm.barrier()
+
+    def empty(comm):
+        comm.group_from_ranks([])
+        yield from comm.barrier()
+
+    for prog in (dup, absent, empty):
+        with pytest.raises(CommunicatorError):
+            run(prog, 4)
