@@ -78,11 +78,15 @@ class ProducerHandle:
 
     # -- stream operations ---------------------------------------------
     def send(self, data: Any) -> Generator[Any, Any, None]:
-        """Inject one element (``MPIStream_Isend``)."""
+        """Inject one element (``MPIStream_Isend``).
+
+        Returns the stream's generator directly (``yield from`` treats
+        both identically) — the extra delegation frame was measurable
+        at per-element rates."""
         if self.closed or self.terminated:
             raise GraphError(
                 f"send on closed producer for flow {self.flow_name!r}")
-        yield from self._stream.isend(data)
+        return self._stream.isend(data)
 
     def terminate(self) -> Generator[Any, Any, None]:
         """Flush the in-flight window and end this producer's flow.

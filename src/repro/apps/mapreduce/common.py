@@ -145,7 +145,13 @@ class SummaryHistogram:
             raise ValueError("merging summaries over different vocabularies")
         v = float(self.vocab)
         union = v * (1.0 - (1.0 - self.keys / v) * (1.0 - other.keys / v))
-        return SummaryHistogram(union, self.words + other.words, self.vocab)
+        # direct construction: the operands are already validated, and
+        # merges run once or twice per stream element
+        out = SummaryHistogram.__new__(SummaryHistogram)
+        out.keys = union if union < v else v
+        out.words = self.words + other.words
+        out.vocab = self.vocab
+        return out
 
     @property
     def entries(self) -> int:
@@ -184,27 +190,63 @@ def merge_cost_seconds(a: Histogram, b: Histogram,
 # the map kernel
 # ----------------------------------------------------------------------
 
+#: memo for rank_file draws — a plain dict, not lru_cache, because the
+#: simulation is single-threaded and the lru lock showed up in profiles
+_rank_file_memo: Dict[tuple, FileSpec] = {}
+
+
 def rank_file(cfg: MapReduceConfig, map_index: int) -> FileSpec:
     """The log file assigned to map task ``map_index`` (one irregular
-    file per map rank; see EXPERIMENTS.md for the volume bookkeeping)."""
+    file per map rank; see EXPERIMENTS.md for the volume bookkeeping).
+
+    Pure function of (cfg, map_index) and requested ``nchunks`` times
+    per file across the map stage, so the draw is memoized — fresh
+    ``SeedSequence`` construction costs ~30us, which dominated the map
+    loop before the cache."""
+    key = (cfg.seed, cfg.bytes_per_rank, cfg.file_spread, map_index)
+    spec = _rank_file_memo.get(key)
+    if spec is None:
+        rng = np.random.default_rng(
+            np.random.SeedSequence(entropy=cfg.seed, spawn_key=(7, map_index))
+        )
+        nbytes = int(cfg.bytes_per_rank
+                     * rng.uniform(1 - cfg.file_spread, 1 + cfg.file_spread))
+        spec = FileSpec(map_index, nbytes)
+        if len(_rank_file_memo) >= 1 << 16:
+            _rank_file_memo.clear()
+        _rank_file_memo[key] = spec
+    return spec
+
+
+def chunk_map_jitter(cfg: MapReduceConfig, map_index: int, chunk: int) -> float:
+    """Deterministic per-(rank, chunk) lognormal jitter factor.
+
+    Skipped entirely for ``chunk_jitter_sigma == 0``: ``lognormal(0, 0)``
+    is exactly 1.0, so the (expensive) generator construction can be
+    elided bit-identically — the deterministic perf scenarios rely on
+    this.
+    """
+    sigma = cfg.chunk_jitter_sigma
+    if sigma == 0.0:
+        return 1.0
     rng = np.random.default_rng(
-        np.random.SeedSequence(entropy=cfg.seed, spawn_key=(7, map_index))
+        np.random.SeedSequence(entropy=cfg.seed,
+                               spawn_key=(11, map_index, chunk))
     )
-    spread = cfg.file_spread
-    nbytes = int(cfg.bytes_per_rank * rng.uniform(1 - spread, 1 + spread))
-    return FileSpec(map_index, nbytes)
+    return float(rng.lognormal(0.0, sigma))
 
 
 def chunk_map_seconds(cfg: MapReduceConfig, map_index: int,
                       chunk: int, chunk_bytes: float) -> float:
     """Nominal compute time of mapping one chunk, with deterministic
     per-(rank, chunk) lognormal jitter."""
-    rng = np.random.default_rng(
-        np.random.SeedSequence(entropy=cfg.seed,
-                               spawn_key=(11, map_index, chunk))
-    )
-    jitter = float(rng.lognormal(0.0, cfg.chunk_jitter_sigma))
+    jitter = chunk_map_jitter(cfg, map_index, chunk)
     return chunk_bytes * cfg.map_seconds_per_byte * jitter
+
+
+#: scale-mode chunk sketches are a pure function of (words, vocab) and
+#: identical for every chunk of a file — share one immutable instance
+_chunk_sketch_memo: Dict[tuple, SummaryHistogram] = {}
 
 
 def map_chunk(cfg: MapReduceConfig, file: FileSpec, map_index: int,
@@ -215,9 +257,16 @@ def map_chunk(cfg: MapReduceConfig, file: FileSpec, map_index: int,
         table = file_histogram(cfg.corpus, sub,
                                scale_words=cfg.numeric_words_per_chunk)
         return RealHistogram(table)
-    chunk_words = file.nwords / cfg.nchunks
-    keys = expected_distinct_keys(int(chunk_words), cfg.vocabulary)
-    return SummaryHistogram(keys, int(chunk_words), cfg.vocabulary)
+    chunk_words = int(file.nwords / cfg.nchunks)
+    key = (chunk_words, cfg.vocabulary)
+    sketch = _chunk_sketch_memo.get(key)
+    if sketch is None:
+        keys = expected_distinct_keys(chunk_words, cfg.vocabulary)
+        sketch = SummaryHistogram(keys, chunk_words, cfg.vocabulary)
+        if len(_chunk_sketch_memo) >= 1 << 16:
+            _chunk_sketch_memo.clear()
+        _chunk_sketch_memo[key] = sketch
+    return sketch
 
 
 def empty_histogram(cfg: MapReduceConfig) -> Histogram:

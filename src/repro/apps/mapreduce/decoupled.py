@@ -43,6 +43,18 @@ from .common import (
 )
 
 
+class _ReduceState:
+    """Per-reducer folding state (attribute access beats a dict in the
+    per-element fold operator)."""
+
+    __slots__ = ("partial", "since_push", "elements")
+
+    def __init__(self, partial):
+        self.partial = partial
+        self.since_push = 0
+        self.elements = 0
+
+
 def roles(cfg: MapReduceConfig, rank: int) -> str:
     """'map' / 'reduce' / 'master' for a world rank.
 
@@ -81,26 +93,25 @@ def build_graph(cfg: MapReduceConfig) -> StreamGraph:
         return {"chunks": chunks_done, "file_bytes": int(total_bytes)}
 
     def reduce_body(ctx) -> Generator[Any, Any, Dict[str, Any]]:
-        state = {"partial": empty_histogram(cfg), "since_push": 0,
-                 "elements": 0}
+        state = _ReduceState(empty_histogram(cfg))
         with ctx.producer("aggregate") as to_master:
 
             def fold(element):
                 part = element.data
-                cost = merge_cost_seconds(state["partial"], part, cfg)
+                cost = merge_cost_seconds(state.partial, part, cfg)
                 yield from ctx.compute(cost, label="reduce")
-                state["partial"] = state["partial"].merge(part)
-                state["since_push"] += 1
-                state["elements"] += 1
-                if state["since_push"] >= cfg.master_update_elements:
-                    yield from to_master.send(state["partial"])
-                    state["partial"] = empty_histogram(cfg)
-                    state["since_push"] = 0
+                state.partial = state.partial.merge(part)
+                state.since_push += 1
+                state.elements += 1
+                if state.since_push >= cfg.master_update_elements:
+                    yield from to_master.send(state.partial)
+                    state.partial = empty_histogram(cfg)
+                    state.since_push = 0
 
             yield from ctx.consume("intermediate", operator=fold)
-            if state["since_push"] > 0 or state["elements"] == 0:
-                yield from to_master.send(state["partial"])
-        return {"elements": state["elements"]}
+            if state.since_push > 0 or state.elements == 0:
+                yield from to_master.send(state.partial)
+        return {"elements": state.elements}
 
     def master_body(ctx) -> Generator[Any, Any, Dict[str, Any]]:
         state = {"total": empty_histogram(cfg), "updates": 0}
@@ -125,13 +136,28 @@ def build_graph(cfg: MapReduceConfig) -> StreamGraph:
     )
 
 
+#: per-config compiled graph: building and validating the graph is a
+#: pure function of cfg, but the SPMD launcher calls decoupled_worker
+#: once per rank — without the memo an 8k-rank run pays 8k compiles
+_compiled_memo: Dict[MapReduceConfig, Any] = {}
+
+
+def _compiled(cfg: MapReduceConfig):
+    compiled = _compiled_memo.get(cfg)
+    if compiled is None:
+        if len(_compiled_memo) >= 64:
+            _compiled_memo.clear()
+        compiled = _compiled_memo[cfg] = build_graph(cfg).compile(cfg.nprocs)
+    return compiled
+
+
 def decoupled_worker(comm: Comm, cfg: MapReduceConfig
                      ) -> Generator[Any, Any, Dict[str, Any]]:
     """SPMD main of the decoupled implementation (graph-compiled)."""
     if comm.size != cfg.nprocs:
         raise ValueError("config/communicator size mismatch")
     t_start = comm.time
-    record = yield from build_graph(cfg).compile(cfg.nprocs).execute(comm)
+    record = yield from _compiled(cfg).execute(comm)
     out: Dict[str, Any] = {"role": record.stage}
     out.update(record.result)
     out["elapsed"] = comm.time - t_start

@@ -19,9 +19,20 @@ from .harness import (
     scale_points,
     sweep,
 )
+from .perf import (
+    SCENARIOS as PERF_SCENARIOS,
+    PerfError,
+    PerfRecord,
+    check_golden,
+    run_scenario,
+    run_suite,
+    verify_against_oracle,
+)
 
 __all__ = [
-    "DEFAULT_POINTS", "Series", "fig2_traces", "fig3_execution_models",
-    "fig5_mapreduce", "fig6_cg", "fig7_pcomm", "fig8_pio", "max_elapsed",
-    "render_table", "save_artifact", "scale_points", "sweep",
+    "DEFAULT_POINTS", "PERF_SCENARIOS", "PerfError", "PerfRecord", "Series",
+    "check_golden", "fig2_traces", "fig3_execution_models", "fig5_mapreduce",
+    "fig6_cg", "fig7_pcomm", "fig8_pio", "max_elapsed", "render_table",
+    "run_scenario", "run_suite", "save_artifact", "scale_points", "sweep",
+    "verify_against_oracle",
 ]

@@ -1,4 +1,4 @@
-"""Command-line entry point: ``python -m repro.bench <figure>``.
+"""Command-line entry point: ``python -m repro.bench <figure|perf>``.
 
 Regenerates one figure (or all) outside pytest, printing the paper's
 rows and saving JSON artifacts::
@@ -7,6 +7,15 @@ rows and saving JSON artifacts::
     python -m repro.bench fig2
     python -m repro.bench fig3 --out /tmp/artifacts
     python -m repro.bench all --points 32,128
+
+``perf`` benchmarks the *simulator* itself (events/sec, slow-path
+equivalence, golden gating) and emits ``BENCH_perf.json``::
+
+    python -m repro.bench perf                         # default suite
+    python -m repro.bench perf --scenario fig5-1024 --profile
+    python -m repro.bench perf --scenario quickstart \
+        --check-golden benchmarks/golden/quickstart_perf.json
+    python -m repro.bench perf --compare old_BENCH_perf.json --out .
 """
 
 from __future__ import annotations
@@ -70,19 +79,107 @@ def run_figure(name: str, points: List[int],
     save_artifact(f"{name}_cli", series, out_dir=out_dir)
 
 
+def run_perf(args) -> int:
+    """The ``perf`` subcommand: simulator events/sec + regression gate."""
+    import json
+
+    from . import perf
+
+    if args.scenario:
+        names = []
+        for chunk in args.scenario:
+            names.extend(x.strip() for x in chunk.split(",") if x.strip())
+        if "all" in names:
+            names = list(perf.DEFAULT_SCENARIOS)
+    else:
+        names = list(perf.DEFAULT_SCENARIOS)
+    unknown = [n for n in names if n not in perf.SCENARIOS]
+    if unknown:
+        raise SystemExit(f"unknown scenario(s) {unknown}; choose from "
+                         f"{sorted(perf.SCENARIOS)}")
+
+    if args.check_golden or args.write_golden:
+        if len(names) != 1:
+            raise SystemExit("golden check/write needs exactly one "
+                             "--scenario")
+        if args.profile or args.no_oracle or args.compare or args.out:
+            raise SystemExit(
+                "--check-golden/--write-golden run a single gating "
+                "measurement; they cannot be combined with --profile, "
+                "--no-oracle, --compare or --out")
+        record = perf.run_scenario(names[0], "fast")
+        print(f"{names[0]}: {record.events} events in "
+              f"{record.wall_s:.3f}s = {record.events_per_sec:.0f} "
+              "events/s (wall-clock reported, not gated)")
+        if args.write_golden:
+            path = perf.write_golden(record, args.write_golden)
+            print(f"golden virtual-time results written to {path}")
+            return 0
+        try:
+            perf.check_golden(record, args.check_golden)
+        except perf.PerfError as exc:
+            print(f"FAIL: {exc}", file=sys.stderr)
+            return 1
+        print(f"golden check OK: virtual-time results match "
+              f"{args.check_golden}")
+        return 0
+
+    compare = None
+    if args.compare:
+        with open(args.compare) as fh:
+            compare = json.load(fh)
+    try:
+        payload = perf.run_suite(names,
+                                 check_oracle=not args.no_oracle,
+                                 profile=args.profile,
+                                 compare=compare)
+    except perf.PerfError as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        return 1
+    print(perf.render_report(payload))
+    path = perf.save_payload(payload, out_dir=args.out)
+    print(f"\nartifact: {path}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
-        description="Regenerate the paper's figures.")
-    parser.add_argument("figure", choices=ALL_FIGURES + ("all",),
-                        help="which figure to regenerate")
+        description="Regenerate the paper's figures, or benchmark the "
+                    "simulator itself (perf).")
+    parser.add_argument("figure", choices=ALL_FIGURES + ("all", "perf"),
+                        help="which figure to regenerate, or 'perf' for "
+                             "the simulator benchmark suite")
     parser.add_argument("--points", default=None,
                         help="comma-separated process counts "
                              f"(default: {','.join(map(str, DEFAULT_POINTS))})")
     parser.add_argument("--out", default=None, metavar="DIR",
                         help="directory for JSON artifacts (default: "
                              "$REPRO_RESULTS_DIR or benchmarks/results)")
+    perf_group = parser.add_argument_group("perf options")
+    perf_group.add_argument("--scenario", action="append", default=None,
+                            metavar="NAME",
+                            help="perf scenario (repeatable or "
+                                 "comma-separated; default: the standard "
+                                 "suite; 'all' for the same)")
+    perf_group.add_argument("--profile", action="store_true",
+                            help="attach per-layer cProfile top-N to each "
+                                 "scenario")
+    perf_group.add_argument("--no-oracle", action="store_true",
+                            help="skip the slow-path equivalence runs "
+                                 "(faster, but no bit-identical check)")
+    perf_group.add_argument("--compare", default=None, metavar="FILE",
+                            help="older BENCH_perf.json to compute "
+                                 "before/after speedups against")
+    perf_group.add_argument("--check-golden", default=None, metavar="FILE",
+                            help="compare one scenario's virtual-time "
+                                 "results against a committed golden file "
+                                 "(exit 1 on drift)")
+    perf_group.add_argument("--write-golden", default=None, metavar="FILE",
+                            help="write the golden file for one scenario")
     args = parser.parse_args(argv)
+    if args.figure == "perf":
+        return run_perf(args)
     points = _parse_points(args.points)
     names = ALL_FIGURES if args.figure == "all" else (args.figure,)
     for name in names:

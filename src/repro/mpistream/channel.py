@@ -23,19 +23,43 @@ from ..simmpi.comm import Comm
 from ..simmpi.errors import CommunicatorError
 
 
+class _ChannelGroups:
+    """Role structures shared by every rank of one channel.
+
+    Built once per ``create_channel`` collective (all ranks receive the
+    same role list object from the allgather, so the derived lists and
+    index maps are computed once and shared) instead of per rank —
+    channel setup used to be O(P) python work on each of P ranks.
+    """
+
+    __slots__ = ("producers", "consumers", "producer_index_of",
+                 "consumer_index_of")
+
+    def __init__(self, producers: List[int], consumers: List[int]):
+        self.producers = producers
+        self.consumers = consumers
+        self.producer_index_of = {r: i for i, r in enumerate(producers)}
+        self.consumer_index_of = {r: i for i, r in enumerate(consumers)}
+
+
 class StreamChannel:
     """A directional dataflow link between two groups of processes."""
 
-    def __init__(self, comm: Comm, producers: List[int], consumers: List[int]):
+    def __init__(self, comm: Comm, producers: List[int], consumers: List[int],
+                 groups: Optional[_ChannelGroups] = None):
         if not producers or not consumers:
             raise CommunicatorError(
                 "a stream channel needs at least one producer and one consumer"
             )
+        if groups is None:
+            groups = _ChannelGroups(list(producers), list(consumers))
         self.comm = comm                    # dedicated dup, stream traffic only
-        self.producers = list(producers)    # local ranks in `comm`
-        self.consumers = list(consumers)
-        self.is_producer = comm.rank in set(producers)
-        self.is_consumer = comm.rank in set(consumers)
+        self.producers = groups.producers   # local ranks in `comm` (shared)
+        self.consumers = groups.consumers
+        self._producer_index = groups.producer_index_of.get(comm.rank)
+        self._consumer_index = groups.consumer_index_of.get(comm.rank)
+        self.is_producer = self._producer_index is not None
+        self.is_consumer = self._consumer_index is not None
         self._next_stream_tag = 1
         self.freed = False
 
@@ -51,17 +75,11 @@ class StreamChannel:
     @property
     def producer_index(self) -> Optional[int]:
         """This rank's index among the producers (None if not one)."""
-        try:
-            return self.producers.index(self.comm.rank)
-        except ValueError:
-            return None
+        return self._producer_index
 
     @property
     def consumer_index(self) -> Optional[int]:
-        try:
-            return self.consumers.index(self.comm.rank)
-        except ValueError:
-            return None
+        return self._consumer_index
 
     # ------------------------------------------------------------------
     # static blocked routing
@@ -115,7 +133,25 @@ def create_channel(comm: Comm, is_producer: bool, is_consumer: bool
             "create two channels for bidirectional flow"
         )
     roles = yield from comm.allgather((bool(is_producer), bool(is_consumer)))
-    producers = [r for r, (p, _) in enumerate(roles) if p]
-    consumers = [r for r, (_, c) in enumerate(roles) if c]
+    # The allgather moves payloads by reference, so every member rank
+    # holds the *same* roles list object; derive the role groups once
+    # and share them instead of rebuilding O(P) structures per rank.
+    world = comm.world
+    cache = getattr(world, "_channel_groups", None)
+    if cache is None:
+        cache = world._channel_groups = {}
+    hit = cache.get(id(roles))
+    if hit is not None and hit[0] is roles:
+        groups = hit[1]
+    else:
+        producers = [r for r, (p, _) in enumerate(roles) if p]
+        consumers = [r for r, (_, c) in enumerate(roles) if c]
+        groups = _ChannelGroups(producers, consumers)
+        # bounded: eviction only costs a rebuild on the (rare) miss,
+        # and the identity guard above rejects any stale id() reuse
+        if len(cache) >= 8:
+            cache.clear()
+        cache[id(roles)] = (roles, groups)
     dedicated = yield from comm.dup()
-    return StreamChannel(dedicated, producers, consumers)
+    return StreamChannel(dedicated, groups.producers, groups.consumers,
+                         groups=groups)

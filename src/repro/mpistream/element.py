@@ -10,7 +10,6 @@ performance model's overhead term ``(D/S) * o`` is accounted against.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any
 
 from ..simmpi.datatypes import payload_nbytes
@@ -30,20 +29,45 @@ class _Terminate:
 TERMINATE = _Terminate()
 
 
-@dataclass(frozen=True)
 class StreamElement:
-    """One unit of streamed data, as seen by the consumer's operator."""
+    """One unit of streamed data, as seen by the consumer's operator.
 
-    data: Any
-    source: int        # producer's rank in the channel communicator
-    seq: int           # position in that producer's stream (0-based)
-    nbytes: int        # wire size
+    A plain ``__slots__`` record: one is created per received element,
+    and the frozen-dataclass ``object.__setattr__`` construction path
+    was measurable at stream rates of 100k+ elements/s.
+    """
+
+    __slots__ = ("data", "source", "seq", "nbytes")
+
+    def __init__(self, data: Any, source: int, seq: int, nbytes: int):
+        self.data = data
+        self.source = source   # producer's rank in the channel communicator
+        self.seq = seq         # position in that producer's stream (0-based)
+        self.nbytes = nbytes   # wire size
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"StreamElement(source={self.source}, seq={self.seq}, "
                 f"nbytes={self.nbytes})")
 
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, StreamElement):
+            return NotImplemented
+        return (self.data == other.data and self.source == other.source
+                and self.seq == other.seq and self.nbytes == other.nbytes)
+
+    def __hash__(self) -> int:
+        # value hash, like the frozen dataclass this class replaced
+        return hash((self.data, self.source, self.seq, self.nbytes))
+
 
 def element_nbytes(data: Any) -> int:
-    """Wire size of an element payload (plus a tiny header)."""
-    return payload_nbytes(data) + 8  # seq header
+    """Wire size of an element payload (plus a tiny header).
+
+    The ``__wire_nbytes__`` protocol is checked first: application
+    payload types (histograms, particle blocks) dominate the
+    per-element path and skip the generic type dispatch.
+    """
+    wire = getattr(data, "__wire_nbytes__", None)
+    if wire is not None:
+        return int(wire() if callable(wire) else wire) + 8  # seq header
+    return payload_nbytes(data) + 8

@@ -34,6 +34,8 @@ import inspect
 from collections import deque
 from typing import Any, Callable, Deque, Generator, Optional
 
+from ..simmpi.comm import ComputeCharge
+from ..simmpi.engine import Delay, WaitFlag
 from ..simmpi.errors import CommunicatorError, RequestError
 from ..simmpi.matching import ANY_SOURCE
 from .channel import StreamChannel
@@ -64,6 +66,15 @@ class Stream:
         self._seq = 0
         self._pending: Deque = deque()
         self._terminated = False
+        # static blocked routing resolves the destination once, not per
+        # element (custom routers stay per-element, see _dest)
+        if channel.is_producer and router is None:
+            self._static_dest = channel.consumer_of(channel.producer_index)
+        else:
+            self._static_dest = None
+        # on noise-free machines the per-element injection delay is one
+        # constant — prebuild the syscall object (lazily, see isend)
+        self._inject_delay = None
         # consumer-side bookkeeping
         if channel.is_consumer:
             ci = channel.consumer_index
@@ -95,23 +106,62 @@ class Stream:
         ``window`` elements are ever pending (bounded buffering,
         Section II-D's memory argument).
         """
-        self.channel.check_alive()
-        if not self.channel.is_producer:
+        channel = self.channel
+        if channel.freed:
+            channel.check_alive()
+        if not channel.is_producer:
             raise CommunicatorError("isend on a non-producer rank")
         if self._terminated:
             raise RequestError("isend after terminate")
-        comm = self.channel.comm
-        if self.element_overhead > 0:
-            yield from comm.compute(self.element_overhead, label="stream-inject")
+        comm = channel.comm
+        overhead = self.element_overhead
+        if overhead > 0:
+            world = comm.world
+            if world._noise_free and world.tracer is None:
+                # constant injection cost: reuse one Delay object and
+                # skip the compute() generator entirely
+                inject = self._inject_delay
+                if inject is None:
+                    inject = self._inject_delay = Delay(
+                        overhead / world._compute_speed)
+                yield inject
+            else:
+                yield from comm.compute(overhead, label="stream-inject")
         if len(self._pending) >= self.window:
             oldest = self._pending.popleft()
-            yield from comm.wait(oldest, label="stream-window")
-        dest = self._dest(data)
+            # comm.wait inlined (label "stream-window"): the window is
+            # normally full in steady state, so this runs per element
+            oldest._waited = True
+            if not oldest.is_set:
+                world = comm.world
+                engine = world.engine
+                t0 = engine.now
+                yield WaitFlag(oldest)
+                if world.tracer is not None and engine.now > t0:
+                    world.tracer.record(comm.global_rank, "wait",
+                                        "stream-window", t0, engine.now)
+        dest = (self._static_dest if self._static_dest is not None
+                else self._dest(data))
         payload = (self._seq, data)
-        req = yield from comm.isend(payload, dest, tag=self.tag,
-                                    force_eager=self.eager)
+        # element_nbytes(data) == payload_nbytes((seq, data)): size the
+        # element once for both the transport and the profile.  The
+        # comm.isend generator is bypassed: destination and tag are
+        # channel-fixed and already validated, so the per-element work
+        # is exactly the o_send delay plus the transport hand-off.
+        nbytes = element_nbytes(data)
+        world = comm.world
+        o_send_delay = world._o_send_delay
+        if o_send_delay is not None:
+            yield o_send_delay
+        req = world.post_send(comm._global, comm.ranks[dest], comm._rank,
+                              self.tag, comm.context, payload, nbytes,
+                              force_eager=self.eager)
         self._pending.append(req)
-        self.profile.record_send(element_nbytes(data), self.element_overhead)
+        # profile.record_send inlined (per-element path)
+        profile = self.profile
+        profile.elements_sent += 1
+        profile.bytes_sent += nbytes
+        profile.overhead_paid += overhead
         self._seq += 1
 
     def terminate(self) -> Generator[Any, Any, None]:
@@ -150,15 +200,28 @@ class Stream:
         Returns ``None`` when a TERM is absorbed (callers loop).  Raises
         if the stream is already fully terminated.
         """
-        self.channel.check_alive()
-        if not self.channel.is_consumer:
+        channel = self.channel
+        if channel.freed:
+            channel.check_alive()
+        if not channel.is_consumer:
             raise CommunicatorError("recv_element on a non-consumer rank")
-        if self.active_producers <= 0:
+        if self._expected_terms - self._terms_seen <= 0:
             raise RequestError("stream fully terminated; no more elements")
-        comm = self.channel.comm
-        (seq, data), st = yield from comm.recv(
-            source=ANY_SOURCE, tag=self.tag, status=True
-        )
+        comm = channel.comm
+        req = comm.irecv(ANY_SOURCE, self.tag)
+        # comm.wait inlined: one request per element makes the wait
+        # generator's allocation measurable at stream rates
+        req._waited = True
+        if req.is_set:
+            (seq, data), st = req.payload
+        else:
+            world = comm.world
+            engine = world.engine
+            t0 = engine.now
+            (seq, data), st = yield WaitFlag(req)
+            if world.tracer is not None and engine.now > t0:
+                world.tracer.record(comm.global_rank, "wait", "recv",
+                                    t0, engine.now)
         if data is TERMINATE:  # identity: payloads move by reference in-sim
             self._terms_seen += 1
             self.profile.terminates_seen += 1
@@ -168,21 +231,58 @@ class Stream:
 
     def _apply(self, element: StreamElement) -> Generator[Any, Any, None]:
         result = self.operator(element)
-        if inspect.isgenerator(result):
+        if inspect.isgenerator(result) or type(result) is ComputeCharge:
             yield from result
 
     def operate(self) -> Generator[Any, Any, StreamProfile]:
         """Consume until every producer terminates (``MPIStream_Operate``),
         applying the attached operator to each element on arrival."""
-        if self.operator is None:
+        operator = self.operator
+        if operator is None:
             raise CommunicatorError("operate on a stream with no operator")
-        self.profile.service_start = self.channel.comm.time
-        while self.active_producers > 0:
-            element = yield from self.recv_element()
-            if element is not None:
-                yield from self._apply(element)
-        self.profile.service_end = self.channel.comm.time
-        return self.profile
+        channel = self.channel
+        if channel.freed:
+            channel.check_alive()
+        # note: no is_consumer guard — a non-consumer has zero expected
+        # terminations, skips the loop and returns an empty profile,
+        # exactly as before the loop was inlined
+        comm = channel.comm
+        world = comm.world
+        engine = world.engine
+        profile = self.profile
+        tag = self.tag
+        profile.service_start = engine.now
+        # the consumer hot loop: recv_element + _apply are inlined — at
+        # funnel rates the two extra generators per element are real
+        # cost.  Semantics identical to `recv_element()` + `_apply()`.
+        post_recv = world.post_recv
+        my_global = comm._global
+        context = comm.context
+        while self._expected_terms > self._terms_seen:
+            req = post_recv(my_global, ANY_SOURCE, tag, context,
+                            label="stream-recv")
+            req._waited = True
+            if req.is_set:
+                (seq, data), st = req.payload
+            else:
+                t0 = engine.now
+                (seq, data), st = yield WaitFlag(req)
+                if world.tracer is not None and engine.now > t0:
+                    world.tracer.record(comm.global_rank, "wait", "recv",
+                                        t0, engine.now)
+            if data is TERMINATE:
+                self._terms_seen += 1
+                profile.terminates_seen += 1
+                continue
+            # profile.record_recv inlined (per-element path)
+            profile.elements_received += 1
+            profile.bytes_received += st.nbytes
+            profile.arrival_times.append(engine.now)
+            result = operator(StreamElement(data, st.source, seq, st.nbytes))
+            if inspect.isgenerator(result) or type(result) is ComputeCharge:
+                yield from result
+        profile.service_end = engine.now
+        return profile
 
     def operate_pending(self) -> Generator[Any, Any, int]:
         """Drain only the elements already queued (non-blocking variant);

@@ -21,40 +21,137 @@ payload_nbytes` or explicit datatypes), with collectives delegated to
 
 from __future__ import annotations
 
+from functools import partial
+from heapq import heappush as _heappush
 from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
 
 from .config import MachineConfig
 from .datatypes import Datatype, payload_nbytes
-from .engine import Delay, Engine, EventFlag, Spawn, wait_flag
+from .engine import Delay, Engine, EventFlag, Spawn, WaitFlag, wait_flag
 from .errors import (
     CommunicatorError,
     InvalidRankError,
     InvalidTagError,
     TruncationError,
 )
-from .matching import ANY_SOURCE, ANY_TAG, TAG_UB, Envelope, Mailbox, PostedRecv
+from .matching import ANY_SOURCE, ANY_TAG, TAG_UB, Envelope, Mailbox
 from .network import Network
 from .noise import NoiseModel
 from .request import PersistentRequest, Request, Status
+from . import collectives
+
+_env_new = Envelope.__new__
+
+
+class ComputeCharge(tuple):
+    """The iterable :meth:`Comm.compute` returns on its allocation-free
+    fast path: a tuple of syscalls, distinguishable by type so stream
+    operators that *return* a compute charge (instead of ``yield
+    from``-ing it) are still driven — exactly as when compute returned
+    a generator."""
+
+    __slots__ = ()
+
+
+class RecvRequest(Request):
+    """A receive request that is also its own mailbox entry.
+
+    The transport used to allocate two closures (``complete`` +
+    ``on_match``) plus a :class:`PostedRecv` per receive; folding the
+    completion state *and* the matching pattern into the request object
+    (which already *is* the completion flag) makes a receive a single
+    allocation.  The mailboxes duck-type posted receives through
+    ``source``/``tag``/``context``/``max_nbytes``/``on_match``, which
+    this class provides directly.
+    """
+
+    __slots__ = ("engine", "source", "tag", "context", "max_nbytes",
+                 "o_recv")
+
+    def __init__(self, engine: Engine, label: Any, source: int, tag: int,
+                 context: int, max_nbytes: Optional[int], o_recv: float):
+        # Request/EventFlag init inlined (one call frame per receive)
+        self.is_set = False
+        self.time = 0.0
+        self.payload = None
+        self._waiters = []
+        self.label = label
+        self.kind = "recv"
+        self._waited = False
+        self.engine = engine
+        self.source = source
+        self.tag = tag
+        self.context = context
+        self.max_nbytes = max_nbytes
+        self.o_recv = o_recv
+
+    def complete(self, env: Envelope, data_ready_time: float) -> None:
+        max_nbytes = self.max_nbytes
+        if max_nbytes is not None and env.nbytes > max_nbytes:
+            raise TruncationError(
+                f"message of {env.nbytes} B matched receive with "
+                f"buffer of {max_nbytes} B (source={env.src}, tag={env.tag})"
+            )
+        engine = self.engine
+        status = Status(env.src, env.tag, env.nbytes)
+        now = engine.now
+        done = (now if now > data_ready_time else data_ready_time) + self.o_recv
+        engine._seq += 1
+        _heappush(engine._heap,
+                  (done, engine._seq,
+                   partial(engine.set_flag, self,
+                           (env.payload, status))))
+
+    def on_match(self, env: Envelope) -> None:
+        if env.eager:
+            self.complete(env, env.delivered_time)
+        else:
+            env.on_match(env, partial(self.complete, env))
 
 
 class World:
     """Global simulation state shared by every rank."""
 
     def __init__(self, engine: Engine, config: MachineConfig, nranks: int,
-                 tracer=None):
+                 tracer=None, mailbox_factory=None, network_factory=None):
+        """``mailbox_factory`` / ``network_factory`` inject alternative
+        implementations — the ``bench perf`` slow path passes the
+        :mod:`repro.simmpi.oracle` classes to reproduce pre-optimization
+        behaviour; everything else uses the fast-path defaults."""
         config.validate()
         self.engine = engine
         self.config = config
         self.nranks = nranks
-        self.network = Network(config, nranks)
+        if network_factory is None:
+            self.network = Network(config, nranks)
+        else:
+            self.network = network_factory(config, nranks)
         self.noise = NoiseModel(config.noise, nranks)
-        self.mailboxes = [Mailbox() for _ in range(nranks)]
+        if mailbox_factory is None:
+            mailbox_factory = Mailbox
+        self.mailboxes = [mailbox_factory() for _ in range(nranks)]
         self.tracer = tracer
         self._context_counter = 16  # low ids reserved for COMM_WORLD
         self._subcomm_cache: Dict[tuple, tuple] = {}
+        self._group_cache: Dict[tuple, tuple] = {}
         self._split_exchange: Dict[tuple, dict] = {}
         self.filesystem = None  # attached lazily by iolib
+        # hot-path constants (MachineConfig is frozen); the o_send Delay
+        # is immutable to the engine, so one shared instance serves
+        # every isend instead of an allocation per message
+        self._o_send = config.network.o_send
+        self._o_recv = config.network.o_recv
+        self._compute_speed = config.compute_speed
+        self._o_send_delay = Delay(self._o_send) if self._o_send > 0 else None
+        self._eager_threshold = config.network.eager_threshold
+        # noise-free machines skip the NoiseModel call entirely: the
+        # persistent factor is exactly 1.0 and no transient draws exist
+        self._noise_free = (config.noise.persistent_skew == 0.0
+                            and config.noise.quantum_fraction == 0.0)
+        # compute charges are immutable to the engine; deterministic
+        # compute() durations repeat heavily (per-file map costs,
+        # per-element merge costs), so share them
+        self._delay_cache: Dict[float, "ComputeCharge"] = {}
 
     # ------------------------------------------------------------------
     # context management (communicator creation must agree across ranks)
@@ -93,18 +190,35 @@ class World:
         """
         engine = self.engine
         now = engine.now
-        req = Request("send", label=f"send->{gdst}#{tag}")
-        eager = (force_eager or self.network.is_eager(nbytes)) \
+        req = Request("send", label=("send->", gdst, "#", tag))
+        eager = (force_eager or nbytes <= self._eager_threshold) \
             and not synchronous
 
         if eager:
             timing = self.network.transfer(gsrc, gdst, nbytes, ready=now)
-            env = Envelope(lsrc, tag, context, nbytes, payload,
-                           eager=True, delivered_time=timing.delivered)
-            engine.call_at(timing.delivered,
-                           lambda: self.mailboxes[gdst].deliver(env))
-            engine.call_at(timing.sender_free,
-                           lambda: engine.set_flag(req.flag))
+            delivered = timing.delivered
+            # Envelope.__init__ bypassed: one envelope per message makes
+            # even the constructor's call frame measurable
+            env = _env_new(Envelope)
+            env.src = lsrc
+            env.tag = tag
+            env.context = context
+            env.nbytes = nbytes
+            env.payload = payload
+            env.eager = True
+            env.delivered_time = delivered
+            env.on_match = None
+            # both event times are provably >= now (the transfer starts
+            # at `ready=now`), so the call_at clamp is skipped and the
+            # two pushes are inlined
+            heap = engine._heap
+            seq = engine._seq + 1
+            _heappush(heap, (delivered, seq,
+                             partial(self.mailboxes[gdst].deliver, env)))
+            seq += 1
+            _heappush(heap, (timing.sender_free, seq,
+                             partial(engine.set_flag, req)))
+            engine._seq = seq
             return req
 
         # rendezvous: header (latency-only) then transfer on match
@@ -113,7 +227,7 @@ class World:
             ready = max(match_time, now)
             timing = self.network.transfer(gsrc, gdst, nbytes, ready=ready)
             engine.call_at(timing.sender_free,
-                           lambda: engine.set_flag(req.flag))
+                           partial(engine.set_flag, req))
             recv_done(timing.delivered)
 
         env = Envelope(lsrc, tag, context, nbytes, payload,
@@ -121,35 +235,21 @@ class World:
         env.on_match = on_match
         header_latency, _ = self.network._link(gsrc, gdst)
         engine.call_at(now + header_latency,
-                       lambda: self.mailboxes[gdst].deliver(env))
+                       partial(self.mailboxes[gdst].deliver, env))
         return req
 
     def post_recv(self, gdst: int, source: int, tag: int, context: int,
-                  max_nbytes: Optional[int] = None) -> Request:
-        """Post a receive; the request completes with ``(data, Status)``."""
-        engine = self.engine
-        o_recv = self.config.network.o_recv
-        req = Request("recv", label=f"recv<-{source}#{tag}")
+                  max_nbytes: Optional[int] = None,
+                  label: Any = None) -> Request:
+        """Post a receive; the request completes with ``(data, Status)``.
 
-        def complete(env: Envelope, data_ready_time: float) -> None:
-            if max_nbytes is not None and env.nbytes > max_nbytes:
-                raise TruncationError(
-                    f"message of {env.nbytes} B matched receive with "
-                    f"buffer of {max_nbytes} B (source={env.src}, tag={env.tag})"
-                )
-            status = Status(env.src, env.tag, env.nbytes)
-            done = max(engine.now, data_ready_time) + o_recv
-            engine.call_at(done,
-                           lambda: engine.set_flag(req.flag, (env.payload, status)))
-
-        def on_match(env: Envelope) -> None:
-            if env.eager:
-                complete(env, env.delivered_time)
-            else:
-                env.on_match(env, lambda delivered: complete(env, delivered))
-
-        post = PostedRecv(source, tag, context, max_nbytes, on_match)
-        self.mailboxes[gdst].post(post)
+        ``label`` overrides the default lazy diagnostic label (callers
+        on per-element hot paths pass a static string)."""
+        req = RecvRequest(self.engine,
+                          label if label is not None
+                          else ("recv<-", source, "#", tag),
+                          source, tag, context, max_nbytes, self._o_recv)
+        self.mailboxes[gdst].post(req)
         return req
 
 
@@ -172,22 +272,16 @@ class Comm:
         self._coll_seq = 0
         self._create_seq = 0
         self._freed = False
+        # introspection as plain attributes: rank/size sit on every
+        # hot path (validation, collectives) and property dispatch is
+        # measurable at 200k+ events/s
+        self.rank = self._rank
+        self.size = len(self.ranks)
+        self.global_rank = my_global
 
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
-    @property
-    def rank(self) -> int:
-        return self._rank
-
-    @property
-    def size(self) -> int:
-        return len(self.ranks)
-
-    @property
-    def global_rank(self) -> int:
-        return self._global
-
     def global_of(self, local: int) -> int:
         self._check_rank(local)
         return self.ranks[local]
@@ -201,12 +295,13 @@ class Comm:
     def _check_rank(self, r: int, wildcard: bool = False) -> None:
         if self._freed:
             raise CommunicatorError(f"operation on freed communicator {self.name!r}")
+        if 0 <= r < self.size:
+            return
         if wildcard and r == ANY_SOURCE:
             return
-        if not (0 <= r < self.size):
-            raise InvalidRankError(
-                f"rank {r} out of range for {self.name!r} of size {self.size}"
-            )
+        raise InvalidRankError(
+            f"rank {r} out of range for {self.name!r} of size {self.size}"
+        )
 
     @staticmethod
     def _check_tag(tag: int, wildcard: bool = False) -> None:
@@ -218,15 +313,37 @@ class Comm:
     # ------------------------------------------------------------------
     # local time
     # ------------------------------------------------------------------
-    def compute(self, seconds: float, label: str = "compute"
-                ) -> Generator[Any, Any, None]:
-        """Charge ``seconds`` of nominal compute time (noise-inflated)."""
+    def compute(self, seconds: float, label: str = "compute"):
+        """Charge ``seconds`` of nominal compute time (noise-inflated).
+
+        Returns an iterable to drive with ``yield from``.  On a
+        noise-free machine with no tracer that iterable is a one-Delay
+        tuple — C-level iteration, no generator frame — built from the
+        world's shared Delay cache; otherwise it is the full generator
+        with noise inflation and trace recording.
+        """
         if seconds < 0:
             raise ValueError("negative compute duration")
         world = self.world
-        actual = world.noise.inflate(
-            self._global, seconds / world.config.compute_speed
-        )
+        if world._noise_free and world.tracer is None:
+            nominal = seconds / world._compute_speed
+            cache = world._delay_cache
+            charge = cache.get(nominal)
+            if charge is None:
+                if len(cache) >= 4096:
+                    cache.clear()
+                charge = cache[nominal] = ComputeCharge((Delay(nominal),))
+            return charge
+        return self._compute_gen(seconds, label)
+
+    def _compute_gen(self, seconds: float, label: str
+                     ) -> Generator[Any, Any, None]:
+        world = self.world
+        nominal = seconds / world._compute_speed
+        if world._noise_free:
+            actual = nominal
+        else:
+            actual = world.noise.inflate(self._global, nominal)
         t0 = world.engine.now
         yield Delay(actual)
         if world.tracer is not None:
@@ -250,14 +367,17 @@ class Comm:
               _ctx: Optional[int] = None,
               nbytes: Optional[int] = None,
               force_eager: bool = False) -> Generator[Any, Any, Request]:
-        self._check_rank(dest)
-        self._check_tag(tag)
+        if self._freed or dest < 0 or dest >= self.size:
+            self._check_rank(dest)
+        if tag < 0 or tag > TAG_UB:
+            self._check_tag(tag)
         if nbytes is None:
             nbytes = payload_nbytes(data, datatype, count)
-        o_send = self.world.config.network.o_send
-        if o_send > 0:
-            yield Delay(o_send)
-        return self.world.post_send(
+        world = self.world
+        delay = world._o_send_delay
+        if delay is not None:
+            yield delay
+        return world.post_send(
             self._global, self.ranks[dest], self._rank, tag,
             self.context if _ctx is None else _ctx, data, nbytes,
             force_eager=force_eager,
@@ -269,7 +389,7 @@ class Comm:
         self._check_rank(dest)
         self._check_tag(tag)
         nbytes = payload_nbytes(data, datatype, count)
-        o_send = self.world.config.network.o_send
+        o_send = self.world._o_send
         if o_send > 0:
             yield Delay(o_send)
         return self.world.post_send(
@@ -282,8 +402,10 @@ class Comm:
               max_nbytes: Optional[int] = None,
               _ctx: Optional[int] = None) -> Request:
         """Post a non-blocking receive (no CPU cost until completion)."""
-        self._check_rank(source, wildcard=True)
-        self._check_tag(tag, wildcard=True)
+        if self._freed or source < ANY_SOURCE or source >= self.size:
+            self._check_rank(source, wildcard=True)
+        if tag > TAG_UB or tag < ANY_TAG:
+            self._check_tag(tag, wildcard=True)
         lsource = source  # local rank or wildcard; envelopes carry local src
         return self.world.post_recv(
             self._global, lsource, tag,
@@ -294,13 +416,22 @@ class Comm:
         """Block until ``req`` completes; returns its payload.
 
         For receive requests the payload is ``(data, Status)``."""
-        req._mark_waited()
+        if req._waited:
+            req._mark_waited()  # raises the double-wait diagnostic
+        req._waited = True
+        flag = req  # a Request is its own EventFlag
+        if flag.is_set:
+            # already complete: continue synchronously at `now`, exactly
+            # as the engine's WaitFlag fast path would, minus the
+            # syscall allocation and dispatch
+            return flag.payload
         world = self.world
-        t0 = world.engine.now
-        payload = yield from wait_flag(req.flag)
-        if world.tracer is not None and world.engine.now > t0:
+        engine = world.engine
+        t0 = engine.now
+        payload = yield WaitFlag(flag)
+        if world.tracer is not None and engine.now > t0:
             world.tracer.record(self._global, "wait", label, t0,
-                                world.engine.now)
+                                engine.now)
         return payload
 
     def waitall(self, reqs: Sequence[Request], label: str = "waitall"
@@ -342,19 +473,19 @@ class Comm:
              datatype: Optional[Datatype] = None, count: Optional[int] = None,
              ) -> Generator[Any, Any, None]:
         req = yield from self.isend(data, dest, tag, datatype, count)
-        yield from self.wait(req, label=f"send->{dest}")
+        yield from self.wait(req, label="send")
 
     def ssend(self, data: Any, dest: int, tag: int = 0,
               datatype: Optional[Datatype] = None, count: Optional[int] = None,
               ) -> Generator[Any, Any, None]:
         req = yield from self.issend(data, dest, tag, datatype, count)
-        yield from self.wait(req, label=f"ssend->{dest}")
+        yield from self.wait(req, label="ssend")
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
              status: bool = False, max_nbytes: Optional[int] = None,
              ) -> Generator[Any, Any, Any]:
         req = self.irecv(source, tag, max_nbytes)
-        data, st = yield from self.wait(req, label=f"recv<-{source}")
+        data, st = yield from self.wait(req, label="recv")
         return (data, st) if status else data
 
     def sendrecv(self, data: Any, dest: int, source: int,
@@ -363,8 +494,8 @@ class Comm:
         """Simultaneous send+recv (deadlock-free halo-exchange primitive)."""
         rreq = self.irecv(source, recvtag)
         sreq = yield from self.isend(data, dest, sendtag)
-        yield from self.wait(sreq, label=f"sendrecv->{dest}")
-        rdata, _ = yield from self.wait(rreq, label=f"sendrecv<-{source}")
+        yield from self.wait(sreq, label="sendrecv")
+        rdata, _ = yield from self.wait(rreq, label="sendrecv")
         return rdata
 
     def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG
@@ -414,59 +545,45 @@ class Comm:
         return base
 
     def barrier(self):
-        from . import collectives
         return collectives.barrier(self)
 
     def bcast(self, data: Any, root: int = 0):
-        from . import collectives
         return collectives.bcast(self, data, root)
 
     def reduce(self, value: Any, op=None, root: int = 0, op_cost=None):
-        from . import collectives
         return collectives.reduce(self, value, op, root, op_cost=op_cost)
 
     def allreduce(self, value: Any, op=None, op_cost=None):
-        from . import collectives
         return collectives.allreduce(self, value, op, op_cost=op_cost)
 
     def gather(self, value: Any, root: int = 0):
-        from . import collectives
         return collectives.gather(self, value, root)
 
     def allgather(self, value: Any):
-        from . import collectives
         return collectives.allgather(self, value)
 
     def allgatherv(self, value: Any):
-        from . import collectives
         return collectives.allgatherv(self, value)
 
     def alltoall(self, values: Sequence[Any]):
-        from . import collectives
         return collectives.alltoall(self, values)
 
     def scatter(self, values: Optional[Sequence[Any]], root: int = 0):
-        from . import collectives
         return collectives.scatter(self, values, root)
 
     def scan(self, value: Any, op=None):
-        from . import collectives
         return collectives.scan(self, value, op)
 
     def ibarrier(self):
-        from . import collectives
         return collectives.ibarrier(self)
 
     def ireduce(self, value: Any, op=None, root: int = 0, op_cost=None):
-        from . import collectives
         return collectives.ireduce(self, value, op, root, op_cost=op_cost)
 
     def iallgatherv(self, value: Any):
-        from . import collectives
         return collectives.iallgatherv(self, value)
 
     def iallreduce(self, value: Any, op=None):
-        from . import collectives
         return collectives.iallreduce(self, value, op)
 
     # ------------------------------------------------------------------
@@ -480,7 +597,6 @@ class Comm:
         realistic cost); context ids come from the world's first-creator
         cache keyed identically on every rank.
         """
-        from . import collectives
         seq = self._create_seq
         self._create_seq += 1
         entries = yield from collectives.allgather(
@@ -511,29 +627,46 @@ class Comm:
         deterministically on every rank (e.g. derived from a validated
         :class:`~repro.core.groups.DecouplingPlan`).
         """
-        members = list(local_ranks)
-        if not members:
-            raise CommunicatorError("group_from_ranks needs members")
-        if len(set(members)) != len(members):
+        if self._freed:
             raise CommunicatorError(
-                "group_from_ranks members must be duplicate-free")
-        for r in members:
-            self._check_rank(r)
-        if self._rank not in members:
+                f"operation on freed communicator {self.name!r}")
+        members = tuple(local_ranks)  # materialize once (iterables welcome)
+        seq = self._create_seq
+        ctx_key = (self.context, "group", seq, members)
+        cached = self.world._group_cache.get(ctx_key)
+        if cached is None:
+            # first member rank to arrive validates and builds the
+            # shared member structures; every other rank (the calls are
+            # identical by contract, like real MPI_Comm_create_group)
+            # reuses them — O(members) total instead of per rank
+            if not members:
+                raise CommunicatorError("group_from_ranks needs members")
+            if len(set(members)) != len(members):
+                raise CommunicatorError(
+                    "group_from_ranks members must be duplicate-free")
+            for r in members:
+                self._check_rank(r)
+            globals_ = tuple(self.ranks[r] for r in members)
+            index_of = {r: i for i, r in enumerate(members)}
+            cached = (globals_, index_of)
+            self.world._group_cache[ctx_key] = cached
+        globals_, index_of = cached
+        my_local = index_of.get(self._rank)
+        if my_local is None:
             raise CommunicatorError(
                 f"rank {self._rank} is not in the requested group")
-        seq = self._create_seq
+        # all validation passed: only now consume this rank's creation
+        # sequence number and (first arrival) the context ids, so an
+        # error above leaves the creation sequence untouched, exactly
+        # as before the shared-structure cache
         self._create_seq += 1
-        ctx_key = (self.context, "group", seq, tuple(members))
         p2p, coll = self.world.get_or_create_contexts(ctx_key)
-        globals_ = [self.ranks[r] for r in members]
         return Comm(self.world, globals_, self._global, p2p, coll,
                     name=name or f"{self.name}/group{seq}",
-                    my_local=members.index(self._rank))
+                    my_local=my_local)
 
     def dup(self) -> Generator[Any, Any, "Comm"]:
         """Duplicate the communicator with fresh contexts (collective)."""
-        from . import collectives
         seq = self._create_seq
         self._create_seq += 1
         yield from collectives.barrier(self)

@@ -26,12 +26,23 @@ The design follows the classic event-heap pattern: a single
 ``(time, seq)``-ordered heap of callbacks guarantees deterministic
 replay for a fixed seed and fixed process program order, which the
 benchmark harness relies on.
+
+Hot-path design (see DESIGN.md §8): syscall dispatch is keyed on the
+exact class object rather than ``isinstance`` chains; every process
+carries one preallocated resumer callback so Delay wake-ups allocate
+nothing; ``blocked_on`` stores the blocking syscall object and is only
+formatted into a human-readable string when a
+:class:`~repro.simmpi.errors.DeadlockError` actually fires.  The
+pre-optimization engine is preserved verbatim as
+:class:`repro.simmpi.oracle.OracleEngine`; replay tests assert both
+drain identical event sequences.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Any, Callable, Generator, List, Optional
+from functools import partial
+from heapq import heappop as _heappop, heappush as _heappush
+from typing import Any, Callable, Generator, List, Optional, Tuple
 
 
 class Delay:
@@ -55,11 +66,15 @@ class EventFlag:
     waiter.  Waiters that arrive after the flag is set resume without
     blocking.  A payload can be attached for the waker to communicate a
     value (e.g. a matched message) to the waiter.
+
+    ``label`` may be a string or a tuple of parts; tuples are joined
+    lazily by :func:`format_label` so hot paths never pay for a
+    diagnostic f-string that is only read when something deadlocks.
     """
 
     __slots__ = ("is_set", "time", "payload", "_waiters", "label")
 
-    def __init__(self, label: str = ""):
+    def __init__(self, label: Any = ""):
         self.is_set = False
         self.time: float = 0.0
         self.payload: Any = None
@@ -68,7 +83,14 @@ class EventFlag:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "set" if self.is_set else "unset"
-        return f"EventFlag({self.label!r}, {state})"
+        return f"EventFlag({format_label(self.label)!r}, {state})"
+
+
+def format_label(label: Any) -> str:
+    """Render a lazy label (string, or tuple of stringifiable parts)."""
+    if type(label) is tuple:
+        return "".join(map(str, label))
+    return str(label)
 
 
 class WaitFlag:
@@ -99,6 +121,7 @@ class Spawn:
 # Heap entries are plain (time, seq, callback) tuples: the unique ``seq``
 # tiebreaker guarantees the callback is never compared, and C-level tuple
 # comparison is ~3x faster than a dataclass __lt__ in the hot heappop path.
+_HeapEntry = Tuple[float, int, Callable[[], None]]
 
 
 class ProcessHandle:
@@ -108,7 +131,7 @@ class ProcessHandle:
 
     def __init__(self, name: str):
         self.name = name
-        self.done_flag = EventFlag(label=f"done:{name}")
+        self.done_flag = EventFlag(label=("done:", name))
         self.value: Any = None
         self.error: Optional[BaseException] = None
 
@@ -118,17 +141,41 @@ class ProcessHandle:
 
 
 class _Process:
-    """Internal per-generator bookkeeping."""
+    """Internal per-generator bookkeeping.
 
-    __slots__ = ("gen", "handle", "blocked_on", "engine", "daemon")
+    ``resume`` is the preallocated no-payload resumer: one
+    ``partial(engine._step, proc, None)`` created at spawn time and
+    reused by every Delay wake-up and the initial step, so the hot path
+    never allocates a closure — and the partial dispatches at C level,
+    without an intermediate Python frame.
+    """
+
+    __slots__ = ("gen", "handle", "blocked_on", "engine", "daemon", "resume")
 
     def __init__(self, gen: Generator, handle: ProcessHandle, engine: "Engine",
                  daemon: bool = False):
         self.gen = gen
         self.handle = handle
-        self.blocked_on: str = "start"
+        self.blocked_on: Any = "start"
         self.engine = engine
         self.daemon = daemon
+        self.resume = partial(engine._step, self, None)
+
+    def blocked_label(self) -> str:
+        """Human-readable description of what this process is blocked in.
+
+        ``blocked_on`` holds the blocking syscall object (or one of the
+        sentinel strings ``start``/``done``/``error``); formatting is
+        deferred to here so the scheduling hot path never builds
+        diagnostic strings.
+        """
+        b = self.blocked_on
+        cls = b.__class__
+        if cls is Delay:
+            return f"delay({b.dt:.3g})"
+        if cls is WaitFlag:
+            return f"wait({format_label(b.flag.label)})"
+        return str(b)
 
 
 class Engine:
@@ -162,7 +209,7 @@ class Engine:
         if time < self.now:
             time = self.now
         self._seq += 1
-        heapq.heappush(self._heap, (time, self._seq, callback))
+        _heappush(self._heap, (time, self._seq, callback))
 
     def call_after(self, dt: float, callback: Callable[[], None]) -> None:
         self.call_at(self.now + dt, callback)
@@ -179,28 +226,59 @@ class Engine:
         self._procs.append(proc)
         if not daemon:
             self._live += 1
-        self.call_at(self.now, lambda: self._step(proc, None))
+        self._seq += 1
+        _heappush(self._heap, (self.now, self._seq, proc.resume))
         return handle
 
     def set_flag(self, flag: EventFlag, payload: Any = None) -> None:
-        """Set ``flag`` at the current virtual time and wake all waiters."""
+        """Set ``flag`` at the current virtual time and wake all waiters.
+
+        All waiters are woken by a *single* scheduled callback that
+        steps them in FIFO (wait-arrival) order.  This is
+        observationally identical to the one-event-per-waiter scheme —
+        the per-waiter events were pushed with consecutive heap
+        sequence numbers, so nothing could ever interleave between
+        them — but costs one heap event instead of N.
+        """
         if flag.is_set:
             return
         flag.is_set = True
         flag.time = self.now
         flag.payload = payload
-        waiters, flag._waiters = flag._waiters, []
-        for proc in waiters:
-            self.call_at(self.now, lambda p=proc, f=flag: self._step(p, f.payload))
+        waiters = flag._waiters
+        if not waiters:
+            return
+        flag._waiters = []
+        if len(waiters) == 1:
+            if payload is None:
+                # identical to partial(_step, proc, None): reuse the
+                # process's preallocated resumer
+                callback = waiters[0].resume
+            else:
+                callback = partial(self._step, waiters[0], payload)
+        else:
+            def callback() -> None:
+                step = self._step
+                for proc in waiters:
+                    step(proc, payload)
+        self._seq += 1
+        _heappush(self._heap, (self.now, self._seq, callback))
 
     # ------------------------------------------------------------------
     # the interpreter loop
     # ------------------------------------------------------------------
     def _step(self, proc: _Process, sendval: Any) -> None:
-        """Advance one process by one syscall."""
+        """Advance one process by one syscall.
+
+        Dispatch is keyed on the syscall's exact class (no ``isinstance``
+        chain); Delay resumptions reuse ``proc.resume`` instead of
+        allocating a fresh closure per event.
+        """
+        send = proc.gen.send
+        heap = self._heap
         while True:
             try:
-                cmd = proc.gen.send(sendval)
+                cmd = send(sendval)
             except StopIteration as stop:
                 proc.handle.value = stop.value
                 proc.blocked_on = "done"
@@ -215,17 +293,35 @@ class Engine:
                     self._live -= 1
                 self.set_flag(proc.handle.done_flag, None)
                 raise
-            if isinstance(cmd, Delay):
-                proc.blocked_on = f"delay({cmd.dt:.3g})"
-                self.call_after(cmd.dt, lambda p=proc: self._step(p, None))
+            cls = cmd.__class__
+            if cls is Delay:
+                proc.blocked_on = cmd
+                self._seq += 1
+                _heappush(heap, (self.now + cmd.dt, self._seq, proc.resume))
                 return
-            if isinstance(cmd, WaitFlag):
+            if cls is WaitFlag:
                 flag = cmd.flag
                 if flag.is_set:
                     # already satisfied: continue synchronously at `now`
                     sendval = flag.payload
                     continue
-                proc.blocked_on = f"wait({flag.label})"
+                proc.blocked_on = cmd
+                flag._waiters.append(proc)
+                return
+            if cls is Spawn:
+                sendval = self.spawn(cmd.gen, cmd.name, daemon=cmd.daemon)
+                continue
+            # slow path: tolerate syscall subclasses before rejecting
+            if isinstance(cmd, Delay):
+                proc.blocked_on = cmd
+                self.call_after(cmd.dt, proc.resume)
+                return
+            if isinstance(cmd, WaitFlag):
+                flag = cmd.flag
+                if flag.is_set:
+                    sendval = flag.payload
+                    continue
+                proc.blocked_on = cmd
                 flag._waiters.append(proc)
                 return
             if isinstance(cmd, Spawn):
@@ -246,20 +342,33 @@ class Engine:
         from .errors import DeadlockError
 
         heap = self._heap
-        while heap:
-            time_, _seq, callback = heapq.heappop(heap)
-            self._events_fired += 1
-            if self.max_events is not None and self._events_fired > self.max_events:
-                raise RuntimeError(
-                    f"event budget exceeded ({self.max_events} events); "
-                    "likely a livelock in a simulated protocol"
-                )
-            if time_ > self.now:
-                self.now = time_
-            callback()
+        pop = _heappop
+        budget = self.max_events
+        if budget is None:
+            budget = float("inf")
+        fired = self._events_fired
+        now = self.now
+        try:
+            while heap:
+                entry = pop(heap)
+                fired += 1
+                if fired > budget:
+                    raise RuntimeError(
+                        f"event budget exceeded ({self.max_events} events); "
+                        "likely a livelock in a simulated protocol"
+                    )
+                # callbacks never rewind the clock; `now` mirrors
+                # self.now so the compare is a local read
+                time_ = entry[0]
+                if time_ > now:
+                    now = time_
+                    self.now = time_
+                entry[2]()
+        finally:
+            self._events_fired = fired
         if self._live > 0:
             blocked = {
-                p.handle.name: p.blocked_on
+                p.handle.name: p.blocked_label()
                 for p in self._procs
                 if not p.daemon and p.blocked_on not in ("done", "error")
             }

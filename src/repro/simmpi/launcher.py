@@ -60,7 +60,10 @@ def run(fn: Callable, nprocs: int,
         args: tuple = (),
         rank_args: Optional[Callable[[int], tuple]] = None,
         trace: bool = False,
-        max_events: Optional[int] = None) -> SimResult:
+        max_events: Optional[int] = None,
+        engine_factory: Optional[Callable[[], Engine]] = None,
+        mailbox_factory: Optional[Callable] = None,
+        network_factory: Optional[Callable] = None) -> SimResult:
     """Simulate ``fn`` on ``nprocs`` ranks of ``machine``.
 
     Parameters
@@ -81,14 +84,21 @@ def run(fn: Callable, nprocs: int,
         the result.
     max_events:
         Safety budget on engine events (livelock guard for tests).
+    engine_factory / mailbox_factory / network_factory:
+        Implementation injection, used by ``bench perf`` to run the
+        :mod:`repro.simmpi.oracle` slow path (pass
+        ``**repro.simmpi.oracle.SLOW_PATH``) and assert bit-identical
+        virtual-time results against the default fast path.
     """
     if nprocs <= 0:
         raise ValueError("nprocs must be positive")
     machine = machine or quiet_testbed()
-    engine = Engine()
+    engine = (engine_factory or Engine)()
     engine.max_events = max_events
     tracer = Tracer() if trace else None
-    world = World(engine, machine, nprocs, tracer=tracer)
+    world = World(engine, machine, nprocs, tracer=tracer,
+                  mailbox_factory=mailbox_factory,
+                  network_factory=network_factory)
 
     handles = []
     world_ranks = tuple(range(nprocs))

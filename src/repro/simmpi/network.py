@@ -20,20 +20,33 @@ Design points, chosen to reproduce the paper's *shapes*:
 
 The model is deliberately first-order: deterministic, O(1) per message,
 and calibrated rather than cycle-accurate (see DESIGN.md §7).
+
+Fast-path layout: the NIC timelines are flat lists indexed by rank
+(not dicts), node ids are precomputed per rank, and the three possible
+``(latency, bandwidth)`` resolutions — self, intra-node, inter-node —
+are cached tuples, so :meth:`Network.transfer` does no attribute-chain
+digging or hashing per message.  The pre-optimization implementation
+is preserved as :class:`repro.simmpi.oracle.OracleNetwork`.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import NamedTuple, Tuple
 
 from .config import MachineConfig
 
 
-@dataclass(frozen=True)
-class TransferTiming:
-    """Resolved timing of one message transfer."""
+_tuple_new = tuple.__new__
+
+
+class TransferTiming(NamedTuple):
+    """Resolved timing of one message transfer.
+
+    A NamedTuple: one is allocated per message, and tuple construction
+    is C-level (the frozen-dataclass ``__init__`` it replaced was ~4x
+    slower at transport rates).
+    """
 
     inject_start: float   # when the payload starts leaving the sender NIC
     sender_free: float    # when the sender NIC is free again
@@ -47,28 +60,53 @@ class Network:
     def __init__(self, config: MachineConfig, nranks: int):
         self.config = config
         self.nranks = nranks
-        self._tx_free: Dict[int, float] = {}
-        self._rx_free: Dict[int, float] = {}
+        # flat per-rank NIC timelines: list indexing beats dict lookups
+        # in the per-message hot path
+        self._tx_free = [0.0] * nranks
+        self._rx_free = [0.0] * nranks
         net = config.network
         if nranks > net.dilation_base and net.fabric_dilation > 0:
             dil = 1.0 + net.fabric_dilation * math.log2(nranks / net.dilation_base)
         else:
             dil = 1.0
         self._dilation = dil
+        # per-rank node ids and the three possible link resolutions,
+        # precomputed once (MachineConfig is frozen)
+        rpn = config.ranks_per_node
+        self._node = [r // rpn for r in range(nranks)]
+        self._self_link = (0.0, net.intra_node_bandwidth)
+        self._intra_link = (net.intra_node_latency, net.intra_node_bandwidth)
+        self._inter_link = (net.latency * dil, net.bandwidth)
+        self._eager_threshold = net.eager_threshold
+        self._size = nranks
         # statistics
         self.messages_sent = 0
         self.bytes_sent = 0
 
+    def _grow(self, size: int) -> None:
+        """Accommodate out-of-range rank ids (the dict-based model
+        tolerated them; flat lists grow lazily instead)."""
+        extra = size - self._size
+        self._tx_free.extend([0.0] * extra)
+        self._rx_free.extend([0.0] * extra)
+        rpn = self.config.ranks_per_node
+        self._node.extend(r // rpn for r in range(self._size, size))
+        self._size = size
+
     # ------------------------------------------------------------------
     def _link(self, src: int, dst: int) -> Tuple[float, float]:
         """(latency, bandwidth) for the src->dst pair."""
-        net = self.config.network
+        if src < 0 or dst < 0:
+            raise ValueError(f"negative rank in link lookup: {src}->{dst}")
+        if src >= self._size or dst >= self._size:
+            self._grow((src if src > dst else dst) + 1)
         if src == dst:
             # self-send: memcpy-like
-            return (0.0, net.intra_node_bandwidth)
-        if self.config.node_of(src) == self.config.node_of(dst):
-            return (net.intra_node_latency, net.intra_node_bandwidth)
-        return (net.latency * self._dilation, net.bandwidth)
+            return self._self_link
+        node = self._node
+        if node[src] == node[dst]:
+            return self._intra_link
+        return self._inter_link
 
     def transfer(self, src: int, dst: int, nbytes: int, ready: float) -> TransferTiming:
         """Timing for ``nbytes`` from ``src`` to ``dst``, ready at ``ready``.
@@ -79,21 +117,47 @@ class Network:
         """
         if nbytes < 0:
             raise ValueError("negative message size")
-        latency, bandwidth = self._link(src, dst)
+        if src < 0 or dst < 0:
+            # the dict-based model silently keyed negative ids; flat
+            # lists would alias rank -1 onto the last rank — reject
+            raise ValueError(f"negative rank in transfer: {src}->{dst}")
+        if src >= self._size or dst >= self._size:
+            self._grow((src if src > dst else dst) + 1)
+        if src == dst:
+            latency, bandwidth = self._self_link
+        else:
+            node = self._node
+            if node[src] == node[dst]:
+                latency, bandwidth = self._intra_link
+            else:
+                latency, bandwidth = self._inter_link
         serial = nbytes / bandwidth
-        inject_start = max(ready, self._tx_free.get(src, 0.0))
+        tx_free = self._tx_free
+        inject_start = tx_free[src]
+        if ready > inject_start:
+            inject_start = ready
         sender_free = inject_start + serial
-        self._tx_free[src] = sender_free
+        tx_free[src] = sender_free
         arrival = sender_free + latency
-        delivered = max(arrival, self._rx_free.get(dst, 0.0)) + (
-            serial if src != dst else 0.0
-        )
-        # rx occupancy only for the wire transfer; self-sends don't queue.
         if src != dst:
+            # rx occupancy only for the wire transfer; self-sends
+            # don't queue.
+            delivered = self._rx_free[dst]
+            if arrival > delivered:
+                delivered = arrival
+            delivered += serial
             self._rx_free[dst] = delivered
+        else:
+            delivered = self._rx_free[dst]
+            if arrival > delivered:
+                delivered = arrival
         self.messages_sent += 1
         self.bytes_sent += nbytes
-        return TransferTiming(inject_start, sender_free, arrival, delivered)
+        # direct tuple construction: both the generated namedtuple
+        # __new__ and _make are Python-level wrappers that showed up in
+        # transport profiles
+        return _tuple_new(TransferTiming,
+                          (inject_start, sender_free, arrival, delivered))
 
     # ------------------------------------------------------------------
     def overheads(self) -> Tuple[float, float]:
@@ -102,7 +166,7 @@ class Network:
         return (net.o_send, net.o_recv)
 
     def is_eager(self, nbytes: int) -> bool:
-        return nbytes <= self.config.network.eager_threshold
+        return nbytes <= self._eager_threshold
 
     def dilation(self) -> float:
         return self._dilation

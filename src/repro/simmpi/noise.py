@@ -74,19 +74,26 @@ class NoiseModel:
         """Actual virtual-time cost of ``duration`` nominal compute seconds."""
         if duration <= 0:
             return 0.0
-        actual = duration * self.persistent_factor(rank)
-        frac = self.config.quantum_fraction
+        skew = self._skew.get(rank)
+        if skew is None:
+            skew = self.persistent_factor(rank)
+        actual = duration * skew
+        config = self.config
+        frac = config.quantum_fraction
         if frac > 0.0:
             # Number of noise quanta this interval spans; each quantum
             # contributes an exponentially-distributed detour with mean
             # `frac * quantum`.  For intervals much longer than a quantum
             # the total concentrates around `frac * duration` (LLN); for
             # short intervals it is bursty.
-            quanta = duration / self.config.quantum
-            n_events = int(self._rng(rank).poisson(max(quanta, 1e-12)))
+            rng = self._rngs.get(rank)
+            if rng is None:
+                rng = self._rng(rank)
+            quanta = duration / config.quantum
+            n_events = int(rng.poisson(quanta if quanta > 1e-12 else 1e-12))
             if n_events > 0:
-                detours = self._rng(rank).exponential(
-                    frac * self.config.quantum, size=n_events
+                detours = rng.exponential(
+                    frac * config.quantum, size=n_events
                 )
                 actual += float(detours.sum())
         return actual

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
-from .engine import EventFlag
+from .engine import EventFlag, format_label
 from .errors import RequestError
 
 
@@ -33,34 +33,52 @@ class Status:
         return f"Status(source={self.source}, tag={self.tag}, nbytes={self.nbytes})"
 
 
-class Request:
-    """Handle for an in-flight non-blocking operation."""
+class Request(EventFlag):
+    """Handle for an in-flight non-blocking operation.
 
-    __slots__ = ("flag", "kind", "_waited")
+    A request *is* its completion flag: ``Request`` subclasses
+    :class:`~repro.simmpi.engine.EventFlag` and ``req.flag`` returns
+    ``self``, so the transport allocates one object per operation where
+    it used to allocate two (requests are created twice per message on
+    the hot path).  All call sites keep reading ``req.flag``.
+    """
 
-    def __init__(self, kind: str, label: str = ""):
-        self.flag = EventFlag(label=label or kind)
+    __slots__ = ("kind", "_waited")
+
+    def __init__(self, kind: str, label: Any = ""):
+        # inlined EventFlag.__init__ (saves a call per request)
+        self.is_set = False
+        self.time = 0.0
+        self.payload = None
+        self._waiters = []
+        self.label = label or kind
         self.kind = kind
         self._waited = False
 
     @property
+    def flag(self) -> EventFlag:
+        return self
+
+    @property
     def done(self) -> bool:
-        return self.flag.is_set
+        return self.is_set
 
     def test(self) -> bool:
         """Non-blocking completion check (``MPI_Test`` without the wait)."""
-        return self.flag.is_set
+        return self.is_set
 
     def result(self) -> Any:
         """Value delivered at completion; raises if not complete yet."""
-        if not self.flag.is_set:
-            raise RequestError(f"request {self.flag.label!r} not complete")
-        return self.flag.payload
+        if not self.is_set:
+            raise RequestError(
+                f"request {format_label(self.label)!r} not complete")
+        return self.payload
 
     def _mark_waited(self) -> None:
         if self._waited:
             raise RequestError(
-                f"request {self.flag.label!r} waited on twice; requests are "
+                f"request {format_label(self.label)!r} waited on twice; "
+                "requests are "
                 "single-completion objects (use persistent requests to reuse)"
             )
         self._waited = True

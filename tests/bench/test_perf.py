@@ -1,0 +1,127 @@
+"""Tests for the perf-benchmark subsystem (repro.bench.perf)."""
+
+import json
+import os
+
+import pytest
+
+from repro.bench import perf
+from repro.bench.cli import main as cli_main
+
+
+def test_scenario_registry_is_well_formed():
+    assert set(perf.DEFAULT_SCENARIOS) <= set(perf.SCENARIOS)
+    for name, scenario in perf.SCENARIOS.items():
+        assert scenario.name == name
+        assert scenario.nprocs > 0
+        assert scenario.describe
+
+
+def test_unknown_scenario_rejected():
+    with pytest.raises(perf.PerfError, match="unknown scenario"):
+        perf.run_scenario("nope")
+    with pytest.raises(perf.PerfError, match="unknown variant"):
+        perf.run_scenario("quickstart", "warp")
+
+
+def test_quickstart_fast_record_fields():
+    rec = perf.run_scenario("quickstart", "fast")
+    assert rec.scenario == "quickstart"
+    assert rec.variant == "fast"
+    assert rec.events > 0
+    assert rec.wall_s > 0
+    assert rec.events_per_sec > 0
+    assert rec.messages > 0
+    assert rec.peak_unexpected >= 1
+    assert len(rec.digest) == 64
+
+
+def test_quickstart_bit_identical_to_oracle():
+    """The tentpole invariant: fast path == slow-path oracle on every
+    virtual-time observable."""
+    fast, oracle = perf.verify_against_oracle("quickstart")
+    assert fast.digest == oracle.digest
+    assert fast.virtual_elapsed == oracle.virtual_elapsed
+    assert fast.messages == oracle.messages
+    assert fast.bytes == oracle.bytes
+
+
+def test_repeats_assert_determinism():
+    rec1 = perf.run_scenario("quickstart", "fast", repeats=2)
+    rec2 = perf.run_scenario("quickstart", "fast")
+    assert rec1.digest == rec2.digest
+
+
+def test_golden_roundtrip(tmp_path):
+    rec = perf.run_scenario("quickstart", "fast")
+    golden = tmp_path / "quickstart.json"
+    perf.write_golden(rec, str(golden))
+    perf.check_golden(rec, str(golden))  # must not raise
+    # perturb one virtual field -> must fail
+    data = json.loads(golden.read_text())
+    data["messages"] += 1
+    golden.write_text(json.dumps(data))
+    with pytest.raises(perf.PerfError, match="differ from golden"):
+        perf.check_golden(rec, str(golden))
+
+
+def test_golden_scenario_name_guard(tmp_path):
+    rec = perf.run_scenario("quickstart", "fast")
+    golden = tmp_path / "wrong.json"
+    golden.write_text(json.dumps({"scenario": "fig5-256"}))
+    with pytest.raises(perf.PerfError, match="pins scenario"):
+        perf.check_golden(rec, str(golden))
+
+
+def test_suite_payload_shape(tmp_path):
+    payload = perf.run_suite(["quickstart"], check_oracle=False, repeats=1)
+    assert payload["meta"]["schema"] == perf.SCHEMA
+    entry = payload["scenarios"]["quickstart"]
+    assert entry["fast"]["events_per_sec"] > 0
+    path = perf.save_payload(payload, out_dir=str(tmp_path))
+    assert path.endswith("BENCH_perf.json")
+    on_disk = json.loads(open(path).read())
+    assert on_disk["scenarios"]["quickstart"]["fast"]["events"] == \
+        entry["fast"]["events"]
+
+
+def test_suite_compare_merges_before(tmp_path):
+    base = perf.run_suite(["quickstart"], check_oracle=False, repeats=1)
+    payload = perf.run_suite(["quickstart"], check_oracle=False,
+                             repeats=1, compare=base)
+    entry = payload["scenarios"]["quickstart"]
+    assert entry["before"]["events"] == entry["fast"]["events"]
+    assert entry["speedup_vs_before"] > 0
+    report = perf.render_report(payload)
+    assert "quickstart" in report and "before" in report
+
+
+def test_committed_quickstart_golden_matches():
+    """CI's perf-smoke gate, run as a unit test too: the committed
+    golden must match what the simulator produces today."""
+    golden = os.path.join(os.path.dirname(__file__), "..", "..",
+                          "benchmarks", "golden", "quickstart_perf.json")
+    rec = perf.run_scenario("quickstart", "fast")
+    perf.check_golden(rec, golden)
+
+
+def test_cli_write_and_check_golden(tmp_path, capsys):
+    golden = str(tmp_path / "g.json")
+    assert cli_main(["perf", "--scenario", "quickstart",
+                     "--write-golden", golden]) == 0
+    assert cli_main(["perf", "--scenario", "quickstart",
+                     "--check-golden", golden]) == 0
+    out = capsys.readouterr().out
+    assert "golden check OK" in out
+
+
+def test_cli_rejects_unknown_scenario():
+    with pytest.raises(SystemExit):
+        cli_main(["perf", "--scenario", "not-a-scenario"])
+
+
+def test_profile_layers():
+    prof = perf.profile_scenario("quickstart", top_n=3)
+    assert prof["total_s"] > 0
+    assert "engine" in prof["layers_s"]
+    assert all(len(v) <= 3 for v in prof["top"].values())

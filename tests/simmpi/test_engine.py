@@ -261,6 +261,128 @@ def test_unsupported_syscall_raises_typeerror():
         eng.run()
 
 
+def test_set_flag_wakes_waiters_in_fifo_order():
+    """Wake order is pinned: waiters resume in the order they blocked,
+    via a single scheduled callback (insertion order == FIFO)."""
+    eng = Engine()
+    flag = EventFlag("f")
+    woke = []
+
+    def waiter(i):
+        val = yield WaitFlag(flag)
+        woke.append((i, val, eng.now))
+
+    for i in range(8):
+        eng.spawn(waiter(i), name=f"w{i}")
+
+    def setter():
+        yield Delay(2.0)
+        eng.set_flag(flag, "v")
+
+    eng.spawn(setter())
+    eng.run()
+    assert woke == [(i, "v", 2.0) for i in range(8)]
+
+
+def test_set_flag_wake_is_one_event_for_many_waiters():
+    """The single-callback wake: N waiters cost one heap event, not N."""
+    eng = Engine()
+    flag = EventFlag("f")
+
+    def waiter():
+        yield WaitFlag(flag)
+
+    for _ in range(5):
+        eng.spawn(waiter())
+
+    def setter():
+        yield Delay(1.0)
+        eng.set_flag(flag)
+
+    eng.spawn(setter())
+    eng.run()
+    # 6 spawn steps + setter's delay resumption + 1 collective wake
+    assert eng.events_fired == 8
+
+
+def test_wake_order_interleaves_like_per_waiter_events():
+    """A woken process that immediately schedules new same-time work
+    must see that work run *after* every waiter has woken (exactly as
+    with per-waiter heap events, whose seqs were contiguous)."""
+    eng = Engine()
+    flag = EventFlag("f")
+    order = []
+
+    def waiter(i):
+        yield WaitFlag(flag)
+        order.append(("woke", i))
+        eng.call_at(eng.now, lambda i=i: order.append(("follow-up", i)))
+
+    for i in range(3):
+        eng.spawn(waiter(i))
+
+    def setter():
+        yield Delay(1.0)
+        eng.set_flag(flag)
+
+    eng.spawn(setter())
+    eng.run()
+    assert order == [("woke", 0), ("woke", 1), ("woke", 2),
+                     ("follow-up", 0), ("follow-up", 1), ("follow-up", 2)]
+
+
+def test_replay_determinism():
+    """The determinism contract: two runs of the same program drain
+    identical (time, order) event sequences and finish times."""
+
+    def scenario():
+        eng = Engine()
+        log = []
+        flag = EventFlag("f")
+
+        def pinger(i):
+            for k in range(4):
+                yield Delay(0.25 * ((i + k) % 3))
+                log.append(("ping", i, k, eng.now))
+            if i == 0:
+                eng.set_flag(flag, "go")
+
+        def waiter():
+            val = yield WaitFlag(flag)
+            log.append(("woke", val, eng.now))
+            child = yield Spawn(delay(0.5), "tail")
+            yield WaitFlag(child.done_flag)
+            log.append(("tail-done", eng.now))
+
+        eng.spawn(waiter())
+        handles = [eng.spawn(pinger(i), name=f"p{i}") for i in range(5)]
+        end = eng.run()
+        return end, log, [h.done_flag.time for h in handles], eng.events_fired
+
+    assert scenario() == scenario()
+
+
+def test_deadlock_diagnostics_formatted_lazily():
+    """blocked_on holds the syscall object on the hot path; the string
+    only materializes when DeadlockError fires."""
+    eng = Engine()
+    flag = EventFlag("the-flag")
+
+    def stuck_wait():
+        yield WaitFlag(flag)
+
+    def stuck_tuple_label():
+        yield WaitFlag(EventFlag(label=("recv<-", 3, "#", 7)))
+
+    eng.spawn(stuck_wait(), name="w")
+    eng.spawn(stuck_tuple_label(), name="t")
+    with pytest.raises(DeadlockError) as ei:
+        eng.run()
+    msg = str(ei.value)
+    assert "wait(the-flag)" in msg
+    assert "wait(recv<-3#7)" in msg
+
+
 def test_events_fired_counter():
     eng = Engine()
 

@@ -1,5 +1,11 @@
-"""Unit + property tests for message matching semantics."""
+"""Unit + property tests for message matching semantics.
 
+The indexed :class:`Mailbox` fast path is checked operation-for-
+operation against :class:`LinearMailbox`, the original linear-scan
+implementation kept as the semantic oracle.
+"""
+
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -7,6 +13,7 @@ from repro.simmpi.matching import (
     ANY_SOURCE,
     ANY_TAG,
     Envelope,
+    LinearMailbox,
     Mailbox,
     PostedRecv,
 )
@@ -139,6 +146,116 @@ def test_every_message_eventually_matches_wildcard_receives(srcs):
                            lambda e: got.append(e.payload)))
     assert got == list(range(len(srcs)))
     assert mb.pending_counts() == (0, 0)
+
+
+@pytest.mark.parametrize("mailbox_cls", [Mailbox, LinearMailbox])
+def test_both_mailboxes_share_the_contract(mailbox_cls):
+    """Smoke: the oracle and the indexed fast path expose one API."""
+    mb = mailbox_cls()
+    assert mb.deliver(_env(src=1, tag=2)) is None
+    assert mb.probe(ANY_SOURCE, 2, 0).src == 1
+    assert mb.probe(1, ANY_TAG, 0).src == 1
+    assert mb.probe(3, 2, 0) is None
+    matched = []
+    env = mb.post(_post(matched, source=1, tag=2))
+    assert env is not None and matched[0].src == 1
+    assert mb.pending_counts() == (0, 0)
+    assert mb.peak_unexpected == 1
+
+
+# ----------------------------------------------------------------------
+# randomized interleavings: the indexed mailbox must reproduce the
+# linear-scan oracle's exact match sequence
+# ----------------------------------------------------------------------
+
+_op = st.one_of(
+    st.tuples(st.just("deliver"),
+              st.integers(0, 3),                        # src
+              st.integers(0, 2),                        # tag
+              st.integers(0, 1)),                       # context
+    st.tuples(st.just("post"),
+              st.sampled_from([ANY_SOURCE, 0, 1, 2, 3]),
+              st.sampled_from([ANY_TAG, 0, 1, 2]),
+              st.integers(0, 1)),
+    st.tuples(st.just("probe"),
+              st.sampled_from([ANY_SOURCE, 0, 1, 2, 3]),
+              st.sampled_from([ANY_TAG, 0, 1, 2]),
+              st.integers(0, 1)),
+)
+
+
+def _drive(mailbox, ops):
+    """Apply an op script; return the observable event trace.
+
+    Every match is recorded as ``(post_index, envelope_payload)`` —
+    *which* receive got *which* message — regardless of whether the
+    match happened at post time or at delivery time."""
+    trace = []
+    for i, (kind, a, b, ctx) in enumerate(ops):
+        if kind == "deliver":
+            got = mailbox.deliver(Envelope(a, b, ctx, 1, ("msg", i),
+                                           True, float(i)))
+            trace.append(("delivered", i, got is not None))
+        elif kind == "post":
+            post = PostedRecv(
+                a, b, ctx, None,
+                lambda env, post_i=i: trace.append(("match", post_i,
+                                                    env.payload)))
+            got = mailbox.post(post)
+            trace.append(("posted", i, got is None))
+        else:
+            got = mailbox.probe(a, b, ctx)
+            trace.append(("probe", i,
+                          None if got is None else got.payload))
+        trace.append(("counts", mailbox.pending_counts()))
+    return trace
+
+
+@given(ops=st.lists(_op, min_size=1, max_size=60))
+@settings(max_examples=200, deadline=None)
+def test_indexed_mailbox_matches_linear_oracle(ops):
+    """Property: identical wildcard/FIFO/unexpected interleavings yield
+    identical match sequences, probe results and queue depths."""
+    assert _drive(Mailbox(), ops) == _drive(LinearMailbox(), ops)
+
+
+@given(
+    n_srcs=st.integers(2, 5),
+    per_src=st.integers(1, 8),
+    seed=st.integers(0, 999),
+)
+@settings(max_examples=60, deadline=None)
+def test_funnel_interleaving_matches_oracle(n_srcs, per_src, seed):
+    """The MapReduce-funnel shape: many sources into one wildcard
+    consumer, with deterministic pseudo-random interleaving of posts
+    and deliveries."""
+    import random
+    rng = random.Random(seed)
+    sends = [(s, k) for s in range(n_srcs) for k in range(per_src)]
+    rng.shuffle(sends)
+    total = len(sends)
+    ops = []
+    posted = 0
+    while sends or posted < total:
+        if sends and (posted >= total or rng.random() < 0.5):
+            s, _k = sends.pop()
+            ops.append(("deliver", s, 0, 0))
+        else:
+            ops.append(("post", ANY_SOURCE, 0, 0))
+            posted += 1
+    assert _drive(Mailbox(), ops) == _drive(LinearMailbox(), ops)
+
+
+def test_tombstones_are_pruned():
+    """Wildcard matches leave shadow copies behind; bulk pruning must
+    keep the dead count bounded by the live population."""
+    mb = Mailbox()
+    for round_ in range(200):
+        mb.deliver(_env(src=round_ % 4, tag=0))
+        matched = []
+        assert mb.post(_post(matched, tag=0)) is not None
+    assert mb.pending_counts() == (0, 0)
+    assert mb._dead <= 64 + 3  # _PRUNE_MIN plus one match's shadows
 
 
 @given(
