@@ -30,10 +30,11 @@ from .handles import (
     StageRecord,
 )
 from .report import Report
-from .simulation import MACHINE_PRESETS, Simulation
+from .simulation import MACHINE_PRESETS, Simulation, plan_placement
 
 __all__ = [
     "CompiledGraph", "ConsumerHandle", "FlowDef", "GraphError",
     "MACHINE_PRESETS", "ProducerHandle", "Report", "Simulation",
     "StageContext", "StageDef", "StageRecord", "StreamGraph",
+    "plan_placement",
 ]

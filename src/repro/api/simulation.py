@@ -21,14 +21,42 @@ from typing import Callable, Optional, Union
 from ..simmpi.config import (
     MachineConfig,
     NoiseConfig,
+    TopologyConfig,
     beskow,
     ideal_network_testbed,
     quiet_testbed,
+    resolve_topology,
+)
+from ..simmpi.errors import PlacementError
+from ..simmpi.placement import (
+    ColocatedPlacement,
+    PartitionedPlacement,
+    PlacementPolicy,
+    resolve_placement,
 )
 from ..simmpi.launcher import run
 from .errors import GraphError
 from .graph import CompiledGraph, StreamGraph
 from .report import Report
+
+#: placement names that need a compiled plan's group blocks
+_PLAN_PLACEMENTS = {
+    "colocated": ColocatedPlacement,
+    "partitioned": PartitionedPlacement,
+}
+
+
+def plan_placement(kind: str, plan) -> PlacementPolicy:
+    """Build a group-aware placement policy from a validated
+    :class:`~repro.core.groups.DecouplingPlan`'s rank blocks."""
+    factory = _PLAN_PLACEMENTS.get(kind)
+    if factory is None:
+        raise GraphError(
+            f"unknown plan placement {kind!r}; "
+            f"choose from {sorted(_PLAN_PLACEMENTS)}")
+    blocks = [(name, spec.first_rank, spec.size)
+              for name, spec in plan.groups.items()]
+    return factory(blocks)
 
 #: machine presets accepted by name
 MACHINE_PRESETS = {
@@ -80,6 +108,8 @@ class Simulation:
                  machine: Union[None, str, MachineConfig] = None, *,
                  trace: bool = False,
                  noise: Union[None, bool, int, NoiseConfig] = None,
+                 topology: Union[None, str, TopologyConfig] = None,
+                 placement: Union[None, str, PlacementPolicy] = None,
                  max_events: Optional[int] = None):
         """
         Parameters
@@ -97,13 +127,41 @@ class Simulation:
             Noise override: ``False`` silences the machine's noise
             model, an ``int`` reseeds it, a :class:`~repro.simmpi.
             config.NoiseConfig` replaces it, ``None`` keeps the preset.
+        topology:
+            Fabric override: a kind name (``"flat"``, ``"fat_tree"``,
+            ``"dragonfly"``) or a :class:`~repro.simmpi.config.
+            TopologyConfig`; ``None`` keeps the machine's fabric.
+        placement:
+            Rank→node override: ``"block"``, ``"round_robin"``, a
+            :class:`~repro.simmpi.placement.PlacementPolicy`, or —
+            when running a :class:`StreamGraph` — ``"colocated"`` /
+            ``"partitioned"``, which are built from the compiled
+            plan's group blocks automatically.
         max_events:
             Safety budget on engine events (livelock guard).
         """
         if nprocs <= 0:
             raise GraphError("nprocs must be positive")
         self.nprocs = nprocs
-        self.machine = _resolve_machine(machine, noise)
+        machine_cfg = _resolve_machine(machine, noise)
+        if topology is not None:
+            try:
+                machine_cfg = machine_cfg.with_(
+                    topology=resolve_topology(topology))
+            except ValueError as exc:
+                raise GraphError(str(exc)) from exc
+        #: placement deferred until run(): colocated/partitioned need
+        #: the compiled graph's plan to know the group rank blocks
+        self._plan_placement = (placement
+                                if isinstance(placement, str)
+                                and placement in _PLAN_PLACEMENTS else None)
+        if placement is not None and self._plan_placement is None:
+            try:
+                machine_cfg = machine_cfg.with_(
+                    placement=resolve_placement(placement))
+            except PlacementError as exc:
+                raise GraphError(str(exc)) from exc
+        self.machine = machine_cfg
         self.trace = trace
         self.max_events = max_events
 
@@ -138,13 +196,22 @@ class Simulation:
             record = yield from compiled.execute(comm)
             return record
 
-        sim = run(main, self.nprocs, machine=self.machine,
+        machine = self.machine
+        if self._plan_placement is not None:
+            machine = machine.with_(placement=plan_placement(
+                self._plan_placement, compiled.plan))
+        sim = run(main, self.nprocs, machine=machine,
                   trace=self.trace, max_events=self.max_events)
         return Report(sim=sim, plan=compiled.plan,
                       records=list(sim.values))
 
     def _run_program(self, fn: Callable, args: tuple,
                      rank_args: Optional[Callable[[int], tuple]]) -> Report:
+        if self._plan_placement is not None:
+            raise GraphError(
+                f"placement {self._plan_placement!r} derives group blocks "
+                "from a StreamGraph's plan; rank programs need an explicit "
+                "PlacementPolicy (e.g. ColocatedPlacement(groups))")
         sim = run(fn, self.nprocs, machine=self.machine, args=args,
                   rank_args=rank_args, trace=self.trace,
                   max_events=self.max_events)

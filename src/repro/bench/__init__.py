@@ -9,6 +9,7 @@ from .figures import (
     fig6_cg,
     fig7_pcomm,
     fig8_pio,
+    fig_placement,
 )
 from .harness import (
     DEFAULT_POINTS,
@@ -32,7 +33,7 @@ from .perf import (
 __all__ = [
     "DEFAULT_POINTS", "PERF_SCENARIOS", "PerfError", "PerfRecord", "Series",
     "check_golden", "fig2_traces", "fig3_execution_models", "fig5_mapreduce",
-    "fig6_cg", "fig7_pcomm", "fig8_pio", "max_elapsed", "render_table",
-    "run_scenario", "run_suite", "save_artifact", "scale_points", "sweep",
-    "verify_against_oracle",
+    "fig6_cg", "fig7_pcomm", "fig8_pio", "fig_placement", "max_elapsed",
+    "render_table", "run_scenario", "run_suite", "save_artifact",
+    "scale_points", "sweep", "verify_against_oracle",
 ]

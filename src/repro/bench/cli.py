@@ -31,21 +31,32 @@ from .figures import (
     fig6_cg,
     fig7_pcomm,
     fig8_pio,
+    fig_placement,
 )
-from .harness import DEFAULT_POINTS, Series, render_table, save_artifact
+from .harness import (
+    DEFAULT_POINTS,
+    Series,
+    render_table,
+    save_artifact,
+    scale_points,
+)
 
 SWEEP_FIGURES = {
     "fig5": (fig5_mapreduce, "Fig. 5 - MapReduce weak scaling (s)"),
     "fig6": (fig6_cg, "Fig. 6 - CG solver weak scaling (s)"),
     "fig7": (fig7_pcomm, "Fig. 7 - particle communication (s)"),
     "fig8": (fig8_pio, "Fig. 8 - particle I/O (s)"),
+    "placement": (fig_placement,
+                  "Placement - colocated vs partitioned on a fat-tree (s)"),
 }
 ALL_FIGURES = ("fig2", "fig3") + tuple(SWEEP_FIGURES)
 
 
 def _parse_points(text: Optional[str]) -> List[int]:
     if not text:
-        return list(DEFAULT_POINTS)
+        # --points absent: honour $REPRO_POINTS exactly like the
+        # tier-1 figure benchmarks do, else the paper's default axis
+        return scale_points()
     points = sorted({int(x) for x in text.split(",") if x.strip()})
     if not points:
         raise SystemExit("--points parsed to an empty list")
@@ -151,8 +162,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="which figure to regenerate, or 'perf' for "
                              "the simulator benchmark suite")
     parser.add_argument("--points", default=None,
-                        help="comma-separated process counts "
-                             f"(default: {','.join(map(str, DEFAULT_POINTS))})")
+                        help="comma-separated process counts (default: "
+                             "$REPRO_POINTS if set, else "
+                             f"{','.join(map(str, DEFAULT_POINTS))})")
     parser.add_argument("--out", default=None, metavar="DIR",
                         help="directory for JSON artifacts (default: "
                              "$REPRO_RESULTS_DIR or benchmarks/results)")

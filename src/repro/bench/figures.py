@@ -19,7 +19,8 @@ from ..apps.ipic3d import (
     pio_reference,
 )
 from ..apps.mapreduce import MapReduceConfig, decoupled_worker, reference_worker
-from ..simmpi.config import beskow
+from ..simmpi.config import TopologyConfig, beskow
+from ..simmpi.launcher import run
 from .harness import Series, max_elapsed, sweep
 
 #: paper parameters
@@ -46,6 +47,42 @@ def fig5_mapreduce(points: List[int],
             lambda p, a=alpha: MapReduceConfig(nprocs=p, alpha=a),
             points, beskow, max_elapsed,
             label=f"Decoupling (a={alpha:.4g})"))
+    return series
+
+
+# ----------------------------------------------------------------------
+# Placement scenario family — colocated vs partitioned under a fat-tree
+# ----------------------------------------------------------------------
+
+def fig_placement(points: List[int], alpha: float = 0.0625,
+                  topology: TopologyConfig = None) -> List[Series]:
+    """The paper's decoupling strategy as a *placement* study.
+
+    The Fig. 5 MapReduce funnel, decoupled identically, run twice per
+    process count on a contended fat-tree (radix 2 over the nodes, so
+    cross-subtree streams queue on tapered uplinks): once with the
+    reduce group *colocated* on its producers' nodes — every stream
+    rides the intra-node shortcut — and once *partitioned* onto a
+    disjoint node set — every stream climbs the tree.  Not a figure
+    from the paper: the fabric/placement subsystem opens it as a new
+    scenario family.
+    """
+    from ..api import plan_placement
+    from ..apps.mapreduce.decoupled import build_graph
+
+    topo = topology or TopologyConfig(kind="fat_tree", radix=2)
+    series = []
+    for mode in ("colocated", "partitioned"):
+        s = Series(f"Decoupling ({mode})",
+                   meta={"topology": topo.kind, "alpha": alpha})
+        for p in points:
+            cfg = MapReduceConfig(nprocs=p, alpha=alpha)
+            plan = build_graph(cfg).compile(p).plan
+            machine = beskow().with_(
+                topology=topo, placement=plan_placement(mode, plan))
+            result = run(decoupled_worker, p, args=(cfg,), machine=machine)
+            s.points[p] = float(max_elapsed(result))
+        series.append(s)
     return series
 
 

@@ -39,7 +39,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from ..simmpi.config import MachineConfig, beskow
+from ..simmpi.config import MachineConfig, TopologyConfig, beskow
 from ..simmpi.launcher import SimResult, run
 from ..simmpi.oracle import SLOW_PATH
 
@@ -73,6 +73,13 @@ class Scenario:
     nprocs: int
     #: () -> (fn, args, machine); deferred so scenario listing is cheap
     build: Callable[[], Tuple[Callable, tuple, MachineConfig]]
+    #: which slow path the oracle leg runs: "full" injects the seed
+    #: engine+mailbox+network trio; "core" injects only engine+mailbox
+    #: and keeps the scenario's own fabric (the seed OracleNetwork is
+    #: flat-only, so topology scenarios pin the engine/matching layers
+    #: instead — the same oracle-equivalence discipline, minus the
+    #: network leg that cannot exist)
+    slow_path: str = "full"
 
 
 def _quickstart_build():
@@ -125,6 +132,54 @@ def _fig7_build():
     return pcomm_decoupled, (cfg,), _quiet_beskow()
 
 
+#: the fat-tree the placement scenarios contend on: radix 2 over the
+#: 32-rank nodes, so 256 ranks span 8 nodes under a 3-level tree with
+#: tapered uplinks — cross-subtree streams queue, intra-node ones fly
+_PLACEMENT_TOPOLOGY = TopologyConfig(kind="fat_tree", radix=2)
+
+
+def _fig5_placement_build(mode: str):
+    """The Fig. 5 reduce funnel with the reduce group either sharing
+    its producers' nodes (colocated) or exiled to a disjoint node set
+    (partitioned), under the contended fat-tree.  The paper's placement
+    trade-off as a perf scenario: the two must diverge measurably."""
+    def build():
+        from ..api import plan_placement
+        from ..apps.mapreduce import MapReduceConfig, decoupled_worker
+        from ..apps.mapreduce.decoupled import build_graph
+        cfg = MapReduceConfig(nprocs=256, nchunks=64,
+                              chunk_jitter_sigma=0.0)
+        plan = build_graph(cfg).compile(cfg.nprocs).plan
+        machine = _quiet_beskow().with_(
+            topology=_PLACEMENT_TOPOLOGY,
+            placement=plan_placement(mode, plan))
+        return decoupled_worker, (cfg,), machine
+    return build
+
+
+def _fabric_contention_build():
+    """Synthetic incast across a thin fat-tree: every rank rendezvous-
+    sends to rank 0 from all subtrees, so the tapered per-level uplink
+    timelines — not the NICs — set the pace.  Gated by a committed
+    golden in CI so fabric-timing drift fails the build."""
+    rounds, nbytes = 12, 131_072
+
+    def main(comm):
+        if comm.rank == 0:
+            for _ in range(rounds * (comm.size - 1)):
+                yield from comm.recv()
+            return comm.time
+        for rnd in range(rounds):
+            req = yield from comm.isend(rnd, dest=0, nbytes=nbytes)
+            yield from comm.wait(req)
+        return comm.time
+
+    machine = _quiet_beskow().with_(
+        ranks_per_node=8,
+        topology=TopologyConfig(kind="fat_tree", radix=2))
+    return main, (), machine
+
+
 SCENARIOS: Dict[str, Scenario] = {
     s.name: s for s in (
         Scenario("quickstart", "compute->analyze stream graph, 16 ranks",
@@ -137,12 +192,25 @@ SCENARIOS: Dict[str, Scenario] = {
                  4096, _fig5_build(4096)),
         Scenario("fig7-pcomm", "iPIC3D particle communication, 256 ranks",
                  256, _fig7_build),
+        Scenario("fig5-placement",
+                 "reduce funnel, partitioned groups on a fat-tree, 256 ranks",
+                 256, _fig5_placement_build("partitioned"),
+                 slow_path="core"),
+        Scenario("fig5-colocated",
+                 "reduce funnel, colocated groups on a fat-tree, 256 ranks",
+                 256, _fig5_placement_build("colocated"),
+                 slow_path="core"),
+        Scenario("fabric-contention",
+                 "incast over tapered fat-tree uplinks, 64 ranks",
+                 64, _fabric_contention_build,
+                 slow_path="core"),
     )
 }
 
 #: scenarios the default `bench perf` run covers (fig5-4096 is opt-in:
 #: its slow-path leg alone runs for minutes)
-DEFAULT_SCENARIOS = ("quickstart", "fig5-256", "fig5-1024", "fig7-pcomm")
+DEFAULT_SCENARIOS = ("quickstart", "fig5-256", "fig5-1024", "fig7-pcomm",
+                     "fig5-placement", "fig5-colocated", "fabric-contention")
 
 
 # ----------------------------------------------------------------------
@@ -172,14 +240,31 @@ class PerfRecord:
         return dict(self.__dict__)
 
 
+def _slow_path_kwargs(scenario: Scenario) -> Dict[str, Any]:
+    """Injection kwargs for a scenario's oracle leg (see
+    :attr:`Scenario.slow_path`)."""
+    if scenario.slow_path == "full":
+        return dict(SLOW_PATH)
+    if scenario.slow_path == "core":
+        kwargs = dict(SLOW_PATH)
+        kwargs.pop("network_factory")
+        return kwargs
+    raise PerfError(
+        f"scenario {scenario.name!r} has unknown slow_path "
+        f"{scenario.slow_path!r}")
+
+
 def _clear_memos() -> None:
     """Reset cross-run caches so every timed run pays its own setup —
     memoization must never flatter the second leg of a comparison."""
     from ..apps.mapreduce import common as mr_common
     from ..apps.mapreduce import decoupled as mr_decoupled
+    from ..simmpi import topology
     mr_common._rank_file_memo.clear()
     mr_common._chunk_sketch_memo.clear()
     mr_decoupled._compiled_memo.clear()
+    topology._best_dims.cache_clear()
+    topology._divisors.cache_clear()
 
 
 def result_digest(sim: SimResult) -> str:
@@ -226,7 +311,7 @@ def run_scenario(name: str, variant: str = "fast",
     if variant not in ("fast", "oracle"):
         raise PerfError(f"unknown variant {variant!r}")
     fn, args, machine = scenario.build()
-    kwargs = SLOW_PATH if variant == "oracle" else {}
+    kwargs = _slow_path_kwargs(scenario) if variant == "oracle" else {}
     wall = None
     last_digest = None
     for _ in range(max(1, repeats)):

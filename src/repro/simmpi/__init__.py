@@ -27,11 +27,23 @@ from .config import (
     MachineConfig,
     NetworkConfig,
     NoiseConfig,
+    TopologyConfig,
     beskow,
     ideal_network_testbed,
     quiet_testbed,
+    resolve_topology,
 )
 from .comm import Comm, World
+from .fabrics import DragonflyFabric, FatTreeFabric
+from .placement import (
+    BlockPlacement,
+    ColocatedPlacement,
+    PartitionedPlacement,
+    Placement,
+    PlacementPolicy,
+    RoundRobinPlacement,
+    resolve_placement,
+)
 from .datatypes import (
     BYTE,
     CHAR,
@@ -53,6 +65,7 @@ from .errors import (
     DeadlockError,
     InvalidRankError,
     InvalidTagError,
+    PlacementError,
     RequestError,
     SimMPIError,
     TopologyError,
@@ -61,20 +74,24 @@ from .errors import (
 from .launcher import SimResult, run
 from .matching import ANY_SOURCE, ANY_TAG, TAG_UB
 from .noise import NoiseModel
-from .network import Network, TransferTiming
+from .network import Fabric, Network, TransferTiming, build_network
 from .request import PersistentRequest, Request, Status
 from .topology import CartComm, cart_create, dims_create
 
 __all__ = [
-    "ANY_SOURCE", "ANY_TAG", "BYTE", "CHAR", "CartComm", "Comm",
-    "CommunicatorError", "DOUBLE", "Datatype", "DeadlockError", "Delay",
-    "Engine", "EventFlag", "FLOAT", "File", "FileSystem", "INT",
+    "ANY_SOURCE", "ANY_TAG", "BYTE", "BlockPlacement", "CHAR", "CartComm",
+    "ColocatedPlacement", "Comm", "CommunicatorError", "DOUBLE", "Datatype",
+    "DeadlockError", "Delay", "DragonflyFabric", "Engine", "EventFlag",
+    "FLOAT", "Fabric", "FatTreeFabric", "File", "FileSystem", "INT",
     "IOConfig", "InvalidRankError", "InvalidTagError", "LONG",
     "MachineConfig", "Network", "NetworkConfig", "NoiseConfig",
-    "NoiseModel", "PersistentRequest", "Request", "RequestError",
-    "SimMPIError", "SimResult", "SizedPayload", "Spawn", "Status",
-    "TAG_UB", "TopologyError", "TransferTiming", "TruncationError",
-    "WaitFlag", "beskow", "cart_create", "contiguous", "dims_create",
+    "NoiseModel", "PartitionedPlacement", "PersistentRequest", "Placement",
+    "PlacementError", "PlacementPolicy", "Request", "RequestError",
+    "RoundRobinPlacement", "SimMPIError", "SimResult", "SizedPayload",
+    "Spawn", "Status", "TAG_UB", "TopologyConfig", "TopologyError",
+    "TransferTiming", "TruncationError", "WaitFlag", "beskow",
+    "build_network", "cart_create", "contiguous", "dims_create",
     "ideal_network_testbed", "open_file", "payload_nbytes",
-    "quiet_testbed", "read_back", "run", "struct", "vector",
+    "quiet_testbed", "read_back", "resolve_placement", "resolve_topology",
+    "run", "struct", "vector",
 ]

@@ -35,7 +35,7 @@ from .errors import (
     TruncationError,
 )
 from .matching import ANY_SOURCE, ANY_TAG, TAG_UB, Envelope, Mailbox
-from .network import Network
+from .network import build_network
 from .noise import NoiseModel
 from .request import PersistentRequest, Request, Status
 from . import collectives
@@ -123,13 +123,19 @@ class World:
         self.config = config
         self.nranks = nranks
         if network_factory is None:
-            self.network = Network(config, nranks)
+            # the machine's TopologyConfig picks the fabric (flat /
+            # fat-tree / dragonfly), its placement policy the node map
+            self.network = build_network(config, nranks)
         else:
             self.network = network_factory(config, nranks)
         self.noise = NoiseModel(config.noise, nranks)
         if mailbox_factory is None:
             mailbox_factory = Mailbox
         self.mailboxes = [mailbox_factory() for _ in range(nranks)]
+        # placement-resolved rank→node lookup; injected seed-era
+        # networks (OracleNetwork) predate the fabric contract and fall
+        # back to the config's block-placement shim
+        self.node_of = getattr(self.network, "node_of", config.node_of)
         self.tracer = tracer
         self._context_counter = 16  # low ids reserved for COMM_WORLD
         self._subcomm_cache: Dict[tuple, tuple] = {}
@@ -278,6 +284,9 @@ class Comm:
         self.rank = self._rank
         self.size = len(self.ranks)
         self.global_rank = my_global
+        # populated by group_from_ranks when a node-layout hint is given
+        self.node_hint: Optional[str] = None
+        self.node_hint_ok: Optional[bool] = None
 
     # ------------------------------------------------------------------
     # introspection
@@ -285,6 +294,23 @@ class Comm:
     def global_of(self, local: int) -> int:
         self._check_rank(local)
         return self.ranks[local]
+
+    def node_of(self, local: Optional[int] = None) -> int:
+        """Node id of a member rank (default: the calling rank) under
+        the machine's placement policy."""
+        r = self._rank if local is None else local
+        self._check_rank(r)
+        return self.world.node_of(self.ranks[r])
+
+    def nodes(self) -> Tuple[int, ...]:
+        """Sorted distinct node ids the members occupy."""
+        node_of = self.world.node_of
+        return tuple(sorted({node_of(g) for g in self.ranks}))
+
+    def node_span(self) -> int:
+        """How many distinct nodes the members occupy: 1 means fully
+        colocated (every stream rides the intra-node shortcut)."""
+        return len(self.nodes())
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Comm({self.name!r}, rank={self._rank}/{self.size})"
@@ -615,7 +641,8 @@ class Comm:
                     name=f"{self.name}/split{seq}c{color}")
 
     def group_from_ranks(self, local_ranks: Sequence[int],
-                         name: Optional[str] = None) -> "Comm":
+                         name: Optional[str] = None,
+                         node_hint: Optional[str] = None) -> "Comm":
         """Create a sub-communicator from a locally-known member list
         *without communication* (cf. ``MPI_Comm_create_group``).
 
@@ -626,6 +653,15 @@ class Comm:
         agreement round is paid because the membership is already known
         deterministically on every rank (e.g. derived from a validated
         :class:`~repro.core.groups.DecouplingPlan`).
+
+        ``node_hint`` declares the layout the caller *expects* under
+        the machine's placement — ``"colocated"`` (members share one
+        node) or ``"spread"`` (members span several).  The hint is
+        checked once against the resolved placement and exposed as
+        ``comm.node_hint`` / ``comm.node_hint_ok`` so runtimes and
+        reports can flag placement/plan mismatches (a "colocated"
+        reduce group that the placement actually scattered) without
+        paying a per-message check.
         """
         if self._freed:
             raise CommunicatorError(
@@ -648,22 +684,35 @@ class Comm:
                 self._check_rank(r)
             globals_ = tuple(self.ranks[r] for r in members)
             index_of = {r: i for i, r in enumerate(members)}
-            cached = (globals_, index_of)
+            # node span computed once per group (not per member rank):
+            # the first arrival resolves it against the placement
+            node_of = self.world.node_of
+            span = len({node_of(g) for g in globals_})
+            cached = (globals_, index_of, span)
             self.world._group_cache[ctx_key] = cached
-        globals_, index_of = cached
+        globals_, index_of, span = cached
         my_local = index_of.get(self._rank)
         if my_local is None:
             raise CommunicatorError(
                 f"rank {self._rank} is not in the requested group")
+        if node_hint is not None and node_hint not in ("colocated", "spread"):
+            raise CommunicatorError(
+                f"unknown node_hint {node_hint!r}; use 'colocated', "
+                "'spread' or None")
         # all validation passed: only now consume this rank's creation
         # sequence number and (first arrival) the context ids, so an
         # error above leaves the creation sequence untouched, exactly
         # as before the shared-structure cache
         self._create_seq += 1
         p2p, coll = self.world.get_or_create_contexts(ctx_key)
-        return Comm(self.world, globals_, self._global, p2p, coll,
+        comm = Comm(self.world, globals_, self._global, p2p, coll,
                     name=name or f"{self.name}/group{seq}",
                     my_local=my_local)
+        comm.node_hint = node_hint
+        comm.node_hint_ok = (
+            None if node_hint is None
+            else (span == 1) == (node_hint == "colocated"))
+        return comm
 
     def dup(self) -> Generator[Any, Any, "Comm"]:
         """Duplicate the communicator with fresh contexts (collective)."""

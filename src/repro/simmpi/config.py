@@ -15,7 +15,86 @@ so experiments can sweep them directly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Optional, Union
+
+from .placement import Placement, PlacementPolicy, block_node_of, resolve_placement
+
+
+@dataclass(frozen=True)
+class TopologyConfig:
+    """Which fabric the interconnect model uses, and its knobs.
+
+    ``kind`` selects one of the fabric implementations (see
+    :func:`repro.simmpi.network.build_network` and DESIGN.md §9):
+
+    * ``"flat"`` — the two-level intra/inter-node LogGP model (default;
+      bit-identical to the seed and to ``OracleNetwork``).
+    * ``"fat_tree"`` — nodes are leaves of a ``radix``-ary tree; a
+      message climbs to the lowest common switch, paying per-hop
+      ``link_latency`` and queueing on the per-level uplink timelines,
+      whose bandwidth tapers by ``taper`` per level (oversubscription).
+    * ``"dragonfly"`` — nodes are partitioned into groups of
+      ``nodes_per_group``; group-local traffic pays ``local_latency``,
+      cross-group traffic pays ``global_latency`` and serializes on the
+      source group's shared global-link timeline.
+
+    ``NetworkConfig.fabric_dilation`` only affects the flat fabric: it
+    is the flat model's stand-in for exactly the topology effects the
+    fat-tree/dragonfly fabrics model explicitly (see
+    :mod:`repro.simmpi.fabrics`).
+    """
+
+    kind: str = "flat"
+    # --- fat-tree ---
+    radix: int = 8                    # nodes/switches per switch
+    link_latency: float = 0.3e-6      # per tree hop (s)
+    uplink_bandwidth: float = 8.0e9   # level-1 uplink (B/s)
+    taper: float = 2.0                # uplink bandwidth divisor per level
+    # --- dragonfly ---
+    nodes_per_group: int = 8
+    local_latency: float = 0.5e-6     # intra-group, inter-node (s)
+    global_latency: float = 2.0e-6    # inter-group (s)
+    global_bandwidth: float = 5.0e9   # one shared global pipe per group
+
+    KINDS = ("flat", "fat_tree", "dragonfly")
+
+    def validate(self) -> None:
+        if self.kind not in self.KINDS:
+            raise ValueError(
+                f"unknown topology kind {self.kind!r}; "
+                f"choose from {self.KINDS}")
+        if self.radix < 2:
+            raise ValueError("fat-tree radix must be >= 2")
+        if self.taper < 1.0:
+            raise ValueError("fat-tree taper must be >= 1")
+        if self.link_latency < 0 or self.local_latency < 0 \
+                or self.global_latency < 0:
+            raise ValueError("topology latencies must be non-negative")
+        if self.uplink_bandwidth <= 0 or self.global_bandwidth <= 0:
+            raise ValueError("topology bandwidths must be positive")
+        if self.nodes_per_group <= 0:
+            raise ValueError("nodes_per_group must be positive")
+
+
+def resolve_topology(spec: Union[None, str, TopologyConfig]
+                     ) -> TopologyConfig:
+    """Normalize a topology spec: None → flat, names → default configs.
+
+    Always validates, so a bad spec fails where it is written, not at
+    the first run."""
+    if spec is None:
+        return TopologyConfig()
+    if isinstance(spec, TopologyConfig):
+        spec.validate()
+        return spec
+    if isinstance(spec, str):
+        kind = spec.replace("-", "_")
+        cfg = TopologyConfig(kind=kind)
+        cfg.validate()
+        return cfg
+    raise ValueError(
+        f"topology must be None, a kind name or a TopologyConfig, "
+        f"got {type(spec).__name__}")
 
 
 @dataclass(frozen=True)
@@ -131,6 +210,10 @@ class MachineConfig:
     network: NetworkConfig = field(default_factory=NetworkConfig)
     noise: NoiseConfig = field(default_factory=NoiseConfig)
     io: IOConfig = field(default_factory=IOConfig)
+    topology: TopologyConfig = field(default_factory=TopologyConfig)
+    #: rank→node policy (None = block, the seed rule); see
+    #: :mod:`repro.simmpi.placement`
+    placement: Optional[PlacementPolicy] = None
     # Relative compute speed (1.0 = calibration baseline).  Lets tests
     # make compute free (speed -> inf is approximated by a large value).
     compute_speed: float = 1.0
@@ -140,12 +223,33 @@ class MachineConfig:
             raise ValueError("ranks_per_node must be positive")
         if self.compute_speed <= 0:
             raise ValueError("compute_speed must be positive")
+        if self.placement is not None \
+                and not isinstance(self.placement, PlacementPolicy):
+            raise ValueError(
+                f"placement must be a PlacementPolicy or None, "
+                f"got {type(self.placement).__name__}")
         self.network.validate()
         self.noise.validate()
         self.io.validate()
+        self.topology.validate()
+
+    def placement_for(self, nranks: int) -> Placement:
+        """Resolve this machine's placement policy for ``nranks``."""
+        return resolve_placement(self.placement).resolve(
+            nranks, self.ranks_per_node)
 
     def node_of(self, rank: int) -> int:
-        return rank // self.ranks_per_node
+        """Node id of ``rank`` under *block* placement.
+
+        .. deprecated:: PR 3
+           Rank→node mapping is owned by :mod:`repro.simmpi.placement`;
+           use :meth:`placement_for` (or the fabric's resolved node
+           map).  Kept as a thin forwarding shim so seed-era callers —
+           including :class:`repro.simmpi.oracle.OracleNetwork`, which
+           must stay byte-identical — keep working unchanged.  This
+           shim ignores any configured placement policy.
+        """
+        return block_node_of(rank, self.ranks_per_node)
 
     def with_(self, **kwargs) -> "MachineConfig":
         """Return a copy with the given top-level fields replaced."""

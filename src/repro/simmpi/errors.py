@@ -48,6 +48,11 @@ class TopologyError(SimMPIError):
     """Invalid Cartesian topology construction or coordinate query."""
 
 
+class PlacementError(SimMPIError):
+    """Invalid rank→node placement: groups that overlap or leave ranks
+    unplaced, unknown policy names, out-of-range lookups."""
+
+
 class IOError_(SimMPIError):
     """MPI-IO failure (file not opened, bad view, write on read-only...)."""
 

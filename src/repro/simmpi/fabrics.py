@@ -1,0 +1,244 @@
+"""Topology-aware fabrics: fat-tree and dragonfly interconnect models.
+
+Both implement the :class:`~repro.simmpi.network.Fabric` contract
+(DESIGN.md §9) and keep the flat-list, O(1)-per-message fast-path
+discipline of the flat :class:`~repro.simmpi.network.Network`: every
+timeline is a rank-, switch- or group-indexed list of floats, grown
+lazily, and ``transfer`` walks a bounded handful of them per message.
+
+Self-sends and intra-node messages behave exactly as on the flat
+fabric (shared memory does not care about the cable plant); only
+inter-node traffic is routed through the modeled topology.  Like the
+flat model, both fabrics are first-order and deterministic — they are
+calibrated to reproduce *contention shapes* (which placement wins, how
+the gap moves with scale), not cycle-accurate hop counts.
+
+``NetworkConfig.fabric_dilation`` is deliberately **not** applied
+here: that factor is the flat model's *surrogate* for the extra hops
+and adaptive-routing traffic of large allocations, and these fabrics
+model exactly those effects explicitly (per-level climbs, per-group
+global pipes).  Applying both would double-count; ``dilation()`` still
+reports the factor for observability, but topology latencies come only
+from the ``TopologyConfig`` knobs.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .config import MachineConfig
+from .network import Fabric, TransferTiming
+
+__all__ = [
+    "DragonflyFabric",
+    "FatTreeFabric",
+]
+
+_tuple_new = tuple.__new__
+
+
+class FatTreeFabric(Fabric):
+    """Nodes are leaves of a ``radix``-ary tree with per-level uplinks.
+
+    A message between different nodes climbs to the lowest common
+    switch (level ``L``), pays ``2 * L * link_latency`` of hop latency,
+    and — the contention model — serializes on the *uplink timeline* of
+    each source-side switch it ascends through.  Uplink bandwidth
+    tapers by ``taper`` per level, so a reduce funnel whose producers
+    sit under many different top-level subtrees hammers the thin upper
+    links while a colocated layout stays under one leaf switch.
+    """
+
+    def __init__(self, config: MachineConfig, nranks: int):
+        super().__init__(config, nranks)
+        topo = config.topology
+        self._radix = topo.radix
+        self._hop = topo.link_latency
+        self._bw = config.network.bandwidth   # NIC injection/drain rate
+        nnodes = (max(self._node) + 1) if self._node else 1
+        levels = 1
+        capacity = self._radix
+        while capacity < nnodes:
+            capacity *= self._radix
+            levels += 1
+        self._levels = levels
+        #: _up_free[l-1][switch] = when the uplink out of level-l switch
+        #: ``switch`` is free; bandwidth tapers per level
+        self._up_free = [
+            [0.0] * (nnodes // self._radix ** l + 1)
+            for l in range(1, levels)
+        ]
+        self._up_bw = [
+            topo.uplink_bandwidth / topo.taper ** (l - 1)
+            for l in range(1, levels)
+        ]
+
+    # ------------------------------------------------------------------
+    def _climb(self, src_node: int, dst_node: int) -> int:
+        """Lowest tree level whose switch covers both nodes (>= 1)."""
+        radix = self._radix
+        level = 1
+        s, d = src_node // radix, dst_node // radix
+        while s != d:
+            s //= radix
+            d //= radix
+            level += 1
+        while level > self._levels:
+            # lazily-grown node ids outgrew the tree: add a level
+            self._up_free.append([0.0])
+            self._up_bw.append(self._up_bw[-1] / self.config.topology.taper
+                               if self._up_bw
+                               else self.config.topology.uplink_bandwidth)
+            self._levels += 1
+        return level
+
+    def _link(self, src: int, dst: int) -> Tuple[float, float]:
+        if src < 0 or dst < 0:
+            raise ValueError(f"negative rank in link lookup: {src}->{dst}")
+        if src >= self._size or dst >= self._size:
+            self._grow((src if src > dst else dst) + 1)
+        if src == dst:
+            return self._self_link
+        node = self._node
+        if node[src] == node[dst]:
+            return self._intra_link
+        level = self._climb(node[src], node[dst])
+        return (2 * level * self._hop, self._bw)
+
+    def transfer(self, src: int, dst: int, nbytes: int, ready: float
+                 ) -> TransferTiming:
+        if nbytes < 0:
+            raise ValueError("negative message size")
+        if src < 0 or dst < 0:
+            raise ValueError(f"negative rank in transfer: {src}->{dst}")
+        if src >= self._size or dst >= self._size:
+            self._grow((src if src > dst else dst) + 1)
+        node = self._node
+        src_node, dst_node = node[src], node[dst]
+        if src == dst or src_node == dst_node:
+            latency, bandwidth = (self._self_link if src == dst
+                                  else self._intra_link)
+            return self._shortcut_transfer(src, dst, nbytes, ready,
+                                           latency, bandwidth)
+        # inter-node: inject at the NIC, ascend the uplink timelines
+        serial = nbytes / self._bw
+        tx_free = self._tx_free
+        inject_start = tx_free[src]
+        if ready > inject_start:
+            inject_start = ready
+        sender_free = inject_start + serial
+        tx_free[src] = sender_free
+        level = self._climb(src_node, dst_node)
+        t = sender_free
+        radix = self._radix
+        sw = src_node                       # walked up incrementally:
+        for l in range(1, level):           # sw == src_node // radix**l
+            sw //= radix
+            queue = self._up_free[l - 1]
+            if sw >= len(queue):
+                queue.extend([0.0] * (sw + 1 - len(queue)))
+            start = queue[sw]
+            if t > start:
+                start = t
+            t = start + nbytes / self._up_bw[l - 1]
+            queue[sw] = t
+        arrival = t + 2 * level * self._hop
+        delivered = self._rx_free[dst]
+        if arrival > delivered:
+            delivered = arrival
+        delivered += serial
+        self._rx_free[dst] = delivered
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+        return _tuple_new(TransferTiming,
+                          (inject_start, sender_free, arrival, delivered))
+
+
+class DragonflyFabric(Fabric):
+    """Groups of nodes with cheap local links and one global pipe each.
+
+    Nodes partition into groups of ``nodes_per_group``.  Group-local
+    inter-node traffic pays ``local_latency``; cross-group traffic pays
+    ``global_latency`` (plus two local hops to/from the gateway) and —
+    the contention model — serializes on the *source group's* shared
+    global-link timeline at ``global_bandwidth``.  A placement that
+    keeps a producer/consumer pair inside one group streams on local
+    links; a partitioned placement funnels every stream through the
+    producers' global pipes.
+    """
+
+    def __init__(self, config: MachineConfig, nranks: int):
+        super().__init__(config, nranks)
+        topo = config.topology
+        self._npg = topo.nodes_per_group
+        self._bw = config.network.bandwidth   # NIC injection/drain rate
+        self._local_latency = topo.local_latency
+        self._global_latency = topo.global_latency
+        self._global_bw = topo.global_bandwidth
+        ngroups = ((max(self._node) if self._node else 0) // self._npg) + 1
+        #: _global_free[group] = when the group's global pipe is free
+        self._global_free = [0.0] * ngroups
+
+    # ------------------------------------------------------------------
+    def _link(self, src: int, dst: int) -> Tuple[float, float]:
+        if src < 0 or dst < 0:
+            raise ValueError(f"negative rank in link lookup: {src}->{dst}")
+        if src >= self._size or dst >= self._size:
+            self._grow((src if src > dst else dst) + 1)
+        if src == dst:
+            return self._self_link
+        node = self._node
+        src_node, dst_node = node[src], node[dst]
+        if src_node == dst_node:
+            return self._intra_link
+        if src_node // self._npg == dst_node // self._npg:
+            return (self._local_latency, self._bw)
+        return (self._global_latency + 2 * self._local_latency, self._bw)
+
+    def transfer(self, src: int, dst: int, nbytes: int, ready: float
+                 ) -> TransferTiming:
+        if nbytes < 0:
+            raise ValueError("negative message size")
+        if src < 0 or dst < 0:
+            raise ValueError(f"negative rank in transfer: {src}->{dst}")
+        if src >= self._size or dst >= self._size:
+            self._grow((src if src > dst else dst) + 1)
+        node = self._node
+        src_node, dst_node = node[src], node[dst]
+        if src == dst or src_node == dst_node:
+            latency, bandwidth = (self._self_link if src == dst
+                                  else self._intra_link)
+            return self._shortcut_transfer(src, dst, nbytes, ready,
+                                           latency, bandwidth)
+        npg = self._npg
+        if src_node // npg == dst_node // npg:
+            # group-local: plain NIC discipline at the local latency
+            return self._shortcut_transfer(
+                src, dst, nbytes, ready, self._local_latency, self._bw)
+        # cross-group: inject at the NIC, then the source group's pipe
+        serial = nbytes / self._bw
+        tx_free = self._tx_free
+        inject_start = tx_free[src]
+        if ready > inject_start:
+            inject_start = ready
+        sender_free = inject_start + serial
+        tx_free[src] = sender_free
+        group = src_node // npg
+        pipes = self._global_free
+        if group >= len(pipes):
+            pipes.extend([0.0] * (group + 1 - len(pipes)))
+        start = pipes[group]
+        if sender_free > start:
+            start = sender_free
+        t = start + nbytes / self._global_bw
+        pipes[group] = t
+        arrival = t + self._global_latency + 2 * self._local_latency
+        delivered = self._rx_free[dst]
+        if arrival > delivered:
+            delivered = arrival
+        delivered += serial
+        self._rx_free[dst] = delivered
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+        return _tuple_new(TransferTiming,
+                          (inject_start, sender_free, arrival, delivered))

@@ -20,8 +20,9 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
 from .comm import Comm, World
-from .config import MachineConfig, quiet_testbed
+from .config import MachineConfig, quiet_testbed, resolve_topology
 from .engine import Engine
+from .placement import resolve_placement
 from ..trace.recorder import Tracer
 
 #: context ids of COMM_WORLD (p2p, collective)
@@ -61,6 +62,8 @@ def run(fn: Callable, nprocs: int,
         rank_args: Optional[Callable[[int], tuple]] = None,
         trace: bool = False,
         max_events: Optional[int] = None,
+        topology=None,
+        placement=None,
         engine_factory: Optional[Callable[[], Engine]] = None,
         mailbox_factory: Optional[Callable] = None,
         network_factory: Optional[Callable] = None) -> SimResult:
@@ -84,6 +87,13 @@ def run(fn: Callable, nprocs: int,
         the result.
     max_events:
         Safety budget on engine events (livelock guard for tests).
+    topology / placement:
+        Override the machine's fabric (a kind name —
+        ``"fat_tree"`` / ``"dragonfly"`` — or a
+        :class:`~repro.simmpi.config.TopologyConfig`) and/or its
+        rank→node policy (``"block"``, ``"round_robin"`` or a
+        :class:`~repro.simmpi.placement.PlacementPolicy`) without
+        rebuilding the config by hand.
     engine_factory / mailbox_factory / network_factory:
         Implementation injection, used by ``bench perf`` to run the
         :mod:`repro.simmpi.oracle` slow path (pass
@@ -93,6 +103,10 @@ def run(fn: Callable, nprocs: int,
     if nprocs <= 0:
         raise ValueError("nprocs must be positive")
     machine = machine or quiet_testbed()
+    if topology is not None:
+        machine = machine.with_(topology=resolve_topology(topology))
+    if placement is not None:
+        machine = machine.with_(placement=resolve_placement(placement))
     engine = (engine_factory or Engine)()
     engine.max_events = max_events
     tracer = Tracer() if trace else None

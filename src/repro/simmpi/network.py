@@ -1,9 +1,28 @@
-"""Interconnect timing model.
+"""Interconnect timing model: the fabric protocol and the flat fabric.
 
 The network model answers one question for the transport layer: given a
 message of ``nbytes`` from rank *s* to rank *d* injected at time *t*,
 when does it (a) free the sender's NIC, (b) arrive at the destination,
 and (c) finish occupying the destination's NIC?
+
+Since PR 3 the model is a *fabric protocol* (see DESIGN.md §9): the
+transport only depends on the small surface :class:`Fabric` defines —
+``transfer``, ``_link``, ``overheads``, ``is_eager``, ``dilation``,
+``node_of`` and the two traffic counters — and
+:func:`build_network` picks the implementation from the machine's
+:class:`~repro.simmpi.config.TopologyConfig`:
+
+* :class:`Network` (here) — the flat two-level intra/inter-node LogGP
+  model.  The default, and bit-identical to the committed goldens and
+  to :class:`repro.simmpi.oracle.OracleNetwork` under block placement.
+* :class:`~repro.simmpi.fabrics.FatTreeFabric` — per-level uplink
+  contention timelines with tapered bandwidth.
+* :class:`~repro.simmpi.fabrics.DragonflyFabric` — group-local vs
+  global links, one shared global pipe per group.
+
+Rank→node mapping is no longer hard-coded: every fabric resolves the
+machine's :mod:`~repro.simmpi.placement` policy once into a flat
+rank-indexed node list.
 
 Design points, chosen to reproduce the paper's *shapes*:
 
@@ -54,8 +73,26 @@ class TransferTiming(NamedTuple):
     delivered: float      # when the receiver NIC has drained it (match time)
 
 
-class Network:
-    """Stateful NIC-timeline network model."""
+class Fabric:
+    """Shared state and the contract every interconnect model honours.
+
+    The transport calls exactly this surface (DESIGN.md §9):
+
+    ``transfer(src, dst, nbytes, ready) -> TransferTiming``
+        Commit one message; mutates the NIC (and fabric) timelines.
+    ``_link(src, dst) -> (latency, bandwidth)``
+        Header cost of the rendezvous protocol (latency-only ship).
+    ``overheads() -> (o_send, o_recv)``, ``is_eager(nbytes)``,
+    ``dilation()``
+        CPU overheads, protocol switch, job-size latency factor.
+    ``node_of(rank)``, ``messages_sent`` / ``bytes_sent``
+        Placement-resolved node map and traffic statistics.
+
+    Subclasses implement ``transfer`` / ``_link``; everything here is
+    the shared fast-path state: flat per-rank NIC timelines, the
+    placement-resolved node list (grown lazily for out-of-range rank
+    ids), the three cached link tuples and the dilation factor.
+    """
 
     def __init__(self, config: MachineConfig, nranks: int):
         self.config = config
@@ -70,10 +107,11 @@ class Network:
         else:
             dil = 1.0
         self._dilation = dil
-        # per-rank node ids and the three possible link resolutions,
-        # precomputed once (MachineConfig is frozen)
-        rpn = config.ranks_per_node
-        self._node = [r // rpn for r in range(nranks)]
+        # per-rank node ids from the machine's placement policy and the
+        # three possible link resolutions, precomputed once
+        # (MachineConfig is frozen)
+        self._placement = config.placement_for(nranks)
+        self._node = list(self._placement.nodes)
         self._self_link = (0.0, net.intra_node_bandwidth)
         self._intra_link = (net.intra_node_latency, net.intra_node_bandwidth)
         self._inter_link = (net.latency * dil, net.bandwidth)
@@ -85,13 +123,77 @@ class Network:
 
     def _grow(self, size: int) -> None:
         """Accommodate out-of-range rank ids (the dict-based model
-        tolerated them; flat lists grow lazily instead)."""
+        tolerated them; flat lists grow lazily instead).  The placement
+        defines the continuation deterministically."""
         extra = size - self._size
         self._tx_free.extend([0.0] * extra)
         self._rx_free.extend([0.0] * extra)
-        rpn = self.config.ranks_per_node
-        self._node.extend(r // rpn for r in range(self._size, size))
+        node_of = self._placement.node_of
+        self._node.extend(node_of(r) for r in range(self._size, size))
         self._size = size
+
+    # ------------------------------------------------------------------
+    def node_of(self, rank: int) -> int:
+        """Placement-resolved node id of ``rank``."""
+        if rank < 0:
+            raise ValueError(f"negative rank in node lookup: {rank}")
+        if rank >= self._size:
+            self._grow(rank + 1)
+        return self._node[rank]
+
+    def _shortcut_transfer(self, src: int, dst: int, nbytes: int,
+                           ready: float, latency: float, bandwidth: float
+                           ) -> TransferTiming:
+        """The self-send / intra-node NIC discipline every fabric
+        shares: tx serialization, rx drain for distinct ranks, no rx
+        occupancy for self-sends.  Topology fabrics route their
+        same-node messages through here so the cross-fabric parity
+        ("shared memory does not care about the cable plant") lives in
+        one place; the flat :class:`Network` keeps its own inlined copy
+        — ``transfer`` is the per-message hot path and must also stay
+        textually byte-identical to the seed."""
+        serial = nbytes / bandwidth
+        tx_free = self._tx_free
+        inject_start = tx_free[src]
+        if ready > inject_start:
+            inject_start = ready
+        sender_free = inject_start + serial
+        tx_free[src] = sender_free
+        arrival = sender_free + latency
+        delivered = self._rx_free[dst]
+        if arrival > delivered:
+            delivered = arrival
+        if src != dst:
+            delivered += serial
+            self._rx_free[dst] = delivered
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+        return _tuple_new(TransferTiming,
+                          (inject_start, sender_free, arrival, delivered))
+
+    # ------------------------------------------------------------------
+    def _link(self, src: int, dst: int) -> Tuple[float, float]:
+        raise NotImplementedError
+
+    def transfer(self, src: int, dst: int, nbytes: int, ready: float
+                 ) -> TransferTiming:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def overheads(self) -> Tuple[float, float]:
+        """(o_send, o_recv) CPU overheads per message."""
+        net = self.config.network
+        return (net.o_send, net.o_recv)
+
+    def is_eager(self, nbytes: int) -> bool:
+        return nbytes <= self._eager_threshold
+
+    def dilation(self) -> float:
+        return self._dilation
+
+
+class Network(Fabric):
+    """The flat two-level fabric: stateful NIC-timeline network model."""
 
     # ------------------------------------------------------------------
     def _link(self, src: int, dst: int) -> Tuple[float, float]:
@@ -159,14 +261,19 @@ class Network:
         return _tuple_new(TransferTiming,
                           (inject_start, sender_free, arrival, delivered))
 
-    # ------------------------------------------------------------------
-    def overheads(self) -> Tuple[float, float]:
-        """(o_send, o_recv) CPU overheads per message."""
-        net = self.config.network
-        return (net.o_send, net.o_recv)
 
-    def is_eager(self, nbytes: int) -> bool:
-        return nbytes <= self._eager_threshold
+def build_network(config: MachineConfig, nranks: int) -> Fabric:
+    """Instantiate the fabric the machine's topology selects.
 
-    def dilation(self) -> float:
-        return self._dilation
+    This is the default ``network_factory`` of the launcher/transport;
+    injection (``repro.simmpi.oracle.SLOW_PATH``) still overrides it.
+    """
+    kind = config.topology.kind
+    if kind == "flat":
+        return Network(config, nranks)
+    from .fabrics import DragonflyFabric, FatTreeFabric
+    if kind == "fat_tree":
+        return FatTreeFabric(config, nranks)
+    if kind == "dragonfly":
+        return DragonflyFabric(config, nranks)
+    raise ValueError(f"unknown topology kind {kind!r}")

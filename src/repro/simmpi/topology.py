@@ -10,6 +10,7 @@ wrapper with ``coords``/``shift``/``neighbors``, and periodic wrap.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Generator, List, Optional, Sequence, Tuple
 
 from .comm import Comm
@@ -18,34 +19,59 @@ from .errors import TopologyError
 
 def dims_create(nnodes: int, ndims: int) -> List[int]:
     """Balanced factorization of ``nnodes`` into ``ndims`` dimensions,
-    mirroring ``MPI_Dims_create``: dims are as close as possible and
-    sorted non-increasing."""
+    mirroring ``MPI_Dims_create``: dims sorted non-increasing and as
+    close as possible.
+
+    "As close as possible" is exact, not greedy: the result is the
+    factorization whose sorted-descending tuple is lexicographically
+    smallest — equivalently, the minimal largest dimension with ties
+    broken toward balance (the seed's largest-prime-factor greedy gave
+    e.g. ``72 → [12, 6]`` where ``[9, 8]`` exists).  Exactness matters
+    now that placement studies sweep arbitrary group sizes through
+    Cartesian grids.
+    """
     if nnodes <= 0 or ndims <= 0:
         raise TopologyError("nnodes and ndims must be positive")
-    dims = [1] * ndims
-    remaining = nnodes
-    # greedy: repeatedly assign the largest prime factor to the smallest dim
-    factors = _prime_factors(remaining)
-    for f in sorted(factors, reverse=True):
-        dims[dims.index(min(dims))] *= f
-    if _prod(dims) != nnodes:
+    dims = _best_dims(nnodes, ndims)
+    if dims is None or _prod(dims) != nnodes:
         raise TopologyError(
             f"cannot factor {nnodes} into {ndims} dims (internal error)"
         )
-    return sorted(dims, reverse=True)
+    return list(dims)
 
 
-def _prime_factors(n: int) -> List[int]:
-    out: List[int] = []
-    d = 2
+@lru_cache(maxsize=4096)
+def _best_dims(n: int, k: int, cap: Optional[int] = None
+               ) -> Optional[Tuple[int, ...]]:
+    """Lexicographically-smallest non-increasing ``k``-tuple of factors
+    of ``n``, each ``<= cap``; None if impossible.  Memoized — the SPMD
+    apps call dims_create once per rank."""
+    if k == 1:
+        return (n,) if (cap is None or n <= cap) else None
+    # divisors ascend and tuples compare elementwise, so the first
+    # feasible leading dim is the lexicographic optimum
+    for d in _divisors(n):
+        if cap is not None and d > cap:
+            break
+        if d ** k < n:
+            continue  # d is the largest dim; k factors <= d can't reach n
+        rest = _best_dims(n // d, k - 1, d)
+        if rest is not None:
+            return (d,) + rest
+    return None
+
+
+@lru_cache(maxsize=4096)
+def _divisors(n: int) -> Tuple[int, ...]:
+    small, large = [], []
+    d = 1
     while d * d <= n:
-        while n % d == 0:
-            out.append(d)
-            n //= d
+        if n % d == 0:
+            small.append(d)
+            if d != n // d:
+                large.append(n // d)
         d += 1
-    if n > 1:
-        out.append(n)
-    return out
+    return tuple(small + large[::-1])
 
 
 def _prod(xs: Sequence[int]) -> int:

@@ -153,6 +153,60 @@ def test_machine_config_passthrough():
 
 
 # ----------------------------------------------------------------------
+# topology / placement threading
+# ----------------------------------------------------------------------
+
+def test_topology_override_by_name_and_config():
+    from repro.simmpi import TopologyConfig
+    sim = Simulation(4, machine="quiet", topology="fat_tree")
+    assert sim.machine.topology.kind == "fat_tree"
+    custom = TopologyConfig(kind="dragonfly", nodes_per_group=4)
+    sim2 = Simulation(4, machine="quiet", topology=custom)
+    assert sim2.machine.topology is custom
+    with pytest.raises(GraphError, match="unknown topology kind"):
+        Simulation(4, topology="hypercube")
+    # object specs are validated eagerly too, at the constructor
+    with pytest.raises(GraphError, match="radix"):
+        Simulation(4, topology=TopologyConfig(kind="fat_tree", radix=1))
+
+
+def test_placement_override_by_name_and_policy():
+    from repro.simmpi import BlockPlacement, RoundRobinPlacement
+    sim = Simulation(4, placement="round_robin")
+    assert isinstance(sim.machine.placement, RoundRobinPlacement)
+    policy = BlockPlacement()
+    sim2 = Simulation(4, placement=policy)
+    assert sim2.machine.placement is policy
+    with pytest.raises(GraphError, match="unknown placement"):
+        Simulation(4, placement="scatter-gather")
+
+
+def test_plan_placement_built_from_graph():
+    """'colocated'/'partitioned' resolve against the compiled plan's
+    group blocks and change the simulated timing on a real fabric."""
+    reports = {}
+    for mode in ("colocated", "partitioned"):
+        sim = Simulation(NPROCS, machine="quiet",
+                         topology="fat_tree", placement=mode)
+        reports[mode] = sim.run(_quickstart_graph())
+    for report in reports.values():
+        assert report.flow_elements("samples") == (NPROCS - 1) * ROUNDS
+    # the analyze stage either shares its producers' nodes or sits on
+    # a disjoint one; under a fat-tree the stream cost must differ
+    assert reports["partitioned"].elapsed != reports["colocated"].elapsed
+
+
+def test_plan_placement_rejected_for_rank_programs():
+    sim = Simulation(4, placement="partitioned")
+
+    def prog(comm):
+        yield from comm.barrier()
+
+    with pytest.raises(GraphError, match="StreamGraph"):
+        sim.run(prog)
+
+
+# ----------------------------------------------------------------------
 # Report: stages, flows, trace analysis
 # ----------------------------------------------------------------------
 

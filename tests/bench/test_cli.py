@@ -33,6 +33,14 @@ def test_cli_sweep_figure_small(capsys, monkeypatch, tmp_path):
     assert (tmp_path / "fig8_cli.json").exists()
 
 
+def test_cli_placement_figure(capsys, monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    assert main(["placement", "--points", "32"]) == 0
+    out = capsys.readouterr().out
+    assert "colocated" in out and "partitioned" in out
+    assert (tmp_path / "placement_cli.json").exists()
+
+
 def test_cli_rejects_unknown_figure():
     with pytest.raises(SystemExit):
         main(["fig99"])

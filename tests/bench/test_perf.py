@@ -120,6 +120,39 @@ def test_cli_rejects_unknown_scenario():
         cli_main(["perf", "--scenario", "not-a-scenario"])
 
 
+def test_placement_scenarios_diverge_under_fat_tree():
+    """The acceptance claim of the placement subsystem: partitioned vs
+    colocated reduce groups produce measurably different virtual times
+    under fat-tree contention (same workload, same fabric)."""
+    part = perf.run_scenario("fig5-placement", "fast")
+    colo = perf.run_scenario("fig5-colocated", "fast")
+    assert part.messages == colo.messages   # identical traffic...
+    assert part.bytes == colo.bytes
+    # ...but the partitioned layout pays the fabric: >10% slower
+    assert part.virtual_elapsed > colo.virtual_elapsed * 1.10
+
+
+def test_fabric_scenarios_pin_engine_oracle():
+    """Topology scenarios run the oracle leg with the seed engine and
+    mailbox but keep their own fabric (slow_path='core')."""
+    scenario = perf.SCENARIOS["fabric-contention"]
+    assert scenario.slow_path == "core"
+    kwargs = perf._slow_path_kwargs(scenario)
+    assert "network_factory" not in kwargs
+    assert set(kwargs) == {"engine_factory", "mailbox_factory"}
+    fast, oracle = perf.verify_against_oracle("fabric-contention")
+    assert fast.digest == oracle.digest
+
+
+def test_committed_fabric_contention_golden_matches():
+    """CI's fabric-drift gate, run as a unit test too."""
+    golden = os.path.join(os.path.dirname(__file__), "..", "..",
+                          "benchmarks", "golden",
+                          "fabric_contention_perf.json")
+    rec = perf.run_scenario("fabric-contention", "fast")
+    perf.check_golden(rec, golden)
+
+
 def test_profile_layers():
     prof = perf.profile_scenario("quickstart", top_n=3)
     assert prof["total_s"] > 0

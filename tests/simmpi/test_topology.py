@@ -60,6 +60,35 @@ def test_dims_create_property(n, nd):
     assert dims == sorted(dims, reverse=True)
 
 
+def _brute_force_best(n, k):
+    """All non-increasing k-tuples of factors of n, lex-smallest first
+    — the definition of 'as balanced as possible'."""
+    def rec(n, k, cap):
+        if k == 1:
+            return [(n,)] if n <= cap else []
+        out = []
+        for d in range(1, min(cap, n) + 1):
+            if n % d == 0:
+                for rest in rec(n // d, k - 1, d):
+                    out.append((d,) + rest)
+        return out
+    return min(rec(n, k, n))
+
+
+@pytest.mark.parametrize("ndims", [1, 2, 3])
+def test_dims_create_optimal_vs_brute_force(ndims):
+    """Exhaustive: dims_create is the brute-force optimal balanced
+    factorization for every nnodes <= 256, ndims <= 3."""
+    for n in range(1, 257):
+        assert tuple(dims_create(n, ndims)) == _brute_force_best(n, ndims)
+
+
+def test_dims_create_beats_seed_greedy():
+    """The seed's largest-prime-factor greedy returned [12, 6] here."""
+    assert dims_create(72, 2) == [9, 8]
+    assert dims_create(72, 3) == [6, 4, 3]
+
+
 # ----------------------------------------------------------------------
 # CartComm coordinate math (using a lightweight fake comm)
 # ----------------------------------------------------------------------

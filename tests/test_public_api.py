@@ -19,9 +19,12 @@ MODULES = [
     "repro.bench",
 ]
 
-#: layers that publish an export list
+#: layers that publish an export list (incl. the submodules that carry
+#: their own ``__all__`` — the placement/fabric subsystem)
 EXPORTING_MODULES = [
     "repro.simmpi",
+    "repro.simmpi.fabrics",
+    "repro.simmpi.placement",
     "repro.mpistream",
     "repro.core",
     "repro.trace",
@@ -60,7 +63,9 @@ def test_exports_sorted_and_unique(module):
 def test_simmpi_exports():
     import repro.simmpi as m
     for name in ("run", "beskow", "quiet_testbed", "Comm", "ANY_SOURCE",
-                 "SizedPayload", "CartComm", "dims_create"):
+                 "SizedPayload", "CartComm", "dims_create",
+                 "TopologyConfig", "Placement", "BlockPlacement",
+                 "FatTreeFabric", "DragonflyFabric", "build_network"):
         assert hasattr(m, name), name
 
 
