@@ -12,7 +12,10 @@ Layers (bottom-up):
   ``StreamGraph`` compile stages/flows onto plans, channels and streams.
 * :mod:`repro.workloads` — synthetic corpora, particle ensembles, grids.
 * :mod:`repro.apps` — the paper's case studies (MapReduce, CG, iPIC3D).
-* :mod:`repro.bench` — the experiment harness regenerating every figure.
+* :mod:`repro.study` — declarative experiments: studies compile to
+  JSON job specs run across a process pool with an exact result cache.
+* :mod:`repro.bench` — figure presentation + CLI over the study
+  catalog, and the simulator's own perf benchmarks.
 """
 
 __version__ = "1.0.0"

@@ -25,6 +25,17 @@ from .errors import GraphError
 from .handles import StageRecord
 
 
+def _jsonable(value: Any) -> Any:
+    """Coerce a rank result to plain JSON data (repr as last resort)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return repr(value)
+
+
 @dataclass
 class Report:
     """Outcome of one :class:`~repro.api.simulation.Simulation` run."""
@@ -139,6 +150,27 @@ class Report:
         """min/max/mean/CV of per-rank busy time."""
         return imbalance_stats(self._require_tracer(), category,
                                label=label)
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> Dict[str, Any]:
+        """The report as a JSON-safe dict: the :meth:`summary` headline
+        numbers plus per-rank finish times and per-rank results.
+
+        Strictly round-trippable — ``json.loads(json.dumps(r.to_json()))
+        == r.to_json()`` — so reports can ride in study artifacts and
+        logs.  Rank results that are not plain data (operator objects,
+        channels) degrade to their ``repr``.
+        """
+        out = self.summary()
+        out["finish_times"] = [float(t) for t in self.sim.finish_times]
+        if self.records is not None:
+            out["stage_results"] = {
+                name: [_jsonable(v) for v in self.stage_values(name)]
+                for name in out["stages"]
+            }
+        else:
+            out["values"] = [_jsonable(v) for v in self.sim.values]
+        return out
 
     # ------------------------------------------------------------------
     def summary(self) -> Dict[str, Any]:

@@ -1,9 +1,16 @@
-"""Command-line entry point: ``python -m repro.bench <figure|perf>``.
+"""Command-line entry point: ``python -m repro.bench <figure|study|perf>``.
 
-Regenerates one figure (or all) outside pytest, printing the paper's
-rows and saving JSON artifacts::
+``study`` runs a catalog study — declarative, parallel, cached::
 
-    python -m repro.bench fig5 --points 32,128,512
+    python -m repro.bench study fig5 --jobs 4 --cache ~/.cache/repro-study
+    python -m repro.bench study placement --points 32,128 --csv placement.csv
+    python -m repro.bench study fig5 --cache DIR --expect-cached   # CI gate
+
+The ``fig*`` subcommands are kept as thin aliases over the same study
+declarations: they regenerate one figure (or ``all``), printing the
+paper's rows and saving JSON artifacts::
+
+    python -m repro.bench fig5 --points 32,128,512 --jobs 4
     python -m repro.bench fig2
     python -m repro.bench fig3 --out /tmp/artifacts
     python -m repro.bench all --points 32,128
@@ -21,18 +28,11 @@ equivalence, golden gating) and emits ``BENCH_perf.json``::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
-from .figures import (
-    fig2_traces,
-    fig3_execution_models,
-    fig5_mapreduce,
-    fig6_cg,
-    fig7_pcomm,
-    fig8_pio,
-    fig_placement,
-)
+from .figures import fig2_traces, fig3_execution_models
 from .harness import (
     DEFAULT_POINTS,
     Series,
@@ -41,13 +41,13 @@ from .harness import (
     scale_points,
 )
 
+#: CLI figure name -> title; each name is also its study-catalog key
 SWEEP_FIGURES = {
-    "fig5": (fig5_mapreduce, "Fig. 5 - MapReduce weak scaling (s)"),
-    "fig6": (fig6_cg, "Fig. 6 - CG solver weak scaling (s)"),
-    "fig7": (fig7_pcomm, "Fig. 7 - particle communication (s)"),
-    "fig8": (fig8_pio, "Fig. 8 - particle I/O (s)"),
-    "placement": (fig_placement,
-                  "Placement - colocated vs partitioned on a fat-tree (s)"),
+    "fig5": "Fig. 5 - MapReduce weak scaling (s)",
+    "fig6": "Fig. 6 - CG solver weak scaling (s)",
+    "fig7": "Fig. 7 - particle communication (s)",
+    "fig8": "Fig. 8 - particle I/O (s)",
+    "placement": "Placement - colocated vs partitioned on a fat-tree (s)",
 }
 ALL_FIGURES = ("fig2", "fig3") + tuple(SWEEP_FIGURES)
 
@@ -64,7 +64,9 @@ def _parse_points(text: Optional[str]) -> List[int]:
 
 
 def run_figure(name: str, points: List[int],
-               out_dir: Optional[str] = None) -> None:
+               out_dir: Optional[str] = None,
+               jobs: Optional[int] = None,
+               cache: Optional[str] = None) -> None:
     if name == "fig2":
         from ..trace import render
         out = fig2_traces()
@@ -84,10 +86,51 @@ def run_figure(name: str, points: List[int],
                       [Series(k, points={0: v}) for k, v in out.items()],
                       out_dir=out_dir)
         return
-    fn, title = SWEEP_FIGURES[name]
-    series = fn(points)
-    print(render_table(title, series))
-    save_artifact(f"{name}_cli", series, out_dir=out_dir)
+    # a sweep figure: run its study-catalog declaration
+    from ..study import get_study, run_study
+
+    rs = run_study(get_study(name, points=points), jobs=jobs, cache=cache)
+    print(render_table(SWEEP_FIGURES[name], rs.to_series()))
+    save_artifact(f"{name}_cli", rs.to_series(), out_dir=out_dir)
+
+
+def run_study_cmd(args) -> int:
+    """The ``study`` subcommand: run one catalog study end to end."""
+    from ..study import get_study, run_study
+    from ..study.catalog import CATALOG
+
+    catalog = ", ".join(sorted(CATALOG))
+    if not args.name:
+        raise SystemExit(
+            f"the 'study' command needs a study name; catalog: {catalog}")
+    if args.name not in CATALOG:
+        raise SystemExit(
+            f"unknown study {args.name!r}; catalog: {catalog}")
+    if args.expect_cached and not (args.cache
+                                   or os.environ.get("REPRO_STUDY_CACHE")):
+        raise SystemExit(
+            "--expect-cached asserts a warm cache; give --cache DIR "
+            "(or set $REPRO_STUDY_CACHE)")
+    study = get_study(args.name, points=_parse_points(args.points))
+    rs = run_study(study, jobs=args.jobs, cache=args.cache, progress=print)
+    print(rs.table())
+    print(f"jobs: {len(rs)} total, {rs.executed} executed, "
+          f"{rs.cached} cached")
+    path = save_artifact(
+        f"{study.name}_study", rs.to_series(),
+        extra={"total": len(rs), "executed": rs.executed,
+               "cached": rs.cached},
+        out_dir=args.out)
+    print(f"artifact: {path}")
+    if args.csv:
+        with open(args.csv, "w") as fh:
+            fh.write(rs.to_csv())
+        print(f"csv: {args.csv}")
+    if args.expect_cached and rs.executed:
+        print(f"FAIL: expected a fully cached run, but {rs.executed} "
+              f"job(s) executed simulations", file=sys.stderr)
+        return 1
+    return 0
 
 
 def run_perf(args) -> int:
@@ -156,11 +199,15 @@ def run_perf(args) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
-        description="Regenerate the paper's figures, or benchmark the "
-                    "simulator itself (perf).")
-    parser.add_argument("figure", choices=ALL_FIGURES + ("all", "perf"),
-                        help="which figure to regenerate, or 'perf' for "
-                             "the simulator benchmark suite")
+        description="Regenerate the paper's figures, run a declarative "
+                    "study, or benchmark the simulator itself (perf).")
+    parser.add_argument("figure",
+                        choices=ALL_FIGURES + ("all", "perf", "study"),
+                        help="which figure to regenerate, 'study' to run "
+                             "a catalog study by name, or 'perf' for the "
+                             "simulator benchmark suite")
+    parser.add_argument("name", nargs="?", default=None,
+                        help="study name (only with the 'study' command)")
     parser.add_argument("--points", default=None,
                         help="comma-separated process counts (default: "
                              "$REPRO_POINTS if set, else "
@@ -168,6 +215,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--out", default=None, metavar="DIR",
                         help="directory for JSON artifacts (default: "
                              "$REPRO_RESULTS_DIR or benchmarks/results)")
+    study_group = parser.add_argument_group(
+        "study options (--jobs/--cache are also honoured by the "
+        "fig*/all aliases; --csv/--expect-cached are study-only)")
+    study_group.add_argument("--jobs", type=int, default=None, metavar="N",
+                             help="process-pool width for study jobs "
+                                  "(default: $REPRO_STUDY_JOBS or 1)")
+    study_group.add_argument("--cache", default=None, metavar="DIR",
+                             help="content-addressed result cache "
+                                  "(default: $REPRO_STUDY_CACHE or none)")
+    study_group.add_argument("--csv", default=None, metavar="FILE",
+                             help="also export the study results as CSV "
+                                  "(study command only)")
+    study_group.add_argument("--expect-cached", action="store_true",
+                             help="exit 1 unless every job was served "
+                                  "from the cache (CI gate: a warm rerun "
+                                  "must do zero simulation work; study "
+                                  "command only)")
     perf_group = parser.add_argument_group("perf options")
     perf_group.add_argument("--scenario", action="append", default=None,
                             metavar="NAME",
@@ -192,10 +256,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.figure == "perf":
         return run_perf(args)
+    if args.figure == "study":
+        return run_study_cmd(args)
+    if args.name is not None:
+        raise SystemExit(
+            f"unexpected argument {args.name!r}: only the 'study' "
+            "command takes a name")
+    if args.csv or args.expect_cached:
+        # refuse rather than silently ignore: a no-op --expect-cached
+        # would green-light a broken cache gate
+        raise SystemExit(
+            "--csv/--expect-cached only apply to the 'study' command")
     points = _parse_points(args.points)
     names = ALL_FIGURES if args.figure == "all" else (args.figure,)
     for name in names:
-        run_figure(name, points, out_dir=args.out)
+        run_figure(name, points, out_dir=args.out, jobs=args.jobs,
+                   cache=args.cache)
         print()
     return 0
 

@@ -4,28 +4,33 @@ Each ``figN_*`` function runs the full experiment and returns the
 series the paper plots, scaled to the paper's parameters (e.g. a
 20-iteration CG simulation is reported as the paper's 300 iterations by
 linear extrapolation — per-iteration cost is stationary).
+
+Since the study redesign the sweep figures (5-8 and the placement
+family) are thin wrappers over their :mod:`repro.study.catalog`
+declarations: each call builds the figure's :class:`~repro.study.
+study.Study` and hands it to :func:`~repro.study.runner.run_study`, so
+``REPRO_STUDY_JOBS`` / ``REPRO_STUDY_CACHE`` parallelize and cache the
+whole figure suite transparently.  Fig. 2 (traces) and Fig. 3
+(execution models) are not sweeps and keep their direct form.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from ..apps.cg import CGConfig, cg_blocking, cg_decoupled, cg_nonblocking
-from ..apps.ipic3d import (
-    IPICConfig,
-    pcomm_decoupled,
-    pcomm_reference,
-    pio_decoupled,
-    pio_reference,
-)
-from ..apps.mapreduce import MapReduceConfig, decoupled_worker, reference_worker
+from ..apps.ipic3d import IPICConfig, pcomm_decoupled, pcomm_reference
 from ..simmpi.config import TopologyConfig, beskow
-from ..simmpi.launcher import run
-from .harness import Series, max_elapsed, sweep
-
-#: paper parameters
-CG_PAPER_ITERATIONS = 300
-IPIC_PAPER_STEPS = 40
+from ..study.catalog import (
+    CG_PAPER_ITERATIONS,
+    IPIC_PAPER_STEPS,
+    fig5_study,
+    fig6_study,
+    fig7_study,
+    fig8_study,
+    placement_study,
+)
+from ..study.runner import run_study
+from .harness import Series
 
 
 # ----------------------------------------------------------------------
@@ -36,18 +41,7 @@ def fig5_mapreduce(points: List[int],
                    alphas: Tuple[float, ...] = (0.125, 0.0625, 0.03125)
                    ) -> List[Series]:
     """Reference vs decoupled (three alphas), 2.9 TB-equivalent corpus."""
-    series = [
-        sweep(reference_worker,
-              lambda p: MapReduceConfig(nprocs=p),
-              points, beskow, max_elapsed, label="Reference"),
-    ]
-    for alpha in alphas:
-        series.append(sweep(
-            decoupled_worker,
-            lambda p, a=alpha: MapReduceConfig(nprocs=p, alpha=a),
-            points, beskow, max_elapsed,
-            label=f"Decoupling (a={alpha:.4g})"))
-    return series
+    return run_study(fig5_study(points=points, alphas=alphas)).to_series()
 
 
 # ----------------------------------------------------------------------
@@ -55,7 +49,7 @@ def fig5_mapreduce(points: List[int],
 # ----------------------------------------------------------------------
 
 def fig_placement(points: List[int], alpha: float = 0.0625,
-                  topology: TopologyConfig = None) -> List[Series]:
+                  topology: Optional[TopologyConfig] = None) -> List[Series]:
     """The paper's decoupling strategy as a *placement* study.
 
     The Fig. 5 MapReduce funnel, decoupled identically, run twice per
@@ -67,23 +61,8 @@ def fig_placement(points: List[int], alpha: float = 0.0625,
     from the paper: the fabric/placement subsystem opens it as a new
     scenario family.
     """
-    from ..api import plan_placement
-    from ..apps.mapreduce.decoupled import build_graph
-
-    topo = topology or TopologyConfig(kind="fat_tree", radix=2)
-    series = []
-    for mode in ("colocated", "partitioned"):
-        s = Series(f"Decoupling ({mode})",
-                   meta={"topology": topo.kind, "alpha": alpha})
-        for p in points:
-            cfg = MapReduceConfig(nprocs=p, alpha=alpha)
-            plan = build_graph(cfg).compile(p).plan
-            machine = beskow().with_(
-                topology=topo, placement=plan_placement(mode, plan))
-            result = run(decoupled_worker, p, args=(cfg,), machine=machine)
-            s.points[p] = float(max_elapsed(result))
-        series.append(s)
-    return series
+    return run_study(placement_study(points=points, alpha=alpha,
+                                     topology=topology)).to_series()
 
 
 # ----------------------------------------------------------------------
@@ -93,20 +72,8 @@ def fig_placement(points: List[int], alpha: float = 0.0625,
 def fig6_cg(points: List[int], sim_iterations: int = 20) -> List[Series]:
     """Blocking / non-blocking / decoupled CG, 120^3 points per rank,
     reported at the paper's 300 iterations."""
-    factor = CG_PAPER_ITERATIONS / sim_iterations
-
-    def scale(result) -> float:
-        return max_elapsed(result) * factor
-
-    mk = lambda p: CGConfig(nprocs=p, iterations=sim_iterations)
-    return [
-        sweep(cg_blocking, mk, points, beskow, scale,
-              label="Reference (Blocking)"),
-        sweep(cg_nonblocking, mk, points, beskow, scale,
-              label="Reference (Non-blocking)"),
-        sweep(cg_decoupled, mk, points, beskow, scale,
-              label="Decoupling"),
-    ]
+    return run_study(fig6_study(points=points,
+                                sim_iterations=sim_iterations)).to_series()
 
 
 # ----------------------------------------------------------------------
@@ -116,22 +83,8 @@ def fig6_cg(points: List[int], sim_iterations: int = 20) -> List[Series]:
 def fig7_pcomm(points: List[int], sim_steps: int = 8) -> List[Series]:
     """Reference forwarding vs decoupled exchange, GEM setup, reported
     at the paper's step count."""
-    factor = IPIC_PAPER_STEPS / sim_steps
-    mk = lambda p: IPICConfig(nprocs=p, steps=sim_steps)
-
-    def scale_ref(result) -> float:
-        return max_elapsed(result) * factor
-
-    def scale_dec(result) -> float:
-        return max(v["elapsed"] for v in result.values
-                   if v.get("role") == "mover") * factor
-
-    return [
-        sweep(pcomm_reference, mk, points, beskow, scale_ref,
-              label="Reference"),
-        sweep(pcomm_decoupled, mk, points, beskow, scale_dec,
-              label="Decoupling"),
-    ]
+    return run_study(fig7_study(points=points,
+                                sim_steps=sim_steps)).to_series()
 
 
 # ----------------------------------------------------------------------
@@ -144,25 +97,11 @@ def fig8_pio(points: List[int], sim_steps: int = 8) -> List[Series]:
     The y-value is the *visible particle-I/O cost*: the blocking dump
     time for the references; for the decoupled run, the end-to-end time
     minus the movers' compute baseline (streaming overhead + the final
-    drain tail) — the cost a user actually observes.
+    drain tail) — the cost a user actually observes (the
+    ``pio_visible`` extractor).
     """
-    mk = lambda p: IPICConfig(nprocs=p, steps=sim_steps)
-
-    def io_time(result) -> float:
-        return max(v["io_time"] for v in result.values)
-
-    def dec_visible(result) -> float:
-        movers = [v for v in result.values if v.get("role") == "mover"]
-        baseline = max(v["elapsed"] - v["io_time"] for v in movers)
-        return max(v["elapsed"] for v in result.values) - baseline
-
-    coll = sweep(pio_reference, mk, points, beskow, io_time,
-                 label="RefColl", extra_args=(True,))
-    shared = sweep(pio_reference, mk, points, beskow, io_time,
-                   label="RefShared", extra_args=(False,))
-    dec = sweep(pio_decoupled, mk, points, beskow, dec_visible,
-                label="Decoupling")
-    return [coll, shared, dec]
+    return run_study(fig8_study(points=points,
+                                sim_steps=sim_steps)).to_series()
 
 
 # ----------------------------------------------------------------------

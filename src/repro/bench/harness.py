@@ -1,20 +1,27 @@
-"""Experiment harness: weak-scaling sweeps, series, tables, artifacts.
+"""Experiment harness: series, tables, artifacts (and the sweep shim).
 
 The benchmark files under ``benchmarks/`` are thin: they call a figure
 function from :mod:`repro.bench.figures`, print the same rows the paper
 plots, persist a JSON artifact, and assert the *shape* claims
 (who wins, how the gap moves with P) — never absolute numbers.
+
+Experiment *execution* lives in :mod:`repro.study` since the study
+redesign: figures are :class:`~repro.study.study.Study` declarations
+run by :func:`~repro.study.runner.run_study` (parallel, cached).  This
+module keeps the presentation pieces — :class:`Series`, tables,
+artifacts — plus :func:`sweep`, a deprecated forwarding shim for
+imperative callers.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from ..simmpi.config import MachineConfig
-from ..simmpi.launcher import run
 
 #: the paper's x-axis is 32..8192 doubling; we sweep the same range with
 #: x4 steps to keep the full suite tractable (shape is preserved)
@@ -41,14 +48,33 @@ class Series:
     meta: Dict[str, Any] = field(default_factory=dict)
 
     def value(self, p: int) -> float:
-        return self.points[p]
+        try:
+            return self.points[p]
+        except KeyError:
+            raise KeyError(
+                f"series {self.label!r} has no point P={p}; "
+                f"available process counts: {self.xs}") from None
 
     @property
     def xs(self) -> List[int]:
         return sorted(self.points)
 
+    def speedup_over(self, other: "Series", p: int) -> float:
+        """How many times faster this series is than ``other`` at
+        ``P=p``: ``other / self`` (> 1 means this one is faster —
+        y-values are execution times, so smaller wins)."""
+        return other.value(p) / self.value(p)
+
     def ratio_to(self, other: "Series", p: int) -> float:
-        return other.points[p] / self.points[p]
+        """.. deprecated:: study redesign
+           The name reads as ``self/other`` but it always computed
+           ``other/self``; call :meth:`speedup_over`, which says what
+           it means."""
+        warnings.warn(
+            "Series.ratio_to computes other/self, which reads backwards "
+            "from its name; use Series.speedup_over (same value, honest "
+            "name)", DeprecationWarning, stacklevel=2)
+        return self.speedup_over(other, p)
 
 
 def sweep(worker: Callable, cfg_factory: Callable[[int], Any],
@@ -57,16 +83,20 @@ def sweep(worker: Callable, cfg_factory: Callable[[int], Any],
           extra_args: tuple = ()) -> Series:
     """Run ``worker`` at every process count; extract one scalar each.
 
-    ``cfg_factory(p)`` builds the per-point config; ``extract(result)``
-    maps a :class:`SimResult` to the figure's y-value (seconds).
+    .. deprecated:: study redesign
+       Declare a :class:`repro.study.Study` (parallel, cached,
+       serializable) instead; for one-off callables that are not
+       registry apps, :func:`repro.study.sweep_callable` is the direct
+       replacement.  This shim forwards there and will go away.
     """
-    series = Series(label)
-    for p in points:
-        cfg = cfg_factory(p)
-        result = run(worker, p, args=(cfg,) + extra_args,
-                     machine=machine_factory())
-        series.points[p] = float(extract(result))
-    return series
+    warnings.warn(
+        "repro.bench.harness.sweep is deprecated: declare a "
+        "repro.study.Study (parallel + cached), or call "
+        "repro.study.sweep_callable for one-off callables",
+        DeprecationWarning, stacklevel=2)
+    from ..study.runner import sweep_callable
+    return sweep_callable(worker, cfg_factory, points, machine_factory,
+                          extract, label, extra_args=extra_args)
 
 
 def max_elapsed(result) -> float:

@@ -468,12 +468,17 @@ def profile_scenario(name: str, top_n: int = 12) -> Dict[str, Any]:
 
 def _meta() -> Dict[str, Any]:
     import platform
+
+    from ..study.cache import code_version
     meta = {
         "schema": SCHEMA,
         "python": sys.version.split()[0],
         "platform": platform.platform(),
         "cpu_count": os.cpu_count(),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        # the same source digest the study cache keys on: two payloads
+        # with equal code_version measured identical simulator code
+        "code_version": code_version(),
     }
     try:  # best effort, absent outside a git checkout
         import subprocess

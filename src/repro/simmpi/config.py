@@ -10,18 +10,51 @@ bandwidth and per-operation overheads.
 
 All values are plain floats in SI units (seconds, bytes, bytes/second)
 so experiments can sweep them directly.
+
+Every config is JSON round-trippable (``to_json()`` /
+``from_json()``): a platform is *data*, so :mod:`repro.study` job
+specs can carry it to worker processes, hash it into cache keys and
+persist it in scenario files.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional, Union
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Dict, Optional, Union
 
-from .placement import Placement, PlacementPolicy, block_node_of, resolve_placement
+from .placement import (
+    Placement,
+    PlacementPolicy,
+    block_node_of,
+    placement_from_json,
+    resolve_placement,
+)
+
+
+class _JsonConfig:
+    """Shared JSON round-trip for the flat (all-scalar) config
+    dataclasses; :class:`MachineConfig` overrides both ends to recurse
+    into its nested configs."""
+
+    def to_json(self) -> Dict[str, Any]:
+        """This config as a JSON-serializable dict (field -> value)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "_JsonConfig":
+        """Rebuild from :meth:`to_json` output; always validates."""
+        try:
+            obj = cls(**data)
+        except TypeError as exc:
+            raise ValueError(
+                f"bad {cls.__name__} JSON (fields are "
+                f"{[f.name for f in fields(cls)]}): {exc}") from exc
+        obj.validate()
+        return obj
 
 
 @dataclass(frozen=True)
-class TopologyConfig:
+class TopologyConfig(_JsonConfig):
     """Which fabric the interconnect model uses, and its knobs.
 
     ``kind`` selects one of the fabric implementations (see
@@ -98,7 +131,7 @@ def resolve_topology(spec: Union[None, str, TopologyConfig]
 
 
 @dataclass(frozen=True)
-class NetworkConfig:
+class NetworkConfig(_JsonConfig):
     """Latency/bandwidth/overhead parameters of the interconnect model.
 
     The model is LogGP-flavored: a message of ``n`` bytes costs the
@@ -135,7 +168,7 @@ class NetworkConfig:
 
 
 @dataclass(frozen=True)
-class NoiseConfig:
+class NoiseConfig(_JsonConfig):
     """System-noise and process-skew parameters.
 
     ``persistent_skew`` is the relative std-dev of a per-rank constant
@@ -161,7 +194,7 @@ class NoiseConfig:
 
 
 @dataclass(frozen=True)
-class IOConfig:
+class IOConfig(_JsonConfig):
     """Parallel-filesystem model parameters (Lustre-flavored).
 
     ``aggregate_bandwidth`` is the total sustainable write bandwidth of
@@ -254,6 +287,47 @@ class MachineConfig:
     def with_(self, **kwargs) -> "MachineConfig":
         """Return a copy with the given top-level fields replaced."""
         return replace(self, **kwargs)
+
+    # ------------------------------------------------------------------
+    # JSON round-trip (nested, unlike the flat configs)
+    # ------------------------------------------------------------------
+    def to_json(self) -> Dict[str, Any]:
+        """The whole platform as a JSON-serializable dict."""
+        return {
+            "name": self.name,
+            "ranks_per_node": self.ranks_per_node,
+            "network": self.network.to_json(),
+            "noise": self.noise.to_json(),
+            "io": self.io.to_json(),
+            "topology": self.topology.to_json(),
+            "placement": (self.placement.to_json()
+                          if self.placement is not None else None),
+            "compute_speed": self.compute_speed,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "MachineConfig":
+        """Rebuild a platform from :meth:`to_json` output; validates."""
+        known = {"name", "ranks_per_node", "network", "noise", "io",
+                 "topology", "placement", "compute_speed"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"bad MachineConfig JSON: unknown fields {sorted(unknown)}")
+        kwargs: Dict[str, Any] = {
+            k: data[k] for k in ("name", "ranks_per_node", "compute_speed")
+            if k in data
+        }
+        for key, sub in (("network", NetworkConfig), ("noise", NoiseConfig),
+                         ("io", IOConfig), ("topology", TopologyConfig)):
+            if key in data:
+                kwargs[key] = sub.from_json(data[key])
+        placement = data.get("placement")
+        if placement is not None:
+            kwargs["placement"] = placement_from_json(placement)
+        cfg = cls(**kwargs)
+        cfg.validate()
+        return cfg
 
 
 def beskow(noise_seed: Optional[int] = None) -> MachineConfig:

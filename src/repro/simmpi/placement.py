@@ -50,7 +50,7 @@ compiled graph automatically.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple, Union
 
 from .errors import PlacementError
 
@@ -62,6 +62,7 @@ __all__ = [
     "PlacementPolicy",
     "RoundRobinPlacement",
     "block_node_of",
+    "placement_from_json",
     "resolve_placement",
 ]
 
@@ -127,6 +128,16 @@ class PlacementPolicy:
 
     def resolve(self, nranks: int, ranks_per_node: int) -> Placement:
         raise NotImplementedError
+
+    def to_json(self) -> Dict[str, Any]:
+        """This policy as a JSON-serializable dict (``{"policy": name}``
+        plus the group blocks for the group-aware policies); feed the
+        result to :func:`placement_from_json` to rebuild it."""
+        out: Dict[str, Any] = {"policy": self.name}
+        groups = getattr(self, "groups", None)
+        if groups is not None:
+            out["groups"] = [list(g) for g in groups]
+        return out
 
     def _check(self, nranks: int, ranks_per_node: int) -> None:
         if nranks <= 0:
@@ -249,6 +260,34 @@ _NAMED_POLICIES = {
     "round_robin": RoundRobinPlacement,
     "round-robin": RoundRobinPlacement,
 }
+
+#: policies that carry group blocks (JSON needs them at construction)
+_GROUP_POLICIES = {
+    "colocated": ColocatedPlacement,
+    "partitioned": PartitionedPlacement,
+}
+
+
+def placement_from_json(data: Dict[str, Any]) -> PlacementPolicy:
+    """Rebuild a policy from :meth:`PlacementPolicy.to_json` output."""
+    if not isinstance(data, dict) or "policy" not in data:
+        raise PlacementError(
+            f"placement JSON must be a dict with a 'policy' key, "
+            f"got {data!r}")
+    name = data["policy"]
+    if name in _GROUP_POLICIES:
+        groups = data.get("groups")
+        if not groups:
+            raise PlacementError(
+                f"placement {name!r} needs its 'groups' blocks in JSON")
+        return _GROUP_POLICIES[name](tuple(
+            (str(n), int(f), int(s)) for n, f, s in groups))
+    factory = _NAMED_POLICIES.get(name)
+    if factory is None:
+        raise PlacementError(
+            f"unknown placement policy {name!r} in JSON; known: "
+            f"{sorted(set(_NAMED_POLICIES) | set(_GROUP_POLICIES))}")
+    return factory()
 
 
 def resolve_placement(spec: Union[None, str, PlacementPolicy]

@@ -1,0 +1,129 @@
+"""Content-addressed, on-disk result cache for study jobs.
+
+The cache key of a job is ``sha256(code_version || canonical-JSON(job
+spec))``:
+
+* **canonical JSON** — ``json.dumps(job, sort_keys=True)`` with compact
+  separators, so semantically identical specs hash identically no
+  matter how they were declared;
+* **code version** — a sha256 over the contents of every ``*.py`` file
+  in the installed ``repro`` package, so *any* source change invalidates
+  the whole cache.  Simulated time is virtual and every scenario is
+  deterministic by construction, which is what makes caching *exact*:
+  same spec + same code ⇒ bit-identical result, so a hit can skip the
+  simulation entirely.
+
+Entries live at ``<cache_dir>/<key[:2]>/<key>.json`` and store the full
+job spec next to the outcome; a hit re-checks the stored spec against
+the requested one, so even a hash collision cannot return a wrong
+result.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, Optional
+
+__all__ = ["EXECUTION_FIELDS", "cache_path", "code_version",
+           "execution_spec", "job_key", "load", "store"]
+
+#: cache entry schema version (bump to orphan old entries on format change)
+_SCHEMA = 1
+
+_code_version_memo: Optional[str] = None
+
+
+def code_version() -> str:
+    """sha256 over every ``repro/**/*.py`` source file (memoized)."""
+    global _code_version_memo
+    if _code_version_memo is not None:
+        return _code_version_memo
+    import repro
+
+    root = os.path.dirname(os.path.abspath(repro.__file__))
+    h = hashlib.sha256()
+    for dirpath, dirnames, filenames in sorted(os.walk(root)):
+        dirnames.sort()
+        for fname in sorted(filenames):
+            if not fname.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, fname)
+            h.update(os.path.relpath(path, root).encode())
+            with open(path, "rb") as fh:
+                h.update(fh.read())
+    _code_version_memo = h.hexdigest()
+    return _code_version_memo
+
+
+def canonical_json(job: Dict[str, Any]) -> str:
+    """The spec's canonical wire form (also what gets hashed)."""
+    return json.dumps(job, sort_keys=True, separators=(",", ":"))
+
+
+#: the fields that determine what a job *computes*; presentation fields
+#: (study name, series label, x, meta) stay out of the key, so renaming
+#: a line never discards its cached simulations
+EXECUTION_FIELDS = ("app", "nprocs", "params", "args", "machine", "extract")
+
+
+def execution_spec(job: Dict[str, Any]) -> Dict[str, Any]:
+    """The execution-relevant projection of a job spec."""
+    return {k: job[k] for k in EXECUTION_FIELDS if k in job}
+
+
+def job_key(job: Dict[str, Any]) -> str:
+    """Content address of one job's *execution spec* under the current
+    code version (see :data:`EXECUTION_FIELDS`)."""
+    h = hashlib.sha256()
+    h.update(code_version().encode())
+    h.update(b"\x00")
+    h.update(canonical_json(execution_spec(job)).encode())
+    return h.hexdigest()
+
+
+def cache_path(cache_dir: str, key: str) -> str:
+    return os.path.join(cache_dir, key[:2], key + ".json")
+
+
+def load(cache_dir: str, job: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+    """The cached outcome (``{"value", "sim"}``) for ``job``, or None.
+
+    Unreadable or mismatched entries are treated as misses, never
+    errors — a cache must not be able to break a run.
+    """
+    path = cache_path(cache_dir, job_key(job))
+    try:
+        with open(path) as fh:
+            entry = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    if entry.get("schema") != _SCHEMA:
+        return None
+    # collision paranoia: verify the stored spec, don't trust the hash.
+    # Execution-spec comparison in canonical form, so neither a series
+    # rename nor tuple-vs-list can cause a miss — but a collision can
+    # never return a wrong result.
+    if canonical_json(execution_spec(entry.get("job", {}))) \
+            != canonical_json(execution_spec(job)):
+        return None
+    outcome = entry.get("outcome")
+    if not isinstance(outcome, dict) or "value" not in outcome:
+        return None
+    return outcome
+
+
+def store(cache_dir: str, job: Dict[str, Any],
+          outcome: Dict[str, Any]) -> str:
+    """Persist one outcome; atomic (write + rename), returns the path."""
+    key = job_key(job)
+    path = cache_path(cache_dir, key)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    tmp = path + ".tmp"
+    with open(tmp, "w") as fh:
+        json.dump({"schema": _SCHEMA, "key": key,
+                   "code_version": code_version(),
+                   "job": job, "outcome": outcome}, fh, indent=1)
+    os.replace(tmp, path)
+    return path

@@ -1,0 +1,153 @@
+"""Query, export and render the outcome of a study run.
+
+A :class:`ResultSet` holds one :class:`JobResult` per job, in the
+study's deterministic job order, and answers the questions figures and
+tests actually ask: ``rs.series(label)`` (one figure line as a
+:class:`~repro.bench.harness.Series`), ``rs.ratio(a, b)`` (point-wise
+ratio of two lines), ``rs.table()`` (the paper-style text table),
+``rs.to_json()`` / ``rs.to_csv()`` (artifacts), plus the
+``executed`` / ``cached`` accounting the cache-gating CI job asserts
+on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from .study import Study, StudyError
+
+# NOTE: Series/render_table are imported lazily inside methods —
+# repro.bench.figures runs studies, so a module-level import back into
+# repro.bench would be circular.
+
+__all__ = ["JobResult", "ResultSet"]
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job: the extracted y-value plus sim accounting."""
+
+    job: Dict[str, Any]
+    value: float
+    sim: Dict[str, Any] = field(default_factory=dict)
+    cached: bool = False
+
+    @property
+    def series(self) -> str:
+        return self.job["series"]
+
+    @property
+    def x(self) -> int:
+        return self.job["x"]
+
+
+class ResultSet:
+    """All results of one study run, queryable by series label."""
+
+    def __init__(self, study: Study, results: List[JobResult]):
+        self.study = study
+        self.results = list(results)
+        self._by_label: Dict[str, Dict[int, JobResult]] = {}
+        for r in self.results:
+            self._by_label.setdefault(r.series, {})[r.x] = r
+
+    # ------------------------------------------------------------------
+    # accounting (the cache-gating CI job asserts on these)
+    # ------------------------------------------------------------------
+    @property
+    def executed(self) -> int:
+        """Jobs that actually ran a simulation this time."""
+        return sum(1 for r in self.results if not r.cached)
+
+    @property
+    def cached(self) -> int:
+        """Jobs served from the result cache (zero simulation work)."""
+        return sum(1 for r in self.results if r.cached)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def labels(self) -> List[str]:
+        """Series labels in job order."""
+        return list(self._by_label)
+
+    def series(self, label: str):
+        """One figure line as a harness
+        :class:`~repro.bench.harness.Series`."""
+        from ..bench.harness import Series
+
+        points = self._by_label.get(label)
+        if points is None:
+            raise StudyError(
+                f"study {self.study.name!r} has no series {label!r}; "
+                f"available: {self.labels()}")
+        meta = dict(next(iter(points.values())).job.get("meta", {}))
+        return Series(label,
+                      points={x: r.value for x, r in points.items()},
+                      meta=meta)
+
+    def to_series(self) -> List[Any]:
+        """Every line, in declaration/expansion order — what the
+        figure and table code consumes directly."""
+        return [self.series(label) for label in self.labels()]
+
+    def value(self, label: str, x: int) -> float:
+        return self.series(label).value(x)
+
+    def ratio(self, num_label: str, den_label: str):
+        """Point-wise ``num / den`` over their common x values."""
+        from ..bench.harness import Series
+
+        num, den = self.series(num_label), self.series(den_label)
+        common = [x for x in num.xs if x in den.points]
+        if not common:
+            raise StudyError(
+                f"series {num_label!r} and {den_label!r} share no points")
+        return Series(f"{num_label} / {den_label}",
+                      points={x: num.points[x] / den.points[x]
+                              for x in common})
+
+    # ------------------------------------------------------------------
+    # rendering / export
+    # ------------------------------------------------------------------
+    def table(self, title: Optional[str] = None) -> str:
+        from ..bench.harness import render_table
+
+        return render_table(title or self.study.title, self.to_series(),
+                            unit=self.study.unit)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "study": self.study.to_json(),
+            "results": [
+                {"job": r.job, "value": r.value, "sim": r.sim,
+                 "cached": r.cached}
+                for r in self.results
+            ],
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "ResultSet":
+        study = Study.from_json(data["study"])
+        results = [JobResult(job=r["job"], value=r["value"],
+                             sim=r.get("sim", {}),
+                             cached=bool(r.get("cached", False)))
+                   for r in data["results"]]
+        return cls(study, results)
+
+    def to_csv(self) -> str:
+        """Flat CSV: one row per job (study, series, x, value, cached)."""
+        lines = ["study,series,x,value,cached"]
+        for r in self.results:
+            label = r.series.replace('"', '""')
+            lines.append(f'{self.study.name},"{label}",{r.x},'
+                         f'{r.value!r},{int(r.cached)}')
+        return "\n".join(lines) + "\n"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"ResultSet({self.study.name!r}, jobs={len(self)}, "
+                f"executed={self.executed}, cached={self.cached})")

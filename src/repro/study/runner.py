@@ -1,0 +1,166 @@
+"""Execute a study: schedule jobs over processes, through the cache.
+
+``run_study`` is the one entry point: it compiles the study to job
+specs, serves what it can from the content-addressed cache
+(:mod:`~repro.study.cache`), and executes the misses — in-process for
+``jobs=1``, across a :class:`~concurrent.futures.ProcessPoolExecutor`
+otherwise.  Jobs are independent simulations, so the figure suite is
+embarrassingly parallel; virtual-time determinism means the parallel,
+serial and cached paths all produce bit-identical values.
+
+Defaults honour the environment so existing callers pick studies up
+transparently: ``REPRO_STUDY_JOBS`` sets the worker count and
+``REPRO_STUDY_CACHE`` the cache directory when the caller passes
+neither.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..simmpi.launcher import run
+from . import cache as result_cache
+from .registry import apply_extract, build_config, build_machine, get_app
+from .results import JobResult, ResultSet
+from .study import Study, StudyError
+
+__all__ = ["execute_job", "run_study", "simulations_executed",
+           "sweep_callable"]
+
+#: simulations actually run by THIS process (pool workers count their
+#: own); the cache tests assert it stays flat across a warm re-run
+_SIMULATIONS_EXECUTED = 0
+
+
+def simulations_executed() -> int:
+    """How many simulations this process has run on behalf of studies."""
+    return _SIMULATIONS_EXECUTED
+
+
+def execute_job(job: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one job spec to completion; returns ``{"value", "sim"}``.
+
+    Module-level (picklable) so pool workers can execute specs by name;
+    everything a job references resolves through the registry.
+    """
+    global _SIMULATIONS_EXECUTED
+    app = get_app(job["app"])
+    cfg = build_config(app, job["nprocs"], job.get("params", {}))
+    machine = build_machine(job.get("machine"), app, cfg)
+    _SIMULATIONS_EXECUTED += 1
+    sim = run(app.worker, job["nprocs"],
+              args=(cfg, *job.get("args", ())), machine=machine)
+    return {
+        "value": apply_extract(job["extract"], sim),
+        "sim": {"elapsed": sim.elapsed, "messages": sim.messages,
+                "bytes": sim.bytes, "events": sim.events},
+    }
+
+
+def _job_context(job: Dict[str, Any]) -> str:
+    return (f"study {job.get('study')!r} series {job.get('series')!r} "
+            f"at P={job.get('x')}")
+
+
+def run_study(study: Study,
+              jobs: Optional[int] = None,
+              cache: Optional[str] = None,
+              progress: Optional[Callable[[str], None]] = None
+              ) -> ResultSet:
+    """Run every cell of ``study``; returns the :class:`ResultSet`.
+
+    ``jobs`` — process-pool width (default ``$REPRO_STUDY_JOBS`` or 1,
+    i.e. in-process serial execution).  ``cache`` — result-cache
+    directory (default ``$REPRO_STUDY_CACHE`` or no caching).
+    ``progress`` — optional callback for one-line status messages.
+    """
+    if jobs is None:
+        jobs = int(os.environ.get("REPRO_STUDY_JOBS", "1") or 1)
+    if jobs < 1:
+        raise StudyError(f"jobs must be >= 1, got {jobs}")
+    if cache is None:
+        cache = os.environ.get("REPRO_STUDY_CACHE") or None
+    if cache is not None:
+        cache = os.path.abspath(os.path.expanduser(cache))
+
+    specs = study.jobs()
+    slots: List[Optional[JobResult]] = [None] * len(specs)
+    pending: List[int] = []
+    for i, job in enumerate(specs):
+        outcome = result_cache.load(cache, job) if cache else None
+        if outcome is not None:
+            slots[i] = JobResult(job=job, value=outcome["value"],
+                                 sim=outcome.get("sim", {}), cached=True)
+        else:
+            pending.append(i)
+    if progress:
+        progress(f"study {study.name!r}: {len(specs)} job(s), "
+                 f"{len(specs) - len(pending)} cached, "
+                 f"{len(pending)} to run"
+                 + (f" across {jobs} workers" if jobs > 1 else ""))
+
+    if pending and jobs > 1:
+        # longest-processing-time-first: submit the big process counts
+        # first so the pool tail is short.  Completion order does not
+        # matter — results land in slots by index, and every job is
+        # deterministic, so scheduling cannot perturb values.
+        by_cost = sorted(pending, key=lambda i: -specs[i]["nprocs"])
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            futures = {pool.submit(execute_job, specs[i]): i
+                       for i in by_cost}
+            for future in as_completed(futures):
+                i = futures[future]
+                try:
+                    outcome = future.result()
+                except Exception as exc:
+                    raise StudyError(
+                        f"{_job_context(specs[i])} failed: {exc}") from exc
+                slots[i] = JobResult(job=specs[i], value=outcome["value"],
+                                     sim=outcome["sim"])
+                if cache:
+                    result_cache.store(cache, specs[i], outcome)
+                if progress:
+                    progress(f"  done {_job_context(specs[i])}")
+    else:
+        for i in pending:
+            try:
+                outcome = execute_job(specs[i])
+            except Exception as exc:
+                raise StudyError(
+                    f"{_job_context(specs[i])} failed: {exc}") from exc
+            slots[i] = JobResult(job=specs[i], value=outcome["value"],
+                                 sim=outcome["sim"])
+            if cache:
+                result_cache.store(cache, specs[i], outcome)
+            if progress:
+                progress(f"  done {_job_context(specs[i])}")
+
+    return ResultSet(study, [r for r in slots if r is not None])
+
+
+# ----------------------------------------------------------------------
+# the imperative escape hatch (and the harness.sweep shim's target)
+# ----------------------------------------------------------------------
+
+def sweep_callable(worker: Callable, cfg_factory: Callable[[int], Any],
+                   points: Sequence[int], machine_factory: Callable,
+                   extract: Callable[[Any], float], label: str,
+                   extra_args: tuple = ()):
+    """Run an *arbitrary* worker at every process count, serially.
+
+    This is the imperative pre-study sweep, kept for callables that are
+    not registry apps — it cannot be parallelized or cached (closures
+    don't serialize), which is exactly why declared studies are the
+    primary path.  :func:`repro.bench.harness.sweep` forwards here.
+    """
+    from ..bench.harness import Series
+
+    series = Series(label)
+    for p in points:
+        cfg = cfg_factory(p)
+        result = run(worker, p, args=(cfg,) + tuple(extra_args),
+                     machine=machine_factory())
+        series.points[p] = float(extract(result))
+    return series

@@ -1,0 +1,123 @@
+"""Coverage for :mod:`repro.api.errors` and the :class:`Report` JSON
+surface (the least-covered corners of the api layer)."""
+
+import json
+
+import pytest
+
+from repro.api import GraphError, Report, Simulation, StreamGraph
+from repro.core.groups import PlanError
+from repro.mpistream import Collector, RunningStats
+
+
+# ----------------------------------------------------------------------
+# errors: hierarchy + guard behaviour
+# ----------------------------------------------------------------------
+
+def test_graph_error_is_a_plan_error():
+    """Code guarding low-level plan construction keeps working when it
+    moves to the builder API — the documented contract of the module."""
+    assert issubclass(GraphError, PlanError)
+    assert issubclass(GraphError, Exception)
+    err = GraphError("nope")
+    assert isinstance(err, PlanError)
+    with pytest.raises(PlanError):
+        raise err
+
+
+def test_low_level_plan_guards_catch_graph_errors():
+    with pytest.raises(PlanError, match="unknown machine preset"):
+        Simulation(4, machine="cray-unobtainium")
+
+
+def test_program_report_rejects_graph_queries():
+    def prog(comm):
+        yield from comm.barrier()
+        return comm.rank
+
+    report = Simulation(2).run(prog)
+    with pytest.raises(GraphError, match="plain rank program"):
+        report.stage_values("src")
+    with pytest.raises(GraphError, match="plain rank program"):
+        report.flow_profiles("f")
+
+
+def test_untraced_report_rejects_trace_queries():
+    def prog(comm):
+        yield from comm.barrier()
+
+    report = Simulation(2).run(prog)
+    with pytest.raises(GraphError, match="trace=True"):
+        report.overlap("a", "b")
+    with pytest.raises(GraphError, match="trace=True"):
+        report.idle(0)
+
+
+def test_unknown_stage_and_flow_named_in_errors():
+    def produce(ctx):
+        with ctx.producer("f") as out:
+            yield from out.send(1)
+
+    graph = (StreamGraph()
+             .stage("src", size=1, body=produce)
+             .stage("dst", size=1)
+             .flow("f", "src", "dst", operator=Collector))
+    report = Simulation(2).run(graph)
+    with pytest.raises(GraphError, match="'ghost'"):
+        report.stage_ranks("ghost")
+    with pytest.raises(GraphError, match="'ghost'"):
+        report.flow_profiles("ghost")
+
+
+# ----------------------------------------------------------------------
+# Report.to_json round-trip
+# ----------------------------------------------------------------------
+
+def _roundtrip(data):
+    return json.loads(json.dumps(data))
+
+
+def test_program_report_to_json_roundtrip():
+    def prog(comm):
+        yield from comm.compute(0.001 * (comm.rank + 1))
+        return {"rank": comm.rank, "elapsed": comm.time}
+
+    report = Simulation(3).run(prog)
+    data = report.to_json()
+    assert _roundtrip(data) == data
+    assert data["nprocs"] == 3
+    assert data["elapsed"] == report.elapsed
+    assert len(data["finish_times"]) == 3
+    assert data["values"][1]["rank"] == 1
+
+
+def test_graph_report_to_json_roundtrip():
+    def produce(ctx):
+        with ctx.producer("samples") as out:
+            for i in range(4):
+                yield from out.send(float(i))
+        return ("src-done", ctx.comm.rank)
+
+    graph = (StreamGraph()
+             .stage("src", size=2, body=produce)
+             .stage("dst", size=1)
+             .flow("samples", "src", "dst", operator=RunningStats))
+    report = Simulation(3).run(graph)
+    data = report.to_json()
+    assert _roundtrip(data) == data
+    assert data["stages"] == {"src": 2, "dst": 1}
+    assert data["flows"] == {"samples": 8}
+    # tuple results degrade to lists, stay JSON-clean
+    assert data["stage_results"]["src"] == [["src-done", 0], ["src-done", 1]]
+    # the analysis-stage operator summary is a plain dict already
+    assert data["stage_results"]["dst"][0]["count"] == 8
+
+
+def test_to_json_matches_summary_headline():
+    def prog(comm):
+        yield from comm.barrier()
+
+    report = Simulation(2).run(prog)
+    data = report.to_json()
+    for key, val in report.summary().items():
+        assert data[key] == val

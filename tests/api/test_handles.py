@@ -220,6 +220,124 @@ def test_stage_context_exposes_group_and_world():
     assert seen["alpha"] == pytest.approx(0.5)
 
 
+def test_consumer_pending_interleaves_with_own_work():
+    """pending() drains only what is queued, so a consumer can overlap
+    stream service with its own compute between polls."""
+    def produce(ctx):
+        with ctx.producer("f") as out:
+            for i in range(6):
+                yield from out.send(i)
+
+    def consume(ctx):
+        got = []
+        polls = 0
+
+        def op(element):
+            got.append(element.data)
+
+        sink = ctx.consumer("f")
+        while sink.active_producers:
+            n = yield from sink.pending(op)
+            assert n >= 0
+            polls += 1
+            yield from ctx.compute(0.0005, label="own-work")
+        yield from sink.operate()   # absorb anything after the last poll
+        return {"got": sorted(got), "polls": polls}
+
+    graph = (StreamGraph()
+             .stage("src", size=1, body=produce)
+             .stage("dst", size=1, body=consume)
+             .flow("f", "src", "dst"))
+    out = Simulation(2).run(graph).stage_values("dst")[0]
+    assert out["got"] == list(range(6))
+    assert out["polls"] >= 1
+
+
+def test_pending_needs_an_operator():
+    def produce(ctx):
+        with ctx.producer("f") as out:
+            yield from out.send(1)
+
+    def consume(ctx):
+        yield from ctx.consumer("f").pending()   # no operator anywhere
+
+    graph = (StreamGraph()
+             .stage("src", size=1, body=produce)
+             .stage("dst", size=1, body=consume)
+             .flow("f", "src", "dst"))
+    with pytest.raises(GraphError, match="no operator"):
+        Simulation(2).run(graph)
+
+
+def test_pending_after_close_rejected():
+    def produce(ctx):
+        with ctx.producer("f") as out:
+            yield from out.send(1)
+
+    def consume(ctx):
+        with ctx.consumer("f") as sink:
+            yield from sink.operate()
+        yield from sink.pending()
+
+    graph = (StreamGraph()
+             .stage("src", size=1, body=produce)
+             .stage("dst", size=1, body=consume)
+             .flow("f", "src", "dst", operator=Collector))
+    with pytest.raises(GraphError, match="closed consumer"):
+        Simulation(2).run(graph)
+
+
+def test_handle_profiles_expose_stream_statistics():
+    def produce(ctx):
+        out = ctx.producer("f")
+        with out:
+            for i in range(5):
+                yield from out.send(i)
+        return out.profile
+
+    def consume(ctx):
+        sink = ctx.consumer("f")
+        yield from sink.operate()
+        return (sink.profile, sink.result())
+
+    graph = (StreamGraph()
+             .stage("src", size=1, body=produce)
+             .stage("dst", size=1, body=consume)
+             .flow("f", "src", "dst", operator=Collector))
+    report = Simulation(2).run(graph)
+    src_prof = report.stage_values("src")[0]
+    dst_prof, collected = report.stage_values("dst")[0]
+    assert src_prof.elements_sent == 5
+    assert dst_prof.elements_received == 5
+    assert collected.items == [0, 1, 2, 3, 4]
+
+
+def test_reentering_closed_producer_context_rejected():
+    def produce(ctx):
+        out = ctx.producer("f")
+        with out:
+            yield from out.send(1)
+        with out:       # second entry: the handle is spent
+            pass
+
+    graph = (StreamGraph()
+             .stage("src", size=1, body=produce)
+             .stage("dst", size=1)
+             .flow("f", "src", "dst", operator=Collector))
+    with pytest.raises(GraphError, match="already closed"):
+        Simulation(2).run(graph)
+
+
+def test_operator_result_prefers_summary():
+    from repro.api.handles import operator_result
+    from repro.mpistream import RunningStats
+
+    stats = RunningStats()
+    assert operator_result(stats) == stats.summary()
+    collector = Collector()
+    assert operator_result(collector) is collector
+
+
 def test_pipeline_of_three_stages():
     """map -> transform -> sink, with a mid-stage that both consumes
     and produces (the mapreduce shape)."""

@@ -44,3 +44,77 @@ def test_cli_placement_figure(capsys, monkeypatch, tmp_path):
 def test_cli_rejects_unknown_figure():
     with pytest.raises(SystemExit):
         main(["fig99"])
+
+
+def test_cli_rejects_stray_name_for_figures():
+    with pytest.raises(SystemExit, match="study"):
+        main(["fig5", "fig6"])
+
+
+def test_cli_study_runs_and_caches(capsys, monkeypatch, tmp_path):
+    """The study path end to end: cold run executes, warm run is fully
+    cached (zero simulation work) and --expect-cached passes."""
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "results"))
+    cache = str(tmp_path / "cache")
+    csv_path = tmp_path / "fig5.csv"
+
+    assert main(["study", "fig5", "--points", "32", "--cache", cache,
+                 "--csv", str(csv_path)]) == 0
+    out = capsys.readouterr().out
+    assert "Reference" in out and "Decoupling (a=0.0625)" in out
+    assert "4 executed, 0 cached" in out
+    assert (tmp_path / "results" / "fig5_study.json").exists()
+    assert csv_path.read_text().startswith("study,series,x,value,cached")
+
+    assert main(["study", "fig5", "--points", "32", "--cache", cache,
+                 "--expect-cached"]) == 0
+    out = capsys.readouterr().out
+    assert "0 executed, 4 cached" in out
+
+
+def test_cli_study_expect_cached_fails_on_cold_cache(capsys, monkeypatch,
+                                                     tmp_path):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "results"))
+    cache = str(tmp_path / "cold-cache")
+    assert main(["study", "fig5", "--points", "32", "--cache", cache,
+                 "--expect-cached"]) == 1
+    assert "expected a fully cached run" in capsys.readouterr().err
+
+
+def test_cli_study_expect_cached_needs_a_cache(monkeypatch):
+    monkeypatch.delenv("REPRO_STUDY_CACHE", raising=False)
+    with pytest.raises(SystemExit, match="cache"):
+        main(["study", "fig5", "--expect-cached"])
+
+
+def test_cli_study_only_flags_rejected_for_figures():
+    """A silently ignored --expect-cached would green-light a broken
+    cache gate; the CLI must refuse instead."""
+    with pytest.raises(SystemExit, match="study"):
+        main(["fig5", "--expect-cached"])
+    with pytest.raises(SystemExit, match="study"):
+        main(["all", "--csv", "/tmp/x.csv"])
+
+
+def test_cli_study_needs_a_known_name():
+    with pytest.raises(SystemExit, match="catalog"):
+        main(["study"])
+    with pytest.raises(SystemExit, match="catalog"):
+        main(["study", "fig99"])
+
+
+def test_cli_figures_honour_study_cache(capsys, monkeypatch, tmp_path):
+    """The fig* aliases ride the same cache as the study command."""
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    cache = str(tmp_path / "cache")
+    assert main(["study", "placement", "--points", "32",
+                 "--cache", cache]) == 0
+    capsys.readouterr()
+    from repro.study.runner import simulations_executed
+    before = simulations_executed()
+    assert main(["placement", "--points", "32", "--cache", cache]) == 0
+    assert simulations_executed() == before, \
+        "the alias must be served from the study cache"
+    out = capsys.readouterr().out
+    assert "colocated" in out and "partitioned" in out
+    assert (tmp_path / "placement_cli.json").exists()

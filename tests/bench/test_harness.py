@@ -40,7 +40,23 @@ def test_series_accessors():
     t = Series("b", points={32: 1.0, 64: 1.0})
     assert s.xs == [32, 64]
     assert s.value(32) == 2.0
-    assert t.ratio_to(s, 64) == 4.0
+    # t is 4x faster than s at P=64 (smaller elapsed wins)
+    assert t.speedup_over(s, 64) == 4.0
+
+
+def test_series_value_names_the_missing_point():
+    s = Series("mine", points={32: 2.0, 64: 4.0})
+    with pytest.raises(KeyError, match=r"'mine' has no point P=128"):
+        s.value(128)
+    with pytest.raises(KeyError, match=r"\[32, 64\]"):
+        s.value(7)
+
+
+def test_ratio_to_is_a_deprecated_alias_of_speedup_over():
+    s = Series("a", points={64: 4.0})
+    t = Series("b", points={64: 1.0})
+    with pytest.warns(DeprecationWarning, match="speedup_over"):
+        assert t.ratio_to(s, 64) == t.speedup_over(s, 64) == 4.0
 
 
 def test_sweep_runs_worker_at_each_point():
@@ -48,8 +64,9 @@ def test_sweep_runs_worker_at_each_point():
         yield from comm.compute(cfg)
         return {"elapsed": comm.time}
 
-    s = sweep(worker, lambda p: 0.001 * p, [2, 4], quiet_testbed,
-              max_elapsed, label="t")
+    with pytest.warns(DeprecationWarning, match="repro.study"):
+        s = sweep(worker, lambda p: 0.001 * p, [2, 4], quiet_testbed,
+                  max_elapsed, label="t")
     assert s.points[2] == pytest.approx(0.002)
     assert s.points[4] == pytest.approx(0.004)
 

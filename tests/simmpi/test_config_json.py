@@ -1,0 +1,109 @@
+"""JSON round-trips for the platform configs and placement policies
+(the contract :mod:`repro.study` job specs rely on)."""
+
+import json
+
+import pytest
+
+from repro.simmpi.config import (
+    IOConfig,
+    MachineConfig,
+    NetworkConfig,
+    NoiseConfig,
+    TopologyConfig,
+    beskow,
+    ideal_network_testbed,
+    quiet_testbed,
+)
+from repro.simmpi.errors import PlacementError
+from repro.simmpi.placement import (
+    BlockPlacement,
+    ColocatedPlacement,
+    PartitionedPlacement,
+    RoundRobinPlacement,
+    placement_from_json,
+)
+
+
+def _wire(data):
+    """Simulate the trip through a job-spec file / subprocess."""
+    return json.loads(json.dumps(data))
+
+
+@pytest.mark.parametrize("cfg", [
+    TopologyConfig(),
+    TopologyConfig(kind="fat_tree", radix=2, taper=4.0),
+    TopologyConfig(kind="dragonfly", nodes_per_group=4,
+                   global_latency=3.0e-6),
+    NetworkConfig(),
+    NetworkConfig(latency=2e-6, eager_threshold=0, fabric_dilation=0.0),
+    NoiseConfig(),
+    NoiseConfig(persistent_skew=0.0, quantum_fraction=0.0, seed=42),
+    IOConfig(),
+    IOConfig(stripe_count=4, open_overhead=1e-3),
+])
+def test_flat_config_roundtrip(cfg):
+    restored = type(cfg).from_json(_wire(cfg.to_json()))
+    assert restored == cfg
+
+
+@pytest.mark.parametrize("policy", [
+    BlockPlacement(),
+    RoundRobinPlacement(),
+    ColocatedPlacement([("map", 0, 6), ("reduce", 6, 2)]),
+    PartitionedPlacement([("a", 0, 4), ("b", 4, 4)]),
+])
+def test_placement_policy_roundtrip(policy):
+    restored = placement_from_json(_wire(policy.to_json()))
+    assert restored == policy
+    # behavioural, not just structural: same resolved rank->node map
+    assert restored.resolve(8, 2).nodes == policy.resolve(8, 2).nodes
+
+
+@pytest.mark.parametrize("machine", [
+    beskow(),
+    quiet_testbed(),
+    ideal_network_testbed(),
+    beskow().with_(topology=TopologyConfig(kind="fat_tree", radix=2),
+                   placement=PartitionedPlacement([("w", 0, 64)])),
+    beskow(noise_seed=7).with_(ranks_per_node=8, compute_speed=2.0),
+])
+def test_machine_config_roundtrip(machine):
+    restored = MachineConfig.from_json(_wire(machine.to_json()))
+    assert restored == machine
+
+
+def test_machine_from_json_rejects_unknown_fields():
+    data = beskow().to_json()
+    data["warp_drive"] = True
+    with pytest.raises(ValueError, match="warp_drive"):
+        MachineConfig.from_json(data)
+
+
+def test_flat_config_from_json_rejects_unknown_fields():
+    with pytest.raises(ValueError, match="NoiseConfig"):
+        NoiseConfig.from_json({"persistent_skew": 0.1, "nope": 1})
+
+
+def test_from_json_validates():
+    bad = TopologyConfig().to_json()
+    bad["kind"] = "torus"
+    with pytest.raises(ValueError, match="torus"):
+        TopologyConfig.from_json(bad)
+
+
+def test_placement_from_json_errors():
+    with pytest.raises(PlacementError, match="policy"):
+        placement_from_json({"groups": []})
+    with pytest.raises(PlacementError, match="unknown placement"):
+        placement_from_json({"policy": "diagonal"})
+    with pytest.raises(PlacementError, match="groups"):
+        placement_from_json({"policy": "colocated"})
+
+
+def test_partial_machine_json_uses_defaults():
+    cfg = MachineConfig.from_json({"name": "mini", "ranks_per_node": 4})
+    assert cfg.name == "mini"
+    assert cfg.ranks_per_node == 4
+    assert cfg.network == NetworkConfig()
+    assert cfg.placement is None

@@ -1,0 +1,141 @@
+"""The figure catalog: declarations are well-formed, serializable, and
+the registries they name are complete and extensible."""
+
+import json
+
+import pytest
+
+from repro.study import (
+    APPS,
+    CATALOG,
+    EXTRACTORS,
+    AppSpec,
+    Study,
+    StudyError,
+    apply_extract,
+    get_study,
+    register_app,
+    register_extractor,
+    run_study,
+)
+
+
+@pytest.mark.parametrize("name", sorted(CATALOG))
+def test_catalog_studies_compile_and_roundtrip(name):
+    study = get_study(name, points=[4, 8])
+    jobs = study.jobs()
+    assert jobs, name
+    assert all(j["app"] in APPS for j in jobs)
+    restored = Study.from_json(json.loads(json.dumps(study.to_json())))
+    assert restored.jobs() == jobs
+
+
+def test_catalog_default_points_honour_repro_points(monkeypatch):
+    monkeypatch.setenv("REPRO_POINTS", "16,64")
+    assert sorted({j["x"] for j in get_study("fig7").jobs()}) == [16, 64]
+
+
+def test_get_study_unknown_name():
+    with pytest.raises(StudyError, match="catalog"):
+        get_study("fig99")
+
+
+def test_fig5_series_layout():
+    study = get_study("fig5", points=[4])
+    assert study.labels() == [
+        "Reference",
+        "Decoupling (a=0.125)",
+        "Decoupling (a=0.0625)",
+        "Decoupling (a=0.03125)",
+    ]
+
+
+def test_placement_study_modes_and_meta():
+    jobs = get_study("placement", points=[4]).jobs()
+    assert [j["series"] for j in jobs] == [
+        "Decoupling (colocated)", "Decoupling (partitioned)"]
+    for j in jobs:
+        assert j["machine"]["topology"]["kind"] == "fat_tree"
+        assert j["machine"]["placement"]["from_plan"] is True
+        assert j["meta"] == {"topology": "fat_tree", "alpha": 0.0625}
+    assert jobs[0]["machine"]["placement"]["policy"] == "colocated"
+    assert jobs[1]["machine"]["placement"]["policy"] == "partitioned"
+
+
+def test_fig8_reference_args_thread_through():
+    jobs = get_study("fig8", points=[4]).jobs()
+    by_label = {j["series"]: j for j in jobs}
+    assert by_label["RefColl"]["args"] == [True]
+    assert by_label["RefShared"]["args"] == [False]
+    assert by_label["Decoupling"]["extract"] == "pio_visible"
+
+
+def test_extractor_scale_and_errors():
+    class R:
+        values = [{"elapsed": 2.0, "role": "mover"},
+                  {"elapsed": 5.0, "role": "master"}]
+
+    assert apply_extract("max_elapsed", R) == 5.0
+    assert apply_extract({"name": "max_elapsed", "scale": 3.0}, R) == 15.0
+    assert apply_extract({"name": "max_field", "field": "elapsed",
+                          "role": "mover"}, R) == 2.0
+    with pytest.raises(StudyError, match="role"):
+        apply_extract({"name": "max_field", "field": "elapsed",
+                       "role": "banana"}, R)
+    with pytest.raises(StudyError, match="unknown extractor"):
+        apply_extract("p99_elapsed", R)
+
+
+def test_registries_are_extensible():
+    def toy_worker(comm, cfg):
+        yield from comm.compute(cfg.seconds)
+        return {"elapsed": comm.time}
+
+    class ToyConfig:
+        def __init__(self, nprocs, seconds=0.001):
+            self.nprocs = nprocs
+            self.seconds = seconds
+
+    register_app(AppSpec("toy.sleep", toy_worker, ToyConfig, "test app"))
+    register_extractor("toy_sum",
+                       lambda r: sum(v["elapsed"] for v in r.values))
+    try:
+        study = (Study("toy").axis("nprocs", [2, 3])
+                 .cell("Toy", app="toy.sleep", extract="toy_sum"))
+        rs = run_study(study)
+        assert rs.series("Toy").value(3) > rs.series("Toy").value(2) > 0
+    finally:
+        APPS.pop("toy.sleep", None)
+        EXTRACTORS.pop("toy_sum", None)
+
+
+def test_partial_machine_overrides_merge_over_the_preset():
+    """Binding one noise/topology knob must keep the preset's other
+    values — a quiet machine stays quiet when only the seed moves."""
+    from repro.study.registry import build_machine, get_app
+    from repro.simmpi.config import quiet_testbed
+
+    app = get_app("mapreduce.reference")
+    from repro.apps.mapreduce import MapReduceConfig
+    cfg = MapReduceConfig(nprocs=4)
+
+    machine = build_machine({"preset": "quiet", "noise": {"seed": 7}},
+                            app, cfg)
+    quiet = quiet_testbed().noise
+    assert machine.noise.seed == 7
+    assert machine.noise.persistent_skew == quiet.persistent_skew == 0.0
+    assert machine.noise.quantum_fraction == quiet.quantum_fraction == 0.0
+
+    machine = build_machine(
+        {"preset": "beskow", "topology": {"kind": "fat_tree"}}, app, cfg)
+    assert machine.topology.kind == "fat_tree"
+
+
+def test_figures_module_routes_through_catalog():
+    """The figure functions and the raw studies are the same experiment."""
+    from repro.bench.figures import fig7_pcomm
+
+    via_figures = fig7_pcomm([4])
+    via_study = run_study(get_study("fig7", points=[4])).to_series()
+    assert [(s.label, s.points) for s in via_figures] == \
+        [(s.label, s.points) for s in via_study]

@@ -17,10 +17,12 @@ MODULES = [
     "repro.apps.cg",
     "repro.apps.ipic3d",
     "repro.bench",
+    "repro.study",
 ]
 
 #: layers that publish an export list (incl. the submodules that carry
-#: their own ``__all__`` — the placement/fabric subsystem)
+#: their own ``__all__`` — the placement/fabric subsystem and the
+#: study subsystem)
 EXPORTING_MODULES = [
     "repro.simmpi",
     "repro.simmpi.fabrics",
@@ -34,6 +36,13 @@ EXPORTING_MODULES = [
     "repro.apps.cg",
     "repro.apps.ipic3d",
     "repro.bench",
+    "repro.study",
+    "repro.study.cache",
+    "repro.study.catalog",
+    "repro.study.registry",
+    "repro.study.results",
+    "repro.study.runner",
+    "repro.study.study",
 ]
 
 
@@ -74,6 +83,17 @@ def test_api_exports():
     for name in ("Simulation", "StreamGraph", "Report", "GraphError",
                  "StageContext", "ProducerHandle", "ConsumerHandle"):
         assert hasattr(m, name), name
+
+
+def test_study_exports():
+    import repro.study as m
+    for name in ("Study", "StudyError", "ResultSet", "run_study",
+                 "get_study", "register_app", "register_extractor",
+                 "job_key", "code_version"):
+        assert hasattr(m, name), name
+    # every figure the CLI names is in the study catalog
+    from repro.bench.cli import SWEEP_FIGURES
+    assert set(SWEEP_FIGURES) == set(m.CATALOG)
 
 
 def test_version():
