@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Fault injection & recovery: crash a helper rank, keep the pipeline.
+
+The decoupling strategy's resilience claim, measured: a compute stage
+streams elements into a small checkpointed helper stage; a
+:class:`repro.faults.FaultPlan` kills one helper mid-stream.  The
+failure is detected (ULFM-style), the surviving helper adopts the dead
+rank's producers, restores the last checkpoint (costed through the
+filesystem model) and the producers replay every un-acked element — the
+run completes, deterministically.
+
+Run:  python examples/fault_recovery.py
+"""
+
+from repro.api import Simulation, StreamGraph
+from repro.faults import Checkpoint, FaultPlan, RankCrash
+
+NPROCS = 16
+ELEMENTS = 200
+CRASH_AT = 0.012          # virtual seconds, mid-stream
+
+
+def compute_body(ctx):
+    """Producers: compute a slice, stream the result, repeat."""
+    with ctx.producer("results") as out:
+        for i in range(ELEMENTS):
+            yield from ctx.compute(1.5e-4, label="slice")
+            yield from out.send((ctx.comm.rank, i))
+
+
+def absorb(element):
+    """Helper-side operator (per element, on arrival)."""
+
+
+graph = (
+    StreamGraph("fault-recovery")
+    .stage("compute", fraction=14 / 16, body=compute_body)
+    .stage("helper", fraction=2 / 16)
+    .flow("results", src="compute", dst="helper", operator=absorb,
+          # snapshot helper state every 16 elements; producers buffer
+          # un-acked elements for replay
+          checkpoint=Checkpoint(interval=16, state_nbytes=1 << 18))
+)
+
+
+def main():
+    baseline = Simulation(NPROCS, machine="beskow").run(graph)
+
+    faults = FaultPlan([RankCrash(CRASH_AT, rank=-1)])  # the last helper
+    report = Simulation(NPROCS, machine="beskow", faults=faults).run(graph)
+
+    print(f"fault-free makespan:     {baseline.elapsed * 1e3:8.2f} ms")
+    print(f"crash+recover makespan:  {report.elapsed * 1e3:8.2f} ms")
+    print(f"failed ranks:            {report.failed_ranks}")
+    survivor = report.flow_profiles("results")[NPROCS - 2]
+    print(f"survivor recoveries:     {survivor.recoveries}")
+    print(f"adopted producers:       {survivor.adopted_producers}")
+    replayed = sum(p.replayed_elements
+                   for p in report.flow_profiles("results").values())
+    print(f"elements replayed:       {replayed}")
+    assert report.failed_ranks == {NPROCS - 1: CRASH_AT}
+    assert survivor.recoveries == 1 and replayed > 0
+    print("recovered: every surviving stage completed, no deadlock")
+
+
+if __name__ == "__main__":
+    main()

@@ -82,6 +82,8 @@ class FlowDef:
     window: int = DEFAULT_WINDOW
     element_overhead: float = DEFAULT_ELEMENT_OVERHEAD
     eager: bool = False
+    #: optional repro.faults.Checkpoint enabling stream-level recovery
+    checkpoint: Optional[Any] = None
 
     @property
     def has_operator(self) -> bool:
@@ -140,14 +142,16 @@ class StreamGraph:
              router: Optional[Callable] = None,
              window: int = DEFAULT_WINDOW,
              element_overhead: float = DEFAULT_ELEMENT_OVERHEAD,
-             eager: bool = False) -> "StreamGraph":
+             eager: bool = False,
+             checkpoint: Optional[Any] = None) -> "StreamGraph":
         """Declare a flow from stage ``src`` to stage ``dst``.
 
         ``operator`` is applied per element on the consumer — pass a
         callable (shared), a class, or ``operator_factory`` for a fresh
         stateful instance per consumer rank.  ``router``, ``window``,
-        ``element_overhead`` and ``eager`` forward to
-        :func:`~repro.mpistream.stream.attach`.
+        ``element_overhead``, ``eager`` and ``checkpoint`` (a
+        :class:`~repro.faults.plan.Checkpoint` enabling stream-level
+        recovery) forward to :func:`~repro.mpistream.stream.attach`.
         """
         if any(f.name == name for f in self._flows):
             raise GraphError(f"duplicate flow {name!r}")
@@ -168,10 +172,21 @@ class StreamGraph:
         if element_overhead < 0:
             raise GraphError(
                 f"flow {name!r}: element_overhead must be >= 0")
+        if checkpoint is not None:
+            if router is not None:
+                raise GraphError(
+                    f"flow {name!r}: checkpoint recovery needs static "
+                    "blocked routing (drop the router)")
+            try:
+                checkpoint.validate()
+            except (AttributeError, ValueError) as exc:
+                raise GraphError(
+                    f"flow {name!r}: bad checkpoint policy: {exc}") from exc
         self._flows.append(FlowDef(
             name, src, dst, operator=operator,
             operator_factory=operator_factory, router=router,
-            window=window, element_overhead=element_overhead, eager=eager))
+            window=window, element_overhead=element_overhead, eager=eager,
+            checkpoint=checkpoint))
         return self
 
     # ------------------------------------------------------------------
@@ -295,14 +310,14 @@ class CompiledGraph:
                         gctx.channel(flow.name), None,
                         element_overhead=flow.element_overhead,
                         window=flow.window, router=flow.router,
-                        eager=flow.eager)
+                        eager=flow.eager, checkpoint=flow.checkpoint)
                     handles[flow.name] = ProducerHandle(flow.name, stream)
                 elif stage.name == flow.dst:
                     stream = yield from attach(
                         gctx.channel(flow.name), flow.make_operator(),
                         element_overhead=flow.element_overhead,
                         window=flow.window, router=flow.router,
-                        eager=flow.eager)
+                        eager=flow.eager, checkpoint=flow.checkpoint)
                     handles[flow.name] = ConsumerHandle(
                         flow.name, stream, stream.operator)
 

@@ -78,10 +78,21 @@ class Report:
 
     @property
     def values(self) -> List[Any]:
-        """Per-rank body results (stage records unwrapped)."""
+        """Per-rank body results (stage records unwrapped); crashed
+        ranks (fault-injection runs) report ``None``."""
         if self.records is not None:
-            return [r.result for r in self.records]
+            return [r.result if r is not None else None
+                    for r in self.records]
         return self.sim.values
+
+    @property
+    def failed_ranks(self) -> Dict[int, float]:
+        """``{rank: crash_time}`` for ranks killed by fault injection
+        (empty on fault-free runs)."""
+        summary = self.sim.extras.get("faults")
+        if not summary:
+            return {}
+        return dict(summary.get("failed", {}))
 
     # ------------------------------------------------------------------
     # stage / flow queries (graph runs)
@@ -95,26 +106,34 @@ class Report:
 
     def stage_of(self, rank: int) -> str:
         records = self._require_records()
-        return records[rank].stage
+        rec = records[rank]
+        if rec is None:
+            if self.plan is not None:
+                return self.plan.group_of(rank)
+            raise GraphError(f"rank {rank} crashed; no stage record")
+        return rec.stage
 
     def stage_ranks(self, stage: str) -> List[int]:
+        """Surviving ranks of ``stage`` (crashed ranks report nothing)."""
         records = self._require_records()
-        out = [r for r, rec in enumerate(records) if rec.stage == stage]
+        out = [r for r, rec in enumerate(records)
+               if rec is not None and rec.stage == stage]
         if not out:
             raise GraphError(f"unknown stage {stage!r}")
         return out
 
     def stage_values(self, stage: str) -> List[Any]:
-        """Body results of every rank in ``stage``, in rank order."""
+        """Body results of every surviving rank in ``stage``."""
         records = self._require_records()
         return [records[r].result for r in self.stage_ranks(stage)]
 
     def flow_profiles(self, flow: str) -> Dict[int, StreamProfile]:
-        """``{world_rank: StreamProfile}`` for every rank touching
-        ``flow`` (producers and consumers)."""
+        """``{world_rank: StreamProfile}`` for every surviving rank
+        touching ``flow`` (producers and consumers)."""
         records = self._require_records()
         out = {r: rec.profiles[flow]
-               for r, rec in enumerate(records) if flow in rec.profiles}
+               for r, rec in enumerate(records)
+               if rec is not None and flow in rec.profiles}
         if not out:
             raise GraphError(f"unknown flow {flow!r}")
         return out

@@ -110,6 +110,7 @@ class Simulation:
                  noise: Union[None, bool, int, NoiseConfig] = None,
                  topology: Union[None, str, TopologyConfig] = None,
                  placement: Union[None, str, PlacementPolicy] = None,
+                 faults=None,
                  max_events: Optional[int] = None):
         """
         Parameters
@@ -137,12 +138,23 @@ class Simulation:
             when running a :class:`StreamGraph` — ``"colocated"`` /
             ``"partitioned"``, which are built from the compiled
             plan's group blocks automatically.
+        faults:
+            Deterministic fault injection: a :class:`~repro.faults.
+            plan.FaultPlan` or its JSON dict (None = fault-free).
+            Crash ranks may be negative (``-1`` = last rank).
         max_events:
             Safety budget on engine events (livelock guard).
         """
         if nprocs <= 0:
             raise GraphError("nprocs must be positive")
         self.nprocs = nprocs
+        if faults is not None:
+            from ..faults.plan import FaultError, resolve_faults
+            try:
+                faults = resolve_faults(faults)
+            except FaultError as exc:
+                raise GraphError(str(exc)) from exc
+        self.faults = faults
         machine_cfg = _resolve_machine(machine, noise)
         if topology is not None:
             try:
@@ -201,7 +213,8 @@ class Simulation:
             machine = machine.with_(placement=plan_placement(
                 self._plan_placement, compiled.plan))
         sim = run(main, self.nprocs, machine=machine,
-                  trace=self.trace, max_events=self.max_events)
+                  trace=self.trace, max_events=self.max_events,
+                  faults=self.faults)
         return Report(sim=sim, plan=compiled.plan,
                       records=list(sim.values))
 
@@ -214,7 +227,7 @@ class Simulation:
                 "PlacementPolicy (e.g. ColocatedPlacement(groups))")
         sim = run(fn, self.nprocs, machine=self.machine, args=args,
                   rank_args=rank_args, trace=self.trace,
-                  max_events=self.max_events)
+                  max_events=self.max_events, faults=self.faults)
         return Report(sim=sim)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -10,6 +10,7 @@ from .figures import (
     fig7_pcomm,
     fig8_pio,
     fig_placement,
+    fig_recovery,
 )
 from .harness import (
     DEFAULT_POINTS,
@@ -18,7 +19,6 @@ from .harness import (
     render_table,
     save_artifact,
     scale_points,
-    sweep,
 )
 from .perf import (
     SCENARIOS as PERF_SCENARIOS,
@@ -33,7 +33,7 @@ from .perf import (
 __all__ = [
     "DEFAULT_POINTS", "PERF_SCENARIOS", "PerfError", "PerfRecord", "Series",
     "check_golden", "fig2_traces", "fig3_execution_models", "fig5_mapreduce",
-    "fig6_cg", "fig7_pcomm", "fig8_pio", "fig_placement", "max_elapsed",
-    "render_table", "run_scenario", "run_suite", "save_artifact",
-    "scale_points", "sweep", "verify_against_oracle",
+    "fig6_cg", "fig7_pcomm", "fig8_pio", "fig_placement", "fig_recovery",
+    "max_elapsed", "render_table", "run_scenario", "run_suite",
+    "save_artifact", "scale_points", "verify_against_oracle",
 ]

@@ -32,7 +32,7 @@ import os
 import sys
 from typing import List, Optional
 
-from .figures import fig2_traces, fig3_execution_models
+from .figures import fig2_traces, fig3_execution_models, fig_recovery
 from .harness import (
     DEFAULT_POINTS,
     Series,
@@ -48,8 +48,9 @@ SWEEP_FIGURES = {
     "fig7": "Fig. 7 - particle communication (s)",
     "fig8": "Fig. 8 - particle I/O (s)",
     "placement": "Placement - colocated vs partitioned on a fat-tree (s)",
+    "recovery": "Recovery - helper crash + replay vs fault-free (s)",
 }
-ALL_FIGURES = ("fig2", "fig3") + tuple(SWEEP_FIGURES)
+ALL_FIGURES = ("fig2", "fig3", "fig_recovery") + tuple(SWEEP_FIGURES)
 
 
 def _parse_points(text: Optional[str]) -> List[int]:
@@ -85,6 +86,23 @@ def run_figure(name: str, points: List[int],
         save_artifact("fig3_models",
                       [Series(k, points={0: v}) for k, v in out.items()],
                       out_dir=out_dir)
+        return
+    if name == "fig_recovery":
+        out = fig_recovery()
+        print("Recovery - checkpoint overhead vs interval (extra s, "
+              "fault-free):")
+        for s in out["overhead"]:
+            row = ", ".join(f"{k}: {v:.4f}" for k, v in
+                            sorted(s.points.items()))
+            print(f"  {s.label:>16}: {row}")
+        print("Recovery - time-to-recover vs crash time (extra s over "
+              "checkpointed fault-free; keys are crash ms):")
+        for s in out["recover"]:
+            row = ", ".join(f"{k}ms: {v:.4f}" for k, v in
+                            sorted(s.points.items()))
+            print(f"  {s.label:>16}: {row}")
+        save_artifact("fig_recovery",
+                      out["overhead"] + out["recover"], out_dir=out_dir)
         return
     # a sweep figure: run its study-catalog declaration
     from ..study import get_study, run_study

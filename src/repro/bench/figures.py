@@ -105,6 +105,71 @@ def fig8_pio(points: List[int], sim_steps: int = 8) -> List[Series]:
 
 
 # ----------------------------------------------------------------------
+# Recovery figure — the Daly-style checkpoint trade-off (repro.faults)
+# ----------------------------------------------------------------------
+
+def fig_recovery(nprocs: int = 32,
+                 intervals: Tuple[int, ...] = (8, 32, 128, 512),
+                 crash_fractions: Tuple[float, ...] = (0.2, 0.4, 0.6, 0.8),
+                 recover_interval: int = 32) -> Dict[str, List[Series]]:
+    """Checkpointed stream recovery on the CG and pcomm funnels.
+
+    Two classic trade-off curves per app:
+
+    * **overhead vs checkpoint interval** — fault-free runs; the y-value
+      is the elapsed-time overhead (seconds) over an un-checkpointed
+      baseline.  Short intervals pay snapshot + ack cost constantly.
+    * **time-to-recover vs crash time** — the helper group's tail rank
+      crashes at a fraction of the fault-free makespan; the y-value is
+      the extra elapsed time over the checkpointed fault-free run.
+      Replay is bounded by the interval, but the survivors carry the
+      dead rank's remaining load — later crashes leave less to carry.
+
+    Series are keyed by checkpoint interval (elements) and crash time
+    (milliseconds) respectively.
+    """
+    from ..faults.apps import (
+        CGHaloRecoveryConfig,
+        PcommRecoveryConfig,
+        cg_halo_recovery,
+        pcomm_recovery,
+    )
+    from ..simmpi.launcher import run
+
+    overhead_series: List[Series] = []
+    recover_series: List[Series] = []
+    for label, worker, cfg_cls in (
+            ("CG halo", cg_halo_recovery, CGHaloRecoveryConfig),
+            ("pcomm", pcomm_recovery, PcommRecoveryConfig)):
+        def elapsed(cfg, faults=None):
+            return run(worker, nprocs, args=(cfg,), machine=beskow(),
+                       faults=faults).elapsed
+
+        base = elapsed(cfg_cls(nprocs=nprocs, checkpoint_interval=0))
+        overhead = Series(f"{label} overhead",
+                          meta={"baseline_s": base, "nprocs": nprocs})
+        for interval in intervals:
+            overhead.points[interval] = elapsed(
+                cfg_cls(nprocs=nprocs, checkpoint_interval=interval)) - base
+        overhead_series.append(overhead)
+
+        cfg = cfg_cls(nprocs=nprocs, checkpoint_interval=recover_interval)
+        fault_free = elapsed(cfg)
+        recover = Series(f"{label} recover",
+                         meta={"fault_free_s": fault_free,
+                               "interval": recover_interval,
+                               "nprocs": nprocs})
+        for frac in crash_fractions:
+            t_crash = fault_free * frac
+            faults = {"events": [
+                {"kind": "crash", "time": t_crash, "rank": -1}]}
+            recover.points[round(t_crash * 1000)] = \
+                elapsed(cfg, faults=faults) - fault_free
+        recover_series.append(recover)
+    return {"overhead": overhead_series, "recover": recover_series}
+
+
+# ----------------------------------------------------------------------
 # Fig. 2 — execution traces of iPIC3D, reference vs decoupled
 # ----------------------------------------------------------------------
 

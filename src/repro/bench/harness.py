@@ -1,4 +1,4 @@
-"""Experiment harness: series, tables, artifacts (and the sweep shim).
+"""Experiment harness: series, tables, artifacts.
 
 The benchmark files under ``benchmarks/`` are thin: they call a figure
 function from :mod:`repro.bench.figures`, print the same rows the paper
@@ -7,21 +7,20 @@ plots, persist a JSON artifact, and assert the *shape* claims
 
 Experiment *execution* lives in :mod:`repro.study` since the study
 redesign: figures are :class:`~repro.study.study.Study` declarations
-run by :func:`~repro.study.runner.run_study` (parallel, cached).  This
-module keeps the presentation pieces — :class:`Series`, tables,
-artifacts — plus :func:`sweep`, a deprecated forwarding shim for
-imperative callers.
+run by :func:`~repro.study.runner.run_study` (parallel, cached); for
+one-off callables that are not registry apps,
+:func:`repro.study.sweep_callable` is the imperative escape hatch.
+This module keeps the presentation pieces — :class:`Series`, tables,
+artifacts.  (The deprecated ``sweep`` / ``Series.ratio_to`` shims were
+removed one PR cycle after their deprecation.)
 """
 
 from __future__ import annotations
 
 import json
 import os
-import warnings
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
-
-from ..simmpi.config import MachineConfig
+from typing import Any, Callable, Dict, List, Optional
 
 #: the paper's x-axis is 32..8192 doubling; we sweep the same range with
 #: x4 steps to keep the full suite tractable (shape is preserved)
@@ -64,39 +63,6 @@ class Series:
         ``P=p``: ``other / self`` (> 1 means this one is faster —
         y-values are execution times, so smaller wins)."""
         return other.value(p) / self.value(p)
-
-    def ratio_to(self, other: "Series", p: int) -> float:
-        """.. deprecated:: study redesign
-           The name reads as ``self/other`` but it always computed
-           ``other/self``; call :meth:`speedup_over`, which says what
-           it means."""
-        warnings.warn(
-            "Series.ratio_to computes other/self, which reads backwards "
-            "from its name; use Series.speedup_over (same value, honest "
-            "name)", DeprecationWarning, stacklevel=2)
-        return self.speedup_over(other, p)
-
-
-def sweep(worker: Callable, cfg_factory: Callable[[int], Any],
-          points: Sequence[int], machine_factory: Callable[[], MachineConfig],
-          extract: Callable[[Any], float], label: str,
-          extra_args: tuple = ()) -> Series:
-    """Run ``worker`` at every process count; extract one scalar each.
-
-    .. deprecated:: study redesign
-       Declare a :class:`repro.study.Study` (parallel, cached,
-       serializable) instead; for one-off callables that are not
-       registry apps, :func:`repro.study.sweep_callable` is the direct
-       replacement.  This shim forwards there and will go away.
-    """
-    warnings.warn(
-        "repro.bench.harness.sweep is deprecated: declare a "
-        "repro.study.Study (parallel + cached), or call "
-        "repro.study.sweep_callable for one-off callables",
-        DeprecationWarning, stacklevel=2)
-    from ..study.runner import sweep_callable
-    return sweep_callable(worker, cfg_factory, points, machine_factory,
-                          extract, label, extra_args=extra_args)
 
 
 def max_elapsed(result) -> float:

@@ -78,8 +78,13 @@ class Scenario:
     #: and keeps the scenario's own fabric (the seed OracleNetwork is
     #: flat-only, so topology scenarios pin the engine/matching layers
     #: instead — the same oracle-equivalence discipline, minus the
-    #: network leg that cannot exist)
+    #: network leg that cannot exist); "none" skips the oracle leg
+    #: entirely (fault-injection scenarios need the fast-path engine's
+    #: kill/poison primitives, which the seed engine predates — the
+    #: committed golden digest is their regression gate instead)
     slow_path: str = "full"
+    #: optional fault plan (JSON dict) handed to run(faults=)
+    faults: Optional[Dict[str, Any]] = None
 
 
 def _quickstart_build():
@@ -180,6 +185,24 @@ def _fabric_contention_build():
     return main, (), machine
 
 
+def _fault_recovery_build():
+    """A 64-rank CG-shaped funnel whose helper-group tail rank crashes
+    mid-stream: failure detection, poison sweep, successor adoption,
+    checkpoint restore and un-acked replay all sit on the measured
+    path.  The committed golden digest pins the recovered virtual-time
+    results — recovery drift fails CI exactly like timing drift."""
+    from ..faults.apps import CGHaloRecoveryConfig, cg_halo_recovery
+    cfg = CGHaloRecoveryConfig(nprocs=64, checkpoint_interval=16)
+    return cg_halo_recovery, (cfg,), _quiet_beskow()
+
+
+#: the fault-recovery scenario's plan: crash the last rank (helper
+#: tail) at ~40% of the fault-free makespan
+_FAULT_RECOVERY_PLAN = {
+    "events": [{"kind": "crash", "time": 0.02, "rank": -1}],
+}
+
+
 SCENARIOS: Dict[str, Scenario] = {
     s.name: s for s in (
         Scenario("quickstart", "compute->analyze stream graph, 16 ranks",
@@ -204,13 +227,18 @@ SCENARIOS: Dict[str, Scenario] = {
                  "incast over tapered fat-tree uplinks, 64 ranks",
                  64, _fabric_contention_build,
                  slow_path="core"),
+        Scenario("fault-recovery",
+                 "helper crash + checkpoint replay on a 64-rank funnel",
+                 64, _fault_recovery_build,
+                 slow_path="none", faults=_FAULT_RECOVERY_PLAN),
     )
 }
 
 #: scenarios the default `bench perf` run covers (fig5-4096 is opt-in:
 #: its slow-path leg alone runs for minutes)
 DEFAULT_SCENARIOS = ("quickstart", "fig5-256", "fig5-1024", "fig7-pcomm",
-                     "fig5-placement", "fig5-colocated", "fabric-contention")
+                     "fig5-placement", "fig5-colocated", "fabric-contention",
+                     "fault-recovery")
 
 
 # ----------------------------------------------------------------------
@@ -249,6 +277,10 @@ def _slow_path_kwargs(scenario: Scenario) -> Dict[str, Any]:
         kwargs = dict(SLOW_PATH)
         kwargs.pop("network_factory")
         return kwargs
+    if scenario.slow_path == "none":
+        raise PerfError(
+            f"scenario {scenario.name!r} has no oracle leg (slow_path="
+            "'none'); its golden digest is the regression gate")
     raise PerfError(
         f"scenario {scenario.name!r} has unknown slow_path "
         f"{scenario.slow_path!r}")
@@ -259,10 +291,12 @@ def _clear_memos() -> None:
     memoization must never flatter the second leg of a comparison."""
     from ..apps.mapreduce import common as mr_common
     from ..apps.mapreduce import decoupled as mr_decoupled
+    from ..faults import apps as fault_apps
     from ..simmpi import topology
     mr_common._rank_file_memo.clear()
     mr_common._chunk_sketch_memo.clear()
     mr_decoupled._compiled_memo.clear()
+    fault_apps._compiled_memo.clear()
     topology._best_dims.cache_clear()
     topology._divisors.cache_clear()
 
@@ -312,6 +346,8 @@ def run_scenario(name: str, variant: str = "fast",
         raise PerfError(f"unknown variant {variant!r}")
     fn, args, machine = scenario.build()
     kwargs = _slow_path_kwargs(scenario) if variant == "oracle" else {}
+    if scenario.faults is not None:
+        kwargs["faults"] = scenario.faults
     wall = None
     last_digest = None
     for _ in range(max(1, repeats)):
@@ -509,7 +545,7 @@ def run_suite(names: Optional[List[str]] = None,
         payload["before_meta"] = compare.get("meta", {})
     for name in names:
         entry: Dict[str, Any] = {}
-        if check_oracle:
+        if check_oracle and SCENARIOS[name].slow_path != "none":
             fast, oracle = verify_against_oracle(name, repeats=repeats,
                                                  isolate=True)
             entry["fast"] = fast.to_json()

@@ -1,0 +1,323 @@
+"""Deterministic fault injection against a running simulation.
+
+The :class:`FaultController` is installed by the launcher when a run
+carries a :class:`~repro.faults.plan.FaultPlan`.  It owns the whole
+crash lifecycle (see DESIGN.md §12):
+
+1. **Crash** — at the event's virtual time the rank's process is killed
+   through the engine's :meth:`~repro.simmpi.engine.Engine.kill`
+   primitive: the generator closes, the done flag records the crash
+   time, the heap keeps draining.
+2. **Detection** — ``detection_latency`` later the failure becomes
+   *known* (modeling an asynchronous ULFM-style failure detector).  The
+   controller then resolves every operation the crash doomed:
+
+   * rendezvous headers parked in the dead rank's mailbox poison their
+     sender requests (the sender wakes with
+     :class:`~repro.simmpi.errors.ProcessFailedError`);
+   * posted receives of surviving members of every communicator the
+     dead rank belonged to are cancelled — exact receives from the dead
+     rank *and* wildcard receives (ULFM's ``PROC_FAILED_PENDING``),
+     which keep raising on re-post until the communicator calls
+     :meth:`~repro.simmpi.comm.Comm.failure_ack`;
+   * new sends to the dead rank raise
+     :class:`~repro.simmpi.errors.RevokedError` immediately.
+
+Everything is edge-triggered at fixed virtual times over deterministic
+structures (communicators in registration order, mailboxes by rank), so
+a faulted run replays bit-identically for a fixed (seed, plan).
+
+:class:`FaultyNetwork` implements :class:`~repro.faults.plan.
+LinkDegrade` on the flat fabric: transfers injected inside a degradation
+window between the two nodes run at ``bandwidth / bw_factor``.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..simmpi.config import MachineConfig
+from ..simmpi.errors import FaultSignal, ProcessFailedError, RevokedError
+from ..simmpi.matching import ANY_SOURCE
+from ..simmpi.network import Network, TransferTiming
+from .plan import FaultError, FaultPlan
+
+__all__ = ["FaultController", "FaultyNetwork"]
+
+
+class FaultController:
+    """Schedules a plan's events and resolves what a crash dooms."""
+
+    def __init__(self, engine, world, plan: FaultPlan):
+        self.engine = engine
+        self.world = world
+        self.plan = plan
+        #: global rank -> crash time (set the instant the rank dies)
+        self.failed: Dict[int, float] = {}
+        #: global rank -> detection time (set when survivors learn)
+        self.detected: Dict[int, float] = {}
+        #: detection epoch; bumps once per detected failure so
+        #: communicators and streams can poll for news cheaply
+        self.version = 0
+        self.has_slowdowns = bool(plan.slowdowns)
+        self._windows: Dict[int, List[Tuple[float, float, float]]] = {}
+        for ev in plan.slowdowns:
+            self._windows.setdefault(ev.rank, []).append(
+                (ev.t0, ev.t1, ev.factor))
+        for windows in self._windows.values():
+            windows.sort()
+        self._contexts: Dict[int, Tuple[Tuple[int, ...], Tuple[int, int]]] = {}
+        #: context ids of revoked communicators (ULFM MPI_Comm_revoke)
+        self.revoked: set = set()
+        #: (channel context, stream tag) -> local ranks of producers
+        #: that have terminated that stream.  Stands in for the ack/
+        #: checkpoint metadata a real recovery protocol persists: the
+        #: successor must not wait for a TERM a producer already sent
+        #: to the dead consumer (it would never be re-sent).
+        self.stream_terms: Dict[Tuple[int, int], set] = {}
+        self._handles = None
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def register_comm(self, comm) -> None:
+        """Record a communicator's membership for the detection sweep
+        (called from ``Comm.__init__`` on fault-mode runs; the first
+        member instance wins, they are identical by construction)."""
+        if comm.context not in self._contexts:
+            self._contexts[comm.context] = (
+                comm.ranks, (comm.context, comm.context_coll))
+
+    def note_stream_terminated(self, context: int, tag: int,
+                               producer_local: int) -> None:
+        """A producer finished terminating stream ``tag`` on channel
+        ``context`` (recorded by the stream's fault-mode terminate)."""
+        self.stream_terms.setdefault((context, tag), set()).add(
+            producer_local)
+
+    def terminated_producers(self, context: int, tag: int) -> set:
+        return self.stream_terms.get((context, tag), set())
+
+    def install(self, handles) -> None:
+        """Schedule every planned event (called once by the launcher,
+        after the rank processes are spawned)."""
+        self._handles = handles
+        for ev in self.plan.crashes:
+            self.engine.call_at(ev.time, partial(self._crash, ev.rank))
+
+    # ------------------------------------------------------------------
+    # the crash lifecycle
+    # ------------------------------------------------------------------
+    def _crash(self, rank: int) -> None:
+        now = self.engine.now
+        self.failed[rank] = now
+        self.engine.kill(
+            self._handles[rank],
+            ProcessFailedError(f"rank {rank} crashed at t={now:.6g}",
+                               rank=rank))
+        self.engine.call_after(self.plan.detection_latency,
+                               partial(self._detect, rank))
+
+    def _detect(self, rank: int) -> None:
+        now = self.engine.now
+        self.detected[rank] = now
+        self.version += 1
+        exc = ProcessFailedError(
+            f"rank {rank} (global) failed at t={self.failed[rank]:.6g}, "
+            f"detected at t={now:.6g}", rank=rank)
+        engine = self.engine
+        mailboxes = self.world.mailboxes
+        # rendezvous senders parked in the dead rank's mailbox: their
+        # headers will never match, poison the sender requests
+        for env in mailboxes[rank].unexpected_envelopes():
+            sreq = getattr(env, "sender_req", None)
+            if sreq is not None and not sreq.is_set:
+                engine.set_flag(sreq, FaultSignal(exc))
+        # posted receives of surviving members in every communicator the
+        # dead rank belongs to: exact receives from it are doomed,
+        # wildcard receives are interrupted (PROC_FAILED_PENDING)
+        for key in sorted(self._contexts):
+            ranks, contexts = self._contexts[key]
+            if rank not in ranks:
+                continue
+            dead_local = ranks.index(rank)
+            for g in ranks:
+                if g == rank or g in self.failed:
+                    continue
+                victims = mailboxes[g].cancel_posted(contexts, dead_local)
+                for req in victims:
+                    engine.set_flag(req, FaultSignal(exc))
+
+    # ------------------------------------------------------------------
+    # communicator revocation (ULFM MPI_Comm_revoke)
+    # ------------------------------------------------------------------
+    def revoke(self, comm, contexts: Optional[Tuple[int, ...]] = None
+               ) -> None:
+        """Revoke ``comm``: every pending receive of every surviving
+        member resolves to :class:`RevokedError`, and new operations on
+        its contexts fail immediately — the survivors' tool for breaking
+        out of a collective a failure left half-completed.
+
+        ``contexts`` restricts the revocation (the channel-teardown
+        degrade revokes only the *collective* context, so in-flight
+        stream traffic on the p2p context keeps flowing)."""
+        if contexts is None:
+            contexts = (comm.context, comm.context_coll)
+        todo = tuple(c for c in contexts if c not in self.revoked)
+        if not todo:
+            return
+        self.revoked.update(todo)
+        self.version += 1
+        exc = RevokedError(
+            f"communicator {comm.name!r} revoked", rank=comm.rank)
+        engine = self.engine
+        mailboxes = self.world.mailboxes
+        for g in comm.ranks:
+            if g in self.failed:
+                continue
+            for req in mailboxes[g].cancel_posted(todo, None):
+                engine.set_flag(req, FaultSignal(exc))
+
+    # ------------------------------------------------------------------
+    # gates the transport consults (fault-mode runs only)
+    # ------------------------------------------------------------------
+    def check_send(self, gdst: int, context: int) -> None:
+        if context in self.revoked:
+            raise RevokedError(
+                f"send on a revoked communicator (context {context})")
+        if gdst in self.detected:
+            raise RevokedError(
+                f"send to failed rank {gdst} (global), crashed at "
+                f"t={self.failed[gdst]:.6g}", rank=gdst)
+
+    def check_recv(self, comm, source: int) -> None:
+        if self.revoked and comm.context in self.revoked:
+            raise RevokedError(
+                f"receive on revoked communicator {comm.name!r}")
+        if not self.detected:
+            return
+        detected = self.detected
+        if source == ANY_SOURCE:
+            if comm._fault_acked >= self.version:
+                return
+            dead = [i for i, g in enumerate(comm.ranks) if g in detected]
+            if dead:
+                raise ProcessFailedError(
+                    f"wildcard receive on {comm.name!r} interrupted: "
+                    f"member rank(s) {dead} failed; call failure_ack() "
+                    "to continue receiving from the survivors",
+                    rank=dead[0])
+            comm._fault_acked = self.version
+            return
+        g = comm.ranks[source]
+        if g in detected:
+            raise ProcessFailedError(
+                f"receive from rank {source} on {comm.name!r}: peer "
+                f"(global rank {g}) failed at t={self.failed[g]:.6g}",
+                rank=source)
+
+    # ------------------------------------------------------------------
+    # straggler windows
+    # ------------------------------------------------------------------
+    def stretch(self, rank: int, start: float, duration: float) -> float:
+        """Wall duration of ``duration`` compute seconds starting at
+        ``start`` under the rank's slowdown windows (piecewise: the part
+        of the charge overlapping a window runs ``factor``x slower)."""
+        windows = self._windows.get(rank)
+        if not windows or duration <= 0:
+            return duration
+        remaining = duration     # nominal seconds still to burn
+        t = start
+        for t0, t1, factor in windows:
+            if remaining <= 0:
+                break
+            if t1 <= t:
+                continue
+            if t < t0:
+                gap = t0 - t
+                if remaining <= gap:
+                    t += remaining
+                    remaining = 0.0
+                    break
+                t = t0
+                remaining -= gap
+            span = t1 - t
+            need = remaining * factor
+            if need <= span:
+                t += need
+                remaining = 0.0
+                break
+            t = t1
+            remaining -= span / factor
+        if remaining > 0:
+            t += remaining
+        return t - start
+
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, Any]:
+        """What happened, for ``SimResult.extras["faults"]``."""
+        return {
+            "failed": dict(self.failed),
+            "detected": dict(self.detected),
+            "events": len(self.plan.events),
+            "detection_latency": self.plan.detection_latency,
+        }
+
+
+class FaultyNetwork(Network):
+    """The flat fabric with :class:`LinkDegrade` windows applied.
+
+    Transfers between the affected node pair whose injection falls
+    inside a window serialize at ``bandwidth / bw_factor``; everything
+    else takes the byte-identical parent path.
+    """
+
+    def __init__(self, config: MachineConfig, nranks: int, plan: FaultPlan):
+        super().__init__(config, nranks)
+        self._degraded: Dict[Tuple[int, int],
+                             List[Tuple[float, float, float]]] = {}
+        for ev in plan.link_events:
+            key = (min(ev.node_a, ev.node_b), max(ev.node_a, ev.node_b))
+            self._degraded.setdefault(key, []).append(
+                (ev.t0, ev.t1, ev.bw_factor))
+        for windows in self._degraded.values():
+            windows.sort()
+
+    def _bw_factor(self, node_s: int, node_d: int, when: float) -> float:
+        key = (node_s, node_d) if node_s < node_d else (node_d, node_s)
+        windows = self._degraded.get(key)
+        if windows:
+            for t0, t1, factor in windows:
+                if t0 <= when < t1:
+                    return factor
+        return 1.0
+
+    def transfer(self, src: int, dst: int, nbytes: int, ready: float
+                 ) -> TransferTiming:
+        if src < 0 or dst < 0:
+            raise ValueError(f"negative rank in transfer: {src}->{dst}")
+        if src >= self._size or dst >= self._size:
+            self._grow((src if src > dst else dst) + 1)
+        node = self._node
+        if src == dst or node[src] == node[dst]:
+            return Network.transfer(self, src, dst, nbytes, ready)
+        inject = self._tx_free[src]
+        if ready > inject:
+            inject = ready
+        factor = self._bw_factor(node[src], node[dst], inject)
+        if factor == 1.0:
+            return Network.transfer(self, src, dst, nbytes, ready)
+        latency, bandwidth = self._inter_link
+        serial = nbytes / (bandwidth / factor)
+        sender_free = inject + serial
+        self._tx_free[src] = sender_free
+        arrival = sender_free + latency
+        delivered = self._rx_free[dst]
+        if arrival > delivered:
+            delivered = arrival
+        delivered += serial
+        self._rx_free[dst] = delivered
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+        return TransferTiming(inject, sender_free, arrival, delivered)

@@ -1,0 +1,322 @@
+"""Declarative fault plans: typed events, JSON round-trip, validation.
+
+A :class:`FaultPlan` is *data*, exactly like a
+:class:`~repro.simmpi.config.MachineConfig`: a list of typed events plus
+the failure-detection latency, round-trippable through ``to_json()`` /
+``from_json()`` so :mod:`repro.study` job specs can carry fault
+scenarios to worker processes and hash them into cache keys.
+
+Three event kinds cover the failure families the decoupling argument
+cares about:
+
+:class:`RankCrash`
+    ``(time, rank)`` — the rank dies at ``time`` (fail-stop).  Its
+    process is killed, survivors' doomed operations resolve to
+    :class:`~repro.simmpi.errors.ProcessFailedError` /
+    :class:`~repro.simmpi.errors.RevokedError` once the failure is
+    *detected* (``detection_latency`` later), ULFM-style.  ``rank`` may
+    be negative (Python indexing: ``-1`` = last rank), so one plan
+    targets "the helper group's tail rank" across a process-count sweep.
+
+:class:`Slowdown`
+    ``(t0, t1, rank, factor)`` — a straggler window: the rank's compute
+    charges stretch by ``factor`` while they overlap ``[t0, t1)``,
+    composing multiplicatively with the
+    :class:`~repro.simmpi.noise.NoiseModel`'s inflation.
+
+:class:`LinkDegrade`
+    ``(t0, t1, node_a, node_b, bw_factor)`` — the inter-node link pair
+    loses bandwidth (divided by ``bw_factor``) for transfers injected
+    during the window.  Flat fabric only (the topology fabrics model
+    contention structurally).
+
+Determinism: a plan contains no randomness; a faulted run is a pure
+function of (programs, seeds, fault plan).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "Checkpoint",
+    "FaultError",
+    "FaultPlan",
+    "LinkDegrade",
+    "RankCrash",
+    "Slowdown",
+    "resolve_faults",
+]
+
+#: how long after a crash the survivors learn about it (ULFM failure
+#: detectors are asynchronous; this models their propagation delay)
+DEFAULT_DETECTION_LATENCY = 100e-6
+
+
+class FaultError(ValueError):
+    """An invalid fault plan, event or checkpoint policy."""
+
+
+@dataclass(frozen=True)
+class RankCrash:
+    """Fail-stop crash of ``rank`` at virtual ``time``."""
+
+    time: float
+    rank: int
+
+    kind = "crash"
+
+    def validate(self) -> None:
+        if self.time < 0:
+            raise FaultError(f"crash time must be >= 0, got {self.time}")
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"kind": "crash", "time": self.time, "rank": self.rank}
+
+
+@dataclass(frozen=True)
+class Slowdown:
+    """Straggler window: ``rank`` computes ``factor``x slower in
+    ``[t0, t1)``."""
+
+    t0: float
+    t1: float
+    rank: int
+    factor: float
+
+    kind = "slowdown"
+
+    def validate(self) -> None:
+        if self.t0 < 0 or self.t1 <= self.t0:
+            raise FaultError(
+                f"slowdown window must satisfy 0 <= t0 < t1, got "
+                f"[{self.t0}, {self.t1})")
+        if self.factor < 1.0:
+            raise FaultError(
+                f"slowdown factor must be >= 1, got {self.factor}")
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"kind": "slowdown", "t0": self.t0, "t1": self.t1,
+                "rank": self.rank, "factor": self.factor}
+
+
+@dataclass(frozen=True)
+class LinkDegrade:
+    """Bandwidth loss on the ``node_a``<->``node_b`` link in
+    ``[t0, t1)``: transfers injected inside the window run at
+    ``bandwidth / bw_factor``."""
+
+    t0: float
+    t1: float
+    node_a: int
+    node_b: int
+    bw_factor: float
+
+    kind = "link"
+
+    def validate(self) -> None:
+        if self.t0 < 0 or self.t1 <= self.t0:
+            raise FaultError(
+                f"link window must satisfy 0 <= t0 < t1, got "
+                f"[{self.t0}, {self.t1})")
+        if self.bw_factor <= 1.0:
+            raise FaultError(
+                f"bw_factor must be > 1 (a degradation), got "
+                f"{self.bw_factor}")
+        if self.node_a < 0 or self.node_b < 0 or self.node_a == self.node_b:
+            raise FaultError(
+                f"link endpoints must be distinct non-negative nodes, "
+                f"got {self.node_a}<->{self.node_b}")
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"kind": "link", "t0": self.t0, "t1": self.t1,
+                "node_a": self.node_a, "node_b": self.node_b,
+                "bw_factor": self.bw_factor}
+
+
+FaultEvent = Union[RankCrash, Slowdown, LinkDegrade]
+
+_EVENT_KINDS = {
+    "crash": (RankCrash, ("time", "rank")),
+    "slowdown": (Slowdown, ("t0", "t1", "rank", "factor")),
+    "link": (LinkDegrade, ("t0", "t1", "node_a", "node_b", "bw_factor")),
+}
+
+
+class FaultPlan:
+    """An ordered, validated collection of fault events."""
+
+    def __init__(self, events: Sequence[FaultEvent] = (),
+                 detection_latency: float = DEFAULT_DETECTION_LATENCY):
+        self.events: Tuple[FaultEvent, ...] = tuple(events)
+        self.detection_latency = float(detection_latency)
+        self.validate()
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        if self.detection_latency < 0:
+            raise FaultError("detection_latency must be >= 0")
+        seen_crashes = set()
+        slow: Dict[int, List[Tuple[float, float]]] = {}
+        for ev in self.events:
+            if not isinstance(ev, (RankCrash, Slowdown, LinkDegrade)):
+                raise FaultError(
+                    f"unknown fault event {ev!r}; use RankCrash / "
+                    "Slowdown / LinkDegrade")
+            ev.validate()
+            if isinstance(ev, RankCrash):
+                if ev.rank in seen_crashes:
+                    raise FaultError(f"rank {ev.rank} crashes twice")
+                seen_crashes.add(ev.rank)
+            elif isinstance(ev, Slowdown):
+                slow.setdefault(ev.rank, []).append((ev.t0, ev.t1))
+        for rank, windows in slow.items():
+            windows.sort()
+            for (_, prev_end), (next_start, _) in zip(windows, windows[1:]):
+                if next_start < prev_end:
+                    raise FaultError(
+                        f"slowdown windows for rank {rank} overlap; "
+                        "merge them into one window per interval")
+
+    # ------------------------------------------------------------------
+    @property
+    def crashes(self) -> List[RankCrash]:
+        return [e for e in self.events if isinstance(e, RankCrash)]
+
+    @property
+    def slowdowns(self) -> List[Slowdown]:
+        return [e for e in self.events if isinstance(e, Slowdown)]
+
+    @property
+    def link_events(self) -> List[LinkDegrade]:
+        return [e for e in self.events if isinstance(e, LinkDegrade)]
+
+    def resolve_ranks(self, nprocs: int) -> "FaultPlan":
+        """A copy with negative ranks resolved against ``nprocs``
+        (Python indexing) and every rank range-checked."""
+        out: List[FaultEvent] = []
+        for ev in self.events:
+            if isinstance(ev, (RankCrash, Slowdown)):
+                rank = ev.rank
+                if rank < 0:
+                    rank += nprocs
+                if not (0 <= rank < nprocs):
+                    raise FaultError(
+                        f"{ev.kind} event targets rank {ev.rank}, which "
+                        f"does not resolve within {nprocs} processes")
+                if rank != ev.rank:
+                    ev = (RankCrash(ev.time, rank)
+                          if isinstance(ev, RankCrash)
+                          else Slowdown(ev.t0, ev.t1, rank, ev.factor))
+            out.append(ev)
+        return FaultPlan(out, detection_latency=self.detection_latency)
+
+    # ------------------------------------------------------------------
+    # JSON round-trip: a fault scenario is a file
+    # ------------------------------------------------------------------
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "events": [e.to_json() for e in self.events],
+            "detection_latency": self.detection_latency,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "FaultPlan":
+        if not isinstance(data, dict):
+            raise FaultError(
+                f"fault plan JSON must be a dict, got {type(data).__name__}")
+        unknown = set(data) - {"events", "detection_latency"}
+        if unknown:
+            raise FaultError(
+                f"bad fault plan JSON: unknown keys {sorted(unknown)}")
+        events: List[FaultEvent] = []
+        for entry in data.get("events", ()):
+            if not isinstance(entry, dict):
+                raise FaultError(
+                    f"fault event must be a dict, got {entry!r}")
+            kind = entry.get("kind")
+            hit = _EVENT_KINDS.get(kind)
+            if hit is None:
+                raise FaultError(
+                    f"unknown fault event kind {kind!r}; choose from "
+                    f"{sorted(_EVENT_KINDS)}")
+            cls_, fields_ = hit
+            extra = set(entry) - set(fields_) - {"kind"}
+            if extra:
+                raise FaultError(
+                    f"{kind} event has unknown fields {sorted(extra)}")
+            try:
+                events.append(cls_(**{f: entry[f] for f in fields_}))
+            except KeyError as exc:
+                raise FaultError(
+                    f"{kind} event is missing field {exc}") from exc
+        return cls(events,
+                   detection_latency=data.get(
+                       "detection_latency", DEFAULT_DETECTION_LATENCY))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"FaultPlan({len(self.events)} event(s), "
+                f"detection={self.detection_latency:.3g}s)")
+
+
+def resolve_faults(spec: Union[None, Dict[str, Any], FaultPlan]
+                   ) -> Optional[FaultPlan]:
+    """Normalize a fault spec: None stays None, dicts go through
+    :meth:`FaultPlan.from_json`, plans validate and pass through."""
+    if spec is None:
+        return None
+    if isinstance(spec, FaultPlan):
+        spec.validate()
+        return spec
+    if isinstance(spec, dict):
+        return FaultPlan.from_json(spec)
+    raise FaultError(
+        f"faults must be None, a FaultPlan or its JSON dict, "
+        f"got {type(spec).__name__}")
+
+
+# ----------------------------------------------------------------------
+# checkpoint policy (stream-level recovery)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """Interval-based stream checkpointing policy.
+
+    A recovery-enabled stream consumer snapshots its operator state
+    every ``interval`` processed elements; the snapshot write is costed
+    through the machine's filesystem model (``state_nbytes`` through the
+    striped backend, like a ``write_at``), after which the consumer acks
+    its producers (one ``ack_nbytes`` eager message each), letting them
+    drop the acked prefix of their replay buffers.  On a consumer crash,
+    the deterministic successor restores the last snapshot (read cost)
+    and producers replay every un-acked element — the classic
+    checkpoint-interval trade-off: short intervals cost overhead every
+    ``interval`` elements, long ones cost replay at recovery time.
+    """
+
+    interval: int = 64
+    state_nbytes: int = 1 << 20
+    ack_nbytes: int = 64
+
+    def validate(self) -> None:
+        if self.interval < 1:
+            raise FaultError("checkpoint interval must be >= 1")
+        if self.state_nbytes < 0 or self.ack_nbytes < 0:
+            raise FaultError("checkpoint sizes must be >= 0")
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"interval": self.interval,
+                "state_nbytes": self.state_nbytes,
+                "ack_nbytes": self.ack_nbytes}
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "Checkpoint":
+        unknown = set(data) - {"interval", "state_nbytes", "ack_nbytes"}
+        if unknown:
+            raise FaultError(
+                f"bad Checkpoint JSON: unknown keys {sorted(unknown)}")
+        ckpt = cls(**data)
+        ckpt.validate()
+        return ckpt

@@ -20,7 +20,11 @@ from __future__ import annotations
 from typing import Any, Generator, List, Optional
 
 from ..simmpi.comm import Comm
-from ..simmpi.errors import CommunicatorError
+from ..simmpi.errors import (
+    CommunicatorError,
+    ProcessFailedError,
+    RevokedError,
+)
 
 
 class _ChannelGroups:
@@ -56,6 +60,7 @@ class StreamChannel:
         self.comm = comm                    # dedicated dup, stream traffic only
         self.producers = groups.producers   # local ranks in `comm` (shared)
         self.consumers = groups.consumers
+        self._groups = groups
         self._producer_index = groups.producer_index_of.get(comm.rank)
         self._consumer_index = groups.consumer_index_of.get(comm.rank)
         self.is_producer = self._producer_index is not None
@@ -94,6 +99,51 @@ class StreamChannel:
         nc, np_ = self.nconsumers, self.nproducers
         return [i for i in range(np_) if i * nc // np_ == consumer_index]
 
+    @property
+    def role(self) -> str:
+        """This rank's role on the channel ("producer" / "consumer" /
+        "bystander") — diagnostics and failure handling both need it."""
+        return ("producer" if self.is_producer else
+                "consumer" if self.is_consumer else "bystander")
+
+    def producer_index_of(self, local_rank: int):
+        """Producer index of a member local rank (None if not one)."""
+        return self._groups.producer_index_of.get(local_rank)
+
+    def consumer_index_of(self, local_rank: int):
+        """Consumer index of a member local rank (None if not one)."""
+        return self._groups.consumer_index_of.get(local_rank)
+
+    # ------------------------------------------------------------------
+    # failure notification (fault-mode runs; see repro.faults)
+    # ------------------------------------------------------------------
+    def failed_members(self):
+        """Local ranks of channel members whose failure has been
+        detected, with their roles: ``[(local_rank, role), ...]``.
+        Empty on fault-free runs."""
+        out = []
+        for local in self.comm.failed_members():
+            if self._groups.producer_index_of.get(local) is not None:
+                out.append((local, "producer"))
+            elif self._groups.consumer_index_of.get(local) is not None:
+                out.append((local, "consumer"))
+            else:
+                out.append((local, "bystander"))
+        return out
+
+    def owner_consumer(self, consumer_index: int, dead_locals):
+        """The live consumer currently responsible for ``consumer_index``'s
+        work: the index itself if alive, else the next live consumer in
+        cyclic index order (the deterministic successor rule every rank
+        computes identically).  None when every consumer is dead."""
+        consumers = self.consumers
+        nc = len(consumers)
+        for k in range(nc):
+            cand = (consumer_index + k) % nc
+            if consumers[cand] not in dead_locals:
+                return cand
+        return None
+
     # ------------------------------------------------------------------
     def alloc_stream_tag(self) -> int:
         """Per-channel stream id; identical across ranks because streams
@@ -104,19 +154,44 @@ class StreamChannel:
 
     def check_alive(self) -> None:
         if self.freed:
-            raise CommunicatorError("operation on a freed stream channel")
+            raise CommunicatorError(
+                f"operation on a freed stream channel (rank "
+                f"{self.comm.rank}, role {self.role})")
 
     def free(self) -> Generator[Any, Any, None]:
-        """Collective channel teardown (``MPIStream_FreeChannel``)."""
+        """Collective channel teardown (``MPIStream_FreeChannel``).
+
+        On a fault-mode run where a channel member has already failed,
+        the collective barrier could never complete; teardown degrades
+        to a local free (ULFM without shrink), deterministically on
+        every surviving rank."""
         self.check_alive()
+        ctl = self.comm.world._fault_ctl
+        if ctl is not None:
+            coll_only = (self.comm.context_coll,)
+            if any(g in ctl.failed for g in self.comm.ranks):
+                # revoke the collective context so members already
+                # parked inside the teardown barrier (they entered
+                # before the crash) escape instead of waiting for
+                # ranks that will never arrive; the p2p context stays
+                # live — other members may still be streaming
+                ctl.revoke(self.comm, contexts=coll_only)
+                self.freed = True
+                return
+            try:
+                yield from self.comm.barrier()
+            except (ProcessFailedError, RevokedError):
+                # a member died while we were inside the barrier:
+                # degrade, releasing everyone else parked in it too
+                ctl.revoke(self.comm, contexts=coll_only)
+            self.freed = True
+            return
         yield from self.comm.barrier()
         self.freed = True
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        role = ("producer" if self.is_producer else
-                "consumer" if self.is_consumer else "bystander")
         return (f"StreamChannel({self.nproducers}P->{self.nconsumers}C, "
-                f"rank={self.comm.rank}:{role})")
+                f"rank={self.comm.rank}:{self.role})")
 
 
 def create_channel(comm: Comm, is_producer: bool, is_consumer: bool

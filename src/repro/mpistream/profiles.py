@@ -27,6 +27,13 @@ class StreamProfile:
     arrival_times: List[float] = field(default_factory=list)
     service_start: float = 0.0
     service_end: float = 0.0
+    # recovery accounting (repro.faults) — repr=False keeps fault-free
+    # result digests (which hash record reprs) byte-identical
+    checkpoints: int = field(default=0, repr=False)
+    acked_elements: int = field(default=0, repr=False)
+    replayed_elements: int = field(default=0, repr=False)
+    recoveries: int = field(default=0, repr=False)
+    adopted_producers: int = field(default=0, repr=False)
 
     # ------------------------------------------------------------------
     def record_send(self, nbytes: int, overhead: float) -> None:
@@ -65,7 +72,7 @@ class StreamProfile:
         return (var ** 0.5) / mean
 
     def summary(self) -> dict:
-        return {
+        out = {
             "elements_sent": self.elements_sent,
             "elements_received": self.elements_received,
             "bytes_sent": self.bytes_sent,
@@ -73,3 +80,12 @@ class StreamProfile:
             "overhead_paid": self.overhead_paid,
             "arrival_cv": self.arrival_cv(),
         }
+        # recovery keys only appear when something recovery-related
+        # happened, so fault-free summaries stay byte-identical
+        if self.checkpoints or self.recoveries or self.replayed_elements:
+            out["checkpoints"] = self.checkpoints
+            out["acked_elements"] = self.acked_elements
+            out["replayed_elements"] = self.replayed_elements
+            out["recoveries"] = self.recoveries
+            out["adopted_producers"] = self.adopted_producers
+        return out

@@ -36,7 +36,13 @@ from typing import Any, Callable, Deque, Generator, Optional
 
 from ..simmpi.comm import ComputeCharge
 from ..simmpi.engine import Delay, WaitFlag
-from ..simmpi.errors import CommunicatorError, RequestError
+from ..simmpi.errors import (
+    CommunicatorError,
+    FaultSignal,
+    ProcessFailedError,
+    RequestError,
+    RevokedError,
+)
 from ..simmpi.matching import ANY_SOURCE
 from .channel import StreamChannel
 from .element import TERMINATE, StreamElement, element_nbytes
@@ -48,13 +54,18 @@ DEFAULT_ELEMENT_OVERHEAD = 2.0e-6
 #: default bound on a producer's in-flight elements before it waits
 DEFAULT_WINDOW = 64
 
+#: checkpoint acks travel on the stream's tag plus this offset, so they
+#: can never match data elements (stream tags are small per-channel ints)
+ACK_TAG_BASE = 1 << 16
+
 
 class Stream:
     """One attached data stream over a :class:`StreamChannel`."""
 
     def __init__(self, channel: StreamChannel, operator: Optional[Callable],
                  tag: int, element_overhead: float, window: int,
-                 router: Optional[Callable] = None, eager: bool = False):
+                 router: Optional[Callable] = None, eager: bool = False,
+                 checkpoint=None):
         self.channel = channel
         self.operator = operator
         self.tag = tag
@@ -66,12 +77,40 @@ class Stream:
         self._seq = 0
         self._pending: Deque = deque()
         self._terminated = False
+        # fault mode: active when the run injects faults or the stream
+        # checkpoints; fault-free streams keep the pristine hot paths
+        self.checkpoint = checkpoint
+        self._ctl = channel.comm.world._fault_ctl
+        self._fault_mode = self._ctl is not None or checkpoint is not None
+        if checkpoint is not None:
+            checkpoint.validate()
+            if router is not None:
+                raise CommunicatorError(
+                    "checkpoint recovery needs static blocked routing; "
+                    "a custom router cannot replay deterministically")
+        self.ack_tag = tag + ACK_TAG_BASE
+        if self._fault_mode:
+            self._seen_version = 0
+            self._handled_globals: set = set()
+            self._dead_locals: set = set()
+            self._termed_sources: set = set()
+            #: dead producers already subtracted from expected_terms; a
+            #: TERM of theirs still in flight must not count twice
+            self._discounted_sources: set = set()
+            self._unacked: Deque = deque()   # (seq, data, nbytes) un-acked
+            self._ack_req = None
+            self._contrib: dict = {}         # src local rank -> last seq
+            self._since_ckpt = 0
+            self._stream_failed = None
         # static blocked routing resolves the destination once, not per
         # element (custom routers stay per-element, see _dest)
         if channel.is_producer and router is None:
             self._static_dest = channel.consumer_of(channel.producer_index)
+            self._dest_ci0 = (channel.producer_index * channel.nconsumers
+                              // channel.nproducers)
         else:
             self._static_dest = None
+            self._dest_ci0 = None
         # on noise-free machines the per-element injection delay is one
         # constant — prebuild the syscall object (lazily, see isend)
         self._inject_delay = None
@@ -110,9 +149,14 @@ class Stream:
         if channel.freed:
             channel.check_alive()
         if not channel.is_producer:
-            raise CommunicatorError("isend on a non-producer rank")
+            raise CommunicatorError(
+                f"isend on a non-producer rank (rank {channel.comm.rank}, "
+                f"role {channel.role})")
         if self._terminated:
             raise RequestError("isend after terminate")
+        if self._fault_mode:
+            yield from self._isend_fault(data)
+            return
         comm = channel.comm
         overhead = self.element_overhead
         if overhead > 0:
@@ -171,9 +215,14 @@ class Stream:
         to the consumer(s) this producer can reach."""
         self.channel.check_alive()
         if not self.channel.is_producer:
-            raise CommunicatorError("terminate on a non-producer rank")
+            raise CommunicatorError(
+                f"terminate on a non-producer rank (rank "
+                f"{self.channel.comm.rank}, role {self.channel.role})")
         if self._terminated:
             raise RequestError("stream terminated twice")
+        if self._fault_mode:
+            yield from self._terminate_fault()
+            return
         comm = self.channel.comm
         for req in self._pending:
             yield from comm.wait(req, label="stream-flush")
@@ -204,7 +253,9 @@ class Stream:
         if channel.freed:
             channel.check_alive()
         if not channel.is_consumer:
-            raise CommunicatorError("recv_element on a non-consumer rank")
+            raise CommunicatorError(
+                f"recv_element on a non-consumer rank (rank "
+                f"{channel.comm.rank}, role {channel.role})")
         if self._expected_terms - self._terms_seen <= 0:
             raise RequestError("stream fully terminated; no more elements")
         comm = channel.comm
@@ -213,16 +264,26 @@ class Stream:
         # generator's allocation measurable at stream rates
         req._waited = True
         if req.is_set:
-            (seq, data), st = req.payload
+            payload = req.payload
         else:
             world = comm.world
             engine = world.engine
             t0 = engine.now
-            (seq, data), st = yield WaitFlag(req)
+            payload = yield WaitFlag(req)
             if world.tracer is not None and engine.now > t0:
                 world.tracer.record(comm.global_rank, "wait", "recv",
                                     t0, engine.now)
+        if payload.__class__ is FaultSignal:
+            raise payload.error
+        (seq, data), st = payload
         if data is TERMINATE:  # identity: payloads move by reference in-sim
+            if self._fault_mode:
+                self._termed_sources.add(st.source)
+                if st.source in self._discounted_sources:
+                    # death already discounted this producer; absorb the
+                    # in-flight TERM without double-counting
+                    self._discounted_sources.discard(st.source)
+                    return None
             self._terms_seen += 1
             self.profile.terminates_seen += 1
             return None
@@ -243,6 +304,9 @@ class Stream:
         channel = self.channel
         if channel.freed:
             channel.check_alive()
+        if self._fault_mode:
+            profile = yield from self._operate_fault()
+            return profile
         # note: no is_consumer guard — a non-consumer has zero expected
         # terminations, skips the loop and returns an empty profile,
         # exactly as before the loop was inlined
@@ -302,12 +366,379 @@ class Stream:
                 processed += 1
         return processed
 
+    # ------------------------------------------------------------------
+    # fault mode (repro.faults): notification, checkpointing, recovery.
+    # Everything below only runs when the simulation injects faults or
+    # the stream declares a Checkpoint policy; the pristine paths above
+    # stay byte-identical for fault-free runs.
+    # ------------------------------------------------------------------
+    def _poll_failures(self) -> Generator[Any, Any, None]:
+        """Catch up on failures detected since this stream last looked."""
+        ctl = self._ctl
+        if ctl is not None and ctl.version != self._seen_version:
+            yield from self._handle_failures()
+            self.channel.comm.failure_ack()
+
+    def _handle_failures(self) -> Generator[Any, Any, None]:
+        """Process newly detected failures in detection order: adjust
+        termination accounting, retarget producers to the deterministic
+        successor consumer (replaying un-acked elements when the stream
+        checkpoints), and adopt orphaned producers on the successor."""
+        ctl = self._ctl
+        channel = self.channel
+        ranks = channel.comm.ranks
+        for g in list(ctl.detected):
+            if g in self._handled_globals:
+                continue
+            self._handled_globals.add(g)
+            try:
+                local = ranks.index(g)
+            except ValueError:
+                continue          # not a member of this channel
+            prev_dead = set(self._dead_locals)
+            self._dead_locals.add(local)
+            pi = channel.producer_index_of(local)
+            if pi is not None:
+                self._on_producer_death(pi)
+            ci = channel.consumer_index_of(local)
+            if ci is not None:
+                yield from self._on_consumer_death(ci, prev_dead)
+        self._seen_version = ctl.version
+
+    def _on_producer_death(self, pi: int) -> None:
+        """A producer died: its TERM will never arrive.  Only the
+        consumer currently owning its flow adjusts accounting.  The
+        producer's TERM may still be *delivered but unprocessed* in our
+        mailbox, so the source is also marked discounted — a late TERM
+        of a discounted source is absorbed without counting, else the
+        consumer would exit one termination early and silently drop
+        live producers' elements."""
+        channel = self.channel
+        if not channel.is_consumer:
+            return
+        p_local = channel.producers[pi]
+        if p_local in self._termed_sources:
+            return                # it already terminated to us
+        if self._ctl is not None and p_local in self._ctl \
+                .terminated_producers(channel.comm.context, self.tag):
+            # it terminated elsewhere (in flight to us, or to a consumer
+            # that died): either the TERM still arrives and counts, or
+            # the adoption path already skipped it — never discount
+            return
+        if self.router is not None:
+            # custom routing: every producer terminates to every consumer
+            self._expected_terms -= 1
+            self._discounted_sources.add(p_local)
+            return
+        ci0 = pi * channel.nconsumers // channel.nproducers
+        if channel.owner_consumer(ci0, self._dead_locals) \
+                == channel.consumer_index:
+            self._expected_terms -= 1
+            self._discounted_sources.add(p_local)
+
+    def _on_consumer_death(self, ci_dead: int, prev_dead: set
+                           ) -> Generator[Any, Any, None]:
+        """A consumer died: producers retarget to the deterministic
+        successor (next live consumer in cyclic index order) and replay
+        their un-acked elements; the successor restores the checkpoint
+        and adopts the orphaned producers' termination accounting."""
+        channel = self.channel
+        dead = self._dead_locals
+        if channel.is_producer and self.router is None:
+            if channel.owner_consumer(self._dest_ci0, prev_dead) == ci_dead:
+                new_owner = channel.owner_consumer(self._dest_ci0, dead)
+                if new_owner is None:
+                    self._stream_failed = RevokedError(
+                        f"stream tag {self.tag}: every consumer of the "
+                        "channel has failed", rank=ci_dead)
+                    return
+                self._static_dest = channel.consumers[new_owner]
+                if self.checkpoint is not None and self._unacked:
+                    yield from self._replay(self._static_dest)
+        if channel.is_consumer and self.router is None:
+            my_ci = channel.consumer_index
+            if channel.owner_consumer(ci_dead, dead) == my_ci:
+                # I am the successor: adopt every live, un-terminated
+                # producer whose flow the dead consumer owned.  A
+                # producer that already terminated — to me, or to the
+                # dead consumer (visible via the controller's
+                # termination registry, the stand-in for persisted
+                # recovery metadata) — sends no further TERM and must
+                # not be waited for.
+                comm = channel.comm
+                already_termed = (self._termed_sources
+                                  | (self._ctl.terminated_producers(
+                                      comm.context, self.tag)
+                                     if self._ctl is not None else set()))
+                nc, np_ = channel.nconsumers, channel.nproducers
+                adopted = 0
+                for pi in range(np_):
+                    p_local = channel.producers[pi]
+                    if p_local in dead or p_local in already_termed:
+                        continue
+                    ci0 = pi * nc // np_
+                    if channel.owner_consumer(ci0, prev_dead) == ci_dead:
+                        adopted += 1
+                self._expected_terms += adopted
+                profile = self.profile
+                profile.recoveries += 1
+                profile.adopted_producers += adopted
+                if self.checkpoint is not None:
+                    yield from self._restore_cost()
+
+    def _replay(self, dest: int) -> Generator[Any, Any, None]:
+        """Resend every un-acked element (original sequence numbers) to
+        the successor consumer — the recovery side of the checkpoint
+        contract: acked elements live in the snapshot, the rest replay."""
+        comm = self.channel.comm
+        world = comm.world
+        profile = self.profile
+        o_send_delay = world._o_send_delay
+        gdst = comm.ranks[dest]
+        for seq, data, nbytes in self._unacked:
+            if o_send_delay is not None:
+                yield o_send_delay
+            req = world.post_send(comm._global, gdst, comm._rank,
+                                  self.tag, comm.context, (seq, data),
+                                  nbytes, force_eager=self.eager)
+            self._pending.append(req)
+            profile.replayed_elements += 1
+
+    def _restore_cost(self) -> Generator[Any, Any, None]:
+        """Charge the successor's checkpoint read (client overhead plus
+        streaming the snapshot back from the modeled filesystem)."""
+        from ..simmpi.iolib import _filesystem
+        iocfg = _filesystem(self.channel.comm.world).cfg
+        yield Delay(iocfg.client_overhead)
+        yield Delay(self.checkpoint.state_nbytes / iocfg.per_client_bandwidth)
+
+    def _do_checkpoint(self) -> Generator[Any, Any, None]:
+        """Snapshot the operator state through the filesystem model and
+        ack every producer that contributed since the last snapshot."""
+        from ..simmpi.iolib import _filesystem
+        comm = self.channel.comm
+        world = comm.world
+        engine = world.engine
+        fs = _filesystem(world)
+        yield Delay(fs.cfg.client_overhead)
+        done = fs.server_write(self.checkpoint.state_nbytes, engine.now)
+        lag = done - engine.now
+        if lag > 0:
+            yield Delay(lag)
+        profile = self.profile
+        profile.checkpoints += 1
+        profile.acked_elements += self._since_ckpt
+        self._since_ckpt = 0
+        ack_nbytes = self.checkpoint.ack_nbytes
+        for src in sorted(self._contrib):
+            if src in self._dead_locals:
+                continue
+            try:
+                yield from comm.isend(self._contrib[src], src,
+                                      tag=self.ack_tag, nbytes=ack_nbytes,
+                                      force_eager=True)
+            except RevokedError:
+                continue          # detected between our poll and the ack
+        self._contrib.clear()
+
+    def _drain_acks(self) -> Generator[Any, Any, None]:
+        """Producer side: consume any checkpoint acks that have arrived
+        and drop the acked prefix of the replay buffer (non-blocking)."""
+        comm = self.channel.comm
+        if self._ack_req is None:
+            yield from self._post_ack_recv(comm)
+        while self._ack_req is not None and self._ack_req.is_set:
+            req = self._ack_req
+            self._ack_req = None
+            req._waited = True
+            payload = req.payload
+            if payload.__class__ is FaultSignal:
+                yield from self._handle_failures()
+                comm.failure_ack()
+            else:
+                watermark, _st = payload
+                unacked = self._unacked
+                while unacked and unacked[0][0] <= watermark:
+                    unacked.popleft()
+            yield from self._post_ack_recv(comm)
+
+    def _post_ack_recv(self, comm) -> Generator[Any, Any, None]:
+        while True:
+            try:
+                self._ack_req = comm.irecv(ANY_SOURCE, self.ack_tag)
+                return
+            except ProcessFailedError:
+                yield from self._handle_failures()
+                comm.failure_ack()
+
+    def _isend_fault(self, data: Any) -> Generator[Any, Any, None]:
+        """Fault-mode injection: the pristine isend plus failure polling,
+        ack draining and the un-acked replay buffer."""
+        channel = self.channel
+        comm = channel.comm
+        yield from self._poll_failures()
+        if self._stream_failed is not None:
+            raise self._stream_failed
+        if self.checkpoint is not None:
+            yield from self._drain_acks()
+        overhead = self.element_overhead
+        if overhead > 0:
+            yield from comm.compute(overhead, label="stream-inject")
+        if len(self._pending) >= self.window:
+            oldest = self._pending.popleft()
+            oldest._waited = True
+            if oldest.is_set:
+                payload = oldest.payload
+            else:
+                payload = yield WaitFlag(oldest)
+            if payload.__class__ is FaultSignal:
+                yield from self._poll_failures()
+                if self._stream_failed is not None:
+                    raise self._stream_failed
+        dest = (self._static_dest if self._static_dest is not None
+                else self._dest(data))
+        payload = (self._seq, data)
+        nbytes = element_nbytes(data)
+        world = comm.world
+        o_send_delay = world._o_send_delay
+        if o_send_delay is not None:
+            yield o_send_delay
+        try:
+            req = world.post_send(comm._global, comm.ranks[dest], comm._rank,
+                                  self.tag, comm.context, payload, nbytes,
+                                  force_eager=self.eager)
+        except RevokedError:
+            # the destination's failure was detected while we yielded;
+            # retarget (no virtual time passes in between) and resend
+            yield from self._poll_failures()
+            if self._stream_failed is not None:
+                raise self._stream_failed
+            dest = (self._static_dest if self._static_dest is not None
+                    else self._dest(data))
+            req = world.post_send(comm._global, comm.ranks[dest], comm._rank,
+                                  self.tag, comm.context, payload, nbytes,
+                                  force_eager=self.eager)
+        self._pending.append(req)
+        if self.checkpoint is not None:
+            self._unacked.append((self._seq, data, nbytes))
+        profile = self.profile
+        profile.elements_sent += 1
+        profile.bytes_sent += nbytes
+        profile.overhead_paid += overhead
+        self._seq += 1
+
+    def _operate_fault(self) -> Generator[Any, Any, StreamProfile]:
+        """Fault-mode consumption: the pristine operate loop plus failure
+        polling, interrupted-wildcard handling and checkpointing."""
+        operator = self.operator
+        channel = self.channel
+        comm = channel.comm
+        world = comm.world
+        engine = world.engine
+        profile = self.profile
+        tag = self.tag
+        ckpt = self.checkpoint
+        ctl = self._ctl
+        profile.service_start = engine.now
+        while self._expected_terms > self._terms_seen:
+            if ctl is not None and ctl.version != self._seen_version:
+                yield from self._handle_failures()
+                comm.failure_ack()
+                continue          # accounting may have changed
+            try:
+                req = comm.irecv(ANY_SOURCE, tag)
+            except ProcessFailedError:
+                yield from self._handle_failures()
+                comm.failure_ack()
+                continue
+            req._waited = True
+            if req.is_set:
+                payload = req.payload
+            else:
+                t0 = engine.now
+                payload = yield WaitFlag(req)
+                if world.tracer is not None and engine.now > t0:
+                    world.tracer.record(comm.global_rank, "wait", "recv",
+                                        t0, engine.now)
+            if payload.__class__ is FaultSignal:
+                yield from self._handle_failures()
+                comm.failure_ack()
+                continue
+            (seq, data), st = payload
+            if data is TERMINATE:
+                self._termed_sources.add(st.source)
+                if st.source in self._discounted_sources:
+                    # this producer's death already reduced the
+                    # accounting; its in-flight TERM must not count too
+                    self._discounted_sources.discard(st.source)
+                    continue
+                self._terms_seen += 1
+                profile.terminates_seen += 1
+                continue
+            profile.elements_received += 1
+            profile.bytes_received += st.nbytes
+            profile.arrival_times.append(engine.now)
+            result = operator(StreamElement(data, st.source, seq, st.nbytes))
+            if inspect.isgenerator(result) or type(result) is ComputeCharge:
+                yield from result
+            if ckpt is not None:
+                self._contrib[st.source] = seq
+                self._since_ckpt += 1
+                if self._since_ckpt >= ckpt.interval:
+                    yield from self._do_checkpoint()
+        profile.service_end = engine.now
+        return profile
+
+    def _terminate_fault(self) -> Generator[Any, Any, None]:
+        """Fault-mode termination: flush tolerating poisoned requests,
+        then TERM the consumer(s) that currently own this flow."""
+        channel = self.channel
+        comm = channel.comm
+        pending = self._pending
+        while pending:
+            # popleft, not iteration: failure handling mid-flush can
+            # replay un-acked elements, which appends to the window
+            req = pending.popleft()
+            req._waited = True
+            if req.is_set:
+                payload = req.payload
+            else:
+                payload = yield WaitFlag(req)
+            if payload.__class__ is FaultSignal:
+                yield from self._poll_failures()
+        yield from self._poll_failures()
+        if self._stream_failed is not None:
+            # no consumer left to terminate to
+            self._terminated = True
+            return
+        if self.router is None:
+            targets = [self._static_dest]
+        else:
+            targets = [c for c in channel.consumers
+                       if c not in self._dead_locals]
+        for dest in targets:
+            try:
+                yield from comm.send((self._seq, TERMINATE), dest,
+                                     tag=self.tag)
+            except (ProcessFailedError, RevokedError):
+                yield from self._poll_failures()
+                if self.router is None and self._stream_failed is None:
+                    yield from comm.send((self._seq, TERMINATE),
+                                         self._static_dest, tag=self.tag)
+        self._terminated = True
+        if self._ctl is not None:
+            # record the completed termination so a future successor
+            # does not wait for a TERM that died with its consumer
+            self._ctl.note_stream_terminated(comm.context, self.tag,
+                                             comm._rank)
+
 
 def attach(channel: StreamChannel, operator: Optional[Callable] = None,
            element_overhead: float = DEFAULT_ELEMENT_OVERHEAD,
            window: int = DEFAULT_WINDOW,
            router: Optional[Callable] = None,
-           eager: bool = False) -> Generator[Any, Any, Stream]:
+           eager: bool = False,
+           checkpoint=None) -> Generator[Any, Any, Stream]:
     """Attach a stream to ``channel`` (``MPIStream_Attach``).
 
     Attaching is *local* (no synchronization): the stream id comes from
@@ -335,6 +766,14 @@ def attach(channel: StreamChannel, operator: Optional[Callable] = None,
         Force fire-and-forget injection regardless of element size
         (models buffered eager delivery; relaxed-dataflow consumers may
         leave tail elements unconsumed without deadlocking producers).
+    checkpoint:
+        Optional :class:`~repro.faults.plan.Checkpoint` policy enabling
+        stream-level recovery: the consumer snapshots its state every
+        ``interval`` elements (costed through the filesystem model) and
+        acks its producers, which buffer un-acked elements for replay;
+        on a consumer crash the deterministic successor restores the
+        snapshot and producers replay from the last acked element.
+        Requires static blocked routing (``router=None``).
     """
     channel.check_alive()
     if window < 1:
@@ -345,4 +784,4 @@ def attach(channel: StreamChannel, operator: Optional[Callable] = None,
     if False:  # pragma: no cover - keeps this function a generator
         yield None
     return Stream(channel, operator, tag, element_overhead, window, router,
-                  eager=eager)
+                  eager=eager, checkpoint=checkpoint)

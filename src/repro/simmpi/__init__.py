@@ -66,7 +66,9 @@ from .errors import (
     InvalidRankError,
     InvalidTagError,
     PlacementError,
+    ProcessFailedError,
     RequestError,
+    RevokedError,
     SimMPIError,
     TopologyError,
     TruncationError,
@@ -86,7 +88,8 @@ __all__ = [
     "IOConfig", "InvalidRankError", "InvalidTagError", "LONG",
     "MachineConfig", "Network", "NetworkConfig", "NoiseConfig",
     "NoiseModel", "PartitionedPlacement", "PersistentRequest", "Placement",
-    "PlacementError", "PlacementPolicy", "Request", "RequestError",
+    "PlacementError", "PlacementPolicy", "ProcessFailedError", "Request",
+    "RequestError", "RevokedError",
     "RoundRobinPlacement", "SimMPIError", "SimResult", "SizedPayload",
     "Spawn", "Status", "TAG_UB", "TopologyConfig", "TopologyError",
     "TransferTiming", "TruncationError", "WaitFlag", "beskow",

@@ -30,6 +30,7 @@ from .datatypes import Datatype, payload_nbytes
 from .engine import Delay, Engine, EventFlag, Spawn, WaitFlag, wait_flag
 from .errors import (
     CommunicatorError,
+    FaultSignal,
     InvalidRankError,
     InvalidTagError,
     TruncationError,
@@ -154,6 +155,12 @@ class World:
         # persistent factor is exactly 1.0 and no transient draws exist
         self._noise_free = (config.noise.persistent_skew == 0.0
                             and config.noise.quantum_fraction == 0.0)
+        # fault injection (repro.faults): None on every fault-free run,
+        # so the gates below stay single pointer compares.  The launcher
+        # installs a FaultController and clears _compute_fast when the
+        # plan carries Slowdown windows.
+        self._fault_ctl = None
+        self._compute_fast = self._noise_free and tracer is None
         # compute charges are immutable to the engine; deterministic
         # compute() durations repeat heavily (per-file map costs,
         # per-element merge costs), so share them
@@ -194,6 +201,9 @@ class World:
         payload has left its NIC; rendezvous messages ship a header and
         only transfer once a matching receive exists.
         """
+        ctl = self._fault_ctl
+        if ctl is not None:
+            ctl.check_send(gdst, context)
         engine = self.engine
         now = engine.now
         req = Request("send", label=("send->", gdst, "#", tag))
@@ -239,6 +249,7 @@ class World:
         env = Envelope(lsrc, tag, context, nbytes, payload,
                        eager=False, delivered_time=now)
         env.on_match = on_match
+        env.sender_req = req  # lets a receiver failure poison the sender
         header_latency, _ = self.network._link(gsrc, gdst)
         engine.call_at(now + header_latency,
                        partial(self.mailboxes[gdst].deliver, env))
@@ -287,6 +298,12 @@ class Comm:
         # populated by group_from_ranks when a node-layout hint is given
         self.node_hint: Optional[str] = None
         self.node_hint_ok: Optional[bool] = None
+        # fault mode only: register for failure notification and track
+        # which detection epoch this communicator has acknowledged
+        ctl = world._fault_ctl
+        if ctl is not None:
+            self._fault_acked = 0
+            ctl.register_comm(self)
 
     # ------------------------------------------------------------------
     # introspection
@@ -351,7 +368,7 @@ class Comm:
         if seconds < 0:
             raise ValueError("negative compute duration")
         world = self.world
-        if world._noise_free and world.tracer is None:
+        if world._compute_fast:
             nominal = seconds / world._compute_speed
             cache = world._delay_cache
             charge = cache.get(nominal)
@@ -371,6 +388,12 @@ class Comm:
         else:
             actual = world.noise.inflate(self._global, nominal)
         t0 = world.engine.now
+        ctl = world._fault_ctl
+        if ctl is not None and ctl.has_slowdowns:
+            # straggler windows compose multiplicatively with the noise
+            # model: the charge is stretched piecewise over the windows
+            # it overlaps
+            actual = ctl.stretch(self._global, t0, actual)
         yield Delay(actual)
         if world.tracer is not None:
             world.tracer.record(self._global, "compute", label, t0,
@@ -432,11 +455,46 @@ class Comm:
             self._check_rank(source, wildcard=True)
         if tag > TAG_UB or tag < ANY_TAG:
             self._check_tag(tag, wildcard=True)
+        ctl = self.world._fault_ctl
+        if ctl is not None:
+            ctl.check_recv(self, source)
         lsource = source  # local rank or wildcard; envelopes carry local src
         return self.world.post_recv(
             self._global, lsource, tag,
             self.context if _ctx is None else _ctx, max_nbytes,
         )
+
+    def failure_ack(self) -> None:
+        """Acknowledge every failure detected so far (ULFM's
+        ``MPI_Comm_failure_ack``): wildcard receives on this communicator
+        stop raising :class:`~repro.simmpi.errors.ProcessFailedError`
+        for the acknowledged dead members.  No-op on fault-free runs."""
+        ctl = self.world._fault_ctl
+        if ctl is not None:
+            self._fault_acked = ctl.version
+
+    def revoke(self) -> None:
+        """Revoke this communicator (ULFM's ``MPI_Comm_revoke``): every
+        member's pending receive on it resolves to
+        :class:`~repro.simmpi.errors.RevokedError` and new operations
+        fail immediately — how survivors break out of a collective that
+        a failure left half-completed.  Only meaningful on
+        fault-injection runs."""
+        ctl = self.world._fault_ctl
+        if ctl is None:
+            raise CommunicatorError(
+                "revoke is part of the fault-injection surface; this "
+                "run has no fault plan")
+        ctl.revoke(self)
+
+    def failed_members(self) -> Tuple[int, ...]:
+        """Local ranks of members whose failure has been detected
+        (empty on fault-free runs)."""
+        ctl = self.world._fault_ctl
+        if ctl is None:
+            return ()
+        detected = ctl.detected
+        return tuple(i for i, g in enumerate(self.ranks) if g in detected)
 
     def wait(self, req: Request, label: str = "wait") -> Generator[Any, Any, Any]:
         """Block until ``req`` completes; returns its payload.
@@ -450,11 +508,16 @@ class Comm:
             # already complete: continue synchronously at `now`, exactly
             # as the engine's WaitFlag fast path would, minus the
             # syscall allocation and dispatch
-            return flag.payload
+            payload = flag.payload
+            if payload.__class__ is FaultSignal:
+                raise payload.error
+            return payload
         world = self.world
         engine = world.engine
         t0 = engine.now
         payload = yield WaitFlag(flag)
+        if payload.__class__ is FaultSignal:
+            raise payload.error
         if world.tracer is not None and engine.now > t0:
             world.tracer.record(self._global, "wait", label, t0,
                                 engine.now)
@@ -478,7 +541,10 @@ class Comm:
         for i, req in enumerate(reqs):
             if req.done:
                 req._mark_waited()
-                return i, req.flag.payload
+                payload = req.flag.payload
+                if payload.__class__ is FaultSignal:
+                    raise payload.error
+                return i, payload
         world = self.world
         t0 = world.engine.now
         any_flag = EventFlag(label="waitany")
@@ -489,6 +555,8 @@ class Comm:
                     world.engine.set_flag(any_flag, (idx, payload))
             yield Spawn(waiter(), name="waitany-helper")
         idx, payload = yield from wait_flag(any_flag)
+        if payload.__class__ is FaultSignal:
+            raise payload.error
         reqs[idx]._mark_waited()
         if world.tracer is not None and world.engine.now > t0:
             world.tracer.record(self._global, "wait", label, t0,

@@ -230,6 +230,47 @@ class Engine:
         _heappush(self._heap, (self.now, self._seq, proc.resume))
         return handle
 
+    def kill(self, handle: ProcessHandle, error: Optional[BaseException] = None
+             ) -> bool:
+        """Terminate the process behind ``handle`` at the current virtual
+        time (the fault injector's crash primitive).
+
+        The generator is closed (its ``finally`` blocks run), the process
+        stops counting toward liveness, and its done flag is set *now* so
+        ``finish_times`` records the crash time.  ``handle.error`` carries
+        ``error`` (e.g. a :class:`~repro.simmpi.errors.ProcessFailedError`)
+        for post-mortem inspection.  Returns False if the process had
+        already finished.  Stale wake-ups of a killed process (a Delay
+        still in the heap, a flag it was waiting on) are absorbed by the
+        interpreter: resuming a closed generator raises ``StopIteration``,
+        which ``_step`` recognizes via the ``"killed"`` marker and drops
+        without touching the bookkeeping a second time.
+        """
+        for proc in self._procs:
+            if proc.handle is handle:
+                break
+        else:
+            raise ValueError(f"kill: unknown process handle {handle.name!r}")
+        if proc.blocked_on in ("done", "error", "killed"):
+            return False
+        proc.gen.close()
+        proc.blocked_on = "killed"
+        handle.error = error
+        if not proc.daemon:
+            self._live -= 1
+        # purge the process's scheduled resumptions (a pending Delay
+        # wake-up would otherwise drag the clock out to its fire time).
+        # In place: run() holds a local reference to the heap list.
+        # heapify preserves the (time, seq) total order.
+        heap = self._heap
+        filtered = [e for e in heap if e[2] is not proc.resume]
+        if len(filtered) != len(heap):
+            from heapq import heapify
+            heap[:] = filtered
+            heapify(heap)
+        self.set_flag(handle.done_flag, None)
+        return True
+
     def set_flag(self, flag: EventFlag, payload: Any = None) -> None:
         """Set ``flag`` at the current virtual time and wake all waiters.
 
@@ -280,6 +321,10 @@ class Engine:
             try:
                 cmd = send(sendval)
             except StopIteration as stop:
+                if proc.blocked_on == "killed":
+                    # stale wake-up of a crashed process (its generator
+                    # is closed); kill() already did the bookkeeping
+                    return
                 proc.handle.value = stop.value
                 proc.blocked_on = "done"
                 if not proc.daemon:
@@ -370,7 +415,8 @@ class Engine:
             blocked = {
                 p.handle.name: p.blocked_label()
                 for p in self._procs
-                if not p.daemon and p.blocked_on not in ("done", "error")
+                if not p.daemon
+                and p.blocked_on not in ("done", "error", "killed")
             }
             raise DeadlockError(blocked)
         return self.now

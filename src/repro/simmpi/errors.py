@@ -57,6 +57,54 @@ class IOError_(SimMPIError):
     """MPI-IO failure (file not opened, bad view, write on read-only...)."""
 
 
+class ProcessFailedError(SimMPIError):
+    """An operation could not complete because a peer process failed.
+
+    Mirrors ULFM's ``MPI_ERR_PROC_FAILED``: raised inside the simulated
+    rank at the blocked (or newly posted) operation, so application code
+    can catch it and recover — uncaught, it aborts the simulation, the
+    ``MPI_ERRORS_ARE_FATAL`` default.  Wildcard receives are interrupted
+    too (the ``MPI_ERR_PROC_FAILED_PENDING`` case) until the failure is
+    acknowledged via :meth:`~repro.simmpi.comm.Comm.failure_ack`.
+    """
+
+    def __init__(self, message: str, rank: int = -1):
+        self.rank = rank
+        super().__init__(message)
+
+
+class RevokedError(SimMPIError):
+    """An operation targeted a peer already known to have failed.
+
+    Mirrors ULFM's ``MPI_ERR_REVOKED``: once a failure has been
+    *detected*, new sends to (or exact receives from) the dead rank fail
+    immediately instead of parking in a mailbox forever.
+    """
+
+    def __init__(self, message: str, rank: int = -1):
+        self.rank = rank
+        super().__init__(message)
+
+
+class FaultSignal:
+    """Poison payload carried by a cancelled :class:`EventFlag`.
+
+    The fault controller resolves doomed waits by setting their flags
+    with a ``FaultSignal`` as payload; fault-aware wait sites check the
+    payload's class and raise ``.error`` inside the waiting generator.
+    Fault-free runs never allocate one, so the check is a single pointer
+    compare on the wait path.
+    """
+
+    __slots__ = ("error",)
+
+    def __init__(self, error: SimMPIError):
+        self.error = error
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"FaultSignal({self.error!r})"
+
+
 class DeadlockError(SimMPIError):
     """The event queue drained while one or more ranks were still blocked.
 

@@ -64,6 +64,7 @@ def run(fn: Callable, nprocs: int,
         max_events: Optional[int] = None,
         topology=None,
         placement=None,
+        faults=None,
         engine_factory: Optional[Callable[[], Engine]] = None,
         mailbox_factory: Optional[Callable] = None,
         network_factory: Optional[Callable] = None) -> SimResult:
@@ -94,6 +95,13 @@ def run(fn: Callable, nprocs: int,
         rank→node policy (``"block"``, ``"round_robin"`` or a
         :class:`~repro.simmpi.placement.PlacementPolicy`) without
         rebuilding the config by hand.
+    faults:
+        Deterministic fault injection: a :class:`~repro.faults.plan.
+        FaultPlan` (or its JSON dict; None = fault-free, the default
+        with zero overhead on the hot paths).  Crashed ranks report
+        ``None`` in ``values`` and their crash time in
+        ``finish_times``; ``extras["faults"]`` summarizes what happened.
+        Incompatible with the oracle's ``engine_factory`` injection.
     engine_factory / mailbox_factory / network_factory:
         Implementation injection, used by ``bench perf`` to run the
         :mod:`repro.simmpi.oracle` slow path (pass
@@ -107,12 +115,44 @@ def run(fn: Callable, nprocs: int,
         machine = machine.with_(topology=resolve_topology(topology))
     if placement is not None:
         machine = machine.with_(placement=resolve_placement(placement))
+
+    plan = None
+    if faults is not None:
+        # lazy import: repro.faults sits above simmpi in the layering
+        from ..faults.injector import FaultController, FaultyNetwork
+        from ..faults.plan import FaultError, resolve_faults
+        plan = resolve_faults(faults)
+    if plan is not None:
+        plan = plan.resolve_ranks(nprocs)
+        if engine_factory is not None or mailbox_factory is not None:
+            raise FaultError(
+                "fault injection needs the fast-path engine/mailbox; "
+                "it cannot run under oracle slow-path injection")
+        if plan.link_events:
+            if network_factory is not None:
+                raise FaultError(
+                    "LinkDegrade events replace the network model; drop "
+                    "the custom network_factory")
+            if machine.topology.kind != "flat":
+                raise FaultError(
+                    "LinkDegrade events are modeled on the flat fabric "
+                    f"only, not {machine.topology.kind!r}")
+            network_factory = (
+                lambda cfg, n, _plan=plan: FaultyNetwork(cfg, n, _plan))
+
     engine = (engine_factory or Engine)()
     engine.max_events = max_events
     tracer = Tracer() if trace else None
     world = World(engine, machine, nprocs, tracer=tracer,
                   mailbox_factory=mailbox_factory,
                   network_factory=network_factory)
+    ctl = None
+    if plan is not None:
+        ctl = FaultController(engine, world, plan)
+        world._fault_ctl = ctl
+        if ctl.has_slowdowns:
+            # straggler windows must see every compute charge
+            world._compute_fast = False
 
     handles = []
     world_ranks = tuple(range(nprocs))
@@ -123,9 +163,14 @@ def run(fn: Callable, nprocs: int,
         call_args = rank_args(rank) if rank_args is not None else args
         gen = fn(comm, *call_args)
         handles.append(engine.spawn(gen, name=f"rank{rank}"))
+    if ctl is not None:
+        ctl.install(handles)
 
     elapsed = engine.run()
 
+    extras = {"world": world}
+    if ctl is not None:
+        extras["faults"] = ctl.summary()
     return SimResult(
         nprocs=nprocs,
         elapsed=elapsed,
@@ -135,5 +180,5 @@ def run(fn: Callable, nprocs: int,
         bytes=world.network.bytes_sent,
         events=engine.events_fired,
         tracer=tracer,
-        extras={"world": world},
+        extras=extras,
     )

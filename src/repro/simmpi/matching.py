@@ -42,7 +42,7 @@ class Envelope:
 
     __slots__ = (
         "src", "tag", "context", "nbytes", "payload",
-        "eager", "delivered_time", "on_match",
+        "eager", "delivered_time", "on_match", "sender_req",
     )
 
     def __init__(self, src: int, tag: int, context: int, nbytes: int,
@@ -58,6 +58,11 @@ class Envelope:
         # rendezvous: called with the match time when a receive matches;
         # the transport then schedules the actual transfer.
         self.on_match = on_match
+        # rendezvous: the sender-side request, so a failure of the
+        # *receiver* can poison the parked sender (fault sweep).  Eager
+        # envelopes (built via __new__ on the hot path) leave the slot
+        # unset; readers use getattr(..., None).
+        self.sender_req = None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         mode = "eager" if self.eager else "rndv"
@@ -346,6 +351,62 @@ class Mailbox:
         return (self._nposted, self._nunexpected)
 
     # ------------------------------------------------------------------
+    # fault support (cold path: runs once per detected failure)
+    # ------------------------------------------------------------------
+    def cancel_posted(self, contexts,
+                      dead_source: Optional[int]) -> List[PostedRecv]:
+        """Remove every posted receive a peer failure dooms or interrupts:
+        exact receives from ``dead_source`` and wildcard-source receives
+        (ULFM's *pending* case), in the given ``contexts`` —
+        ``dead_source=None`` cancels *every* receive there (communicator
+        revocation).  Returns the cancelled receives in post order, so
+        the fault controller can poison their completion flags
+        deterministically.
+        """
+        victims = []
+        posted = self._posted
+        for key in list(posted):
+            ctx, src, tag = key
+            if ctx not in contexts:
+                continue
+            if dead_source is not None \
+                    and src != dead_source and src != ANY_SOURCE:
+                continue
+            bucket = posted.pop(key)
+            src_wild = src == ANY_SOURCE
+            tag_wild = tag == ANY_TAG
+            for seq, post in bucket:
+                victims.append((seq, post))
+                self._nposted -= 1
+                if src_wild:
+                    if tag_wild:
+                        self._np_anyany -= 1
+                    else:
+                        self._np_anysrc -= 1
+                elif tag_wild:
+                    self._np_anytag -= 1
+                else:
+                    self._np_exact -= 1
+        victims.sort(key=lambda sp: sp[0])
+        return [post for _seq, post in victims]
+
+    def unexpected_envelopes(self) -> List[Envelope]:
+        """The alive unexpected envelopes in delivery order (fault sweep:
+        rendezvous headers parked in a dead rank's mailbox carry the
+        sender request that must be poisoned)."""
+        out = []
+        seen = set()
+        for key, bucket in self._unexpected.items():
+            if key[1] == ANY_SOURCE or key[2] == ANY_TAG:
+                continue  # shadow bucket, not a home bucket
+            for entry in bucket:
+                if entry[2] and id(entry) not in seen:
+                    seen.add(id(entry))
+                    out.append(entry)
+        out.sort(key=lambda e: e[0])
+        return [entry[1] for entry in out]
+
+    # ------------------------------------------------------------------
     def _prune(self) -> None:
         """Drop tombstoned unexpected entries in bulk (amortized O(1))."""
         unexpected = self._unexpected
@@ -412,3 +473,23 @@ class LinearMailbox:
 
     def pending_counts(self) -> tuple:
         return (len(self.posted), len(self.unexpected))
+
+    # ------------------------------------------------------------------
+    # fault support (same contract as Mailbox.cancel_posted)
+    # ------------------------------------------------------------------
+    def cancel_posted(self, contexts,
+                      dead_source: Optional[int]) -> List[PostedRecv]:
+        victims = [
+            post for post in self.posted
+            if post.context in contexts
+            and (dead_source is None or post.source == dead_source
+                 or post.source == ANY_SOURCE)
+        ]
+        if victims:
+            doomed = set(map(id, victims))
+            self.posted = deque(
+                p for p in self.posted if id(p) not in doomed)
+        return victims
+
+    def unexpected_envelopes(self) -> List[Envelope]:
+        return list(self.unexpected)

@@ -27,6 +27,7 @@ __all__ = [
     "fig8_study",
     "get_study",
     "placement_study",
+    "recovery_study",
 ]
 
 #: paper parameters
@@ -158,6 +159,36 @@ def placement_study(points: Optional[Sequence[int]] = None,
     )
 
 
+# ----------------------------------------------------------------------
+# Recovery scenario family — crash a helper rank, measure the cost
+# ----------------------------------------------------------------------
+
+def recovery_study(points: Optional[Sequence[int]] = None,
+                   crash_time: float = 0.02,
+                   checkpoint_interval: int = 32) -> Study:
+    """The CG halo funnel with stream-level recovery: one line runs
+    fault-free, the other crashes the helper group's tail rank
+    (``rank=-1`` resolves per process count) mid-stream and recovers via
+    checkpoint restore + un-acked replay on the deterministic successor.
+
+    The two cells differ only in the machine spec's ``faults`` sub-key,
+    so their cache entries can never collide — the fault scenario is
+    part of every job's content address."""
+    faults = {"events": [
+        {"kind": "crash", "time": crash_time, "rank": -1}]}
+    params = {"checkpoint_interval": checkpoint_interval}
+    return (
+        Study("recovery",
+              title="Recovery - helper crash + replay vs fault-free (s)")
+        .axis("nprocs", _points(points))
+        .cell("Fault-free", app="cg.halo_recovery", params=params,
+              machine=_BESKOW)
+        .cell("Crash + recover", app="cg.halo_recovery", params=params,
+              machine={"preset": "beskow", "faults": faults},
+              meta={"crash_time": crash_time})
+    )
+
+
 #: name -> study builder(points=None, **kwargs)
 CATALOG: Dict[str, Callable[..., Study]] = {
     "fig5": fig5_study,
@@ -165,6 +196,7 @@ CATALOG: Dict[str, Callable[..., Study]] = {
     "fig7": fig7_study,
     "fig8": fig8_study,
     "placement": placement_study,
+    "recovery": recovery_study,
 }
 
 

@@ -68,9 +68,12 @@ MACHINE_FACTORIES: Dict[str, Callable[[], MachineConfig]] = {
 #: placement policies whose group blocks come from a compiled plan
 _PLAN_POLICIES = ("colocated", "partitioned")
 
-#: keys a machine spec may carry
+#: keys a machine spec may carry.  "faults" is not part of the
+#: MachineConfig — it resolves to a FaultPlan handed to the launcher —
+#: but riding in the machine spec means every cache key incorporates
+#: the fault scenario automatically (the spec is hashed verbatim).
 _MACHINE_KEYS = ("preset", "config", "noise", "topology", "placement",
-                 "ranks_per_node", "compute_speed")
+                 "ranks_per_node", "compute_speed", "faults")
 
 
 # ----------------------------------------------------------------------
@@ -138,6 +141,12 @@ def _register_builtin_apps() -> None:
         decoupled_worker,
         reference_worker,
     )
+    from ..faults.apps import (
+        CGHaloRecoveryConfig,
+        PcommRecoveryConfig,
+        cg_halo_recovery,
+        pcomm_recovery,
+    )
 
     for spec in (
         AppSpec("mapreduce.reference", reference_worker, MapReduceConfig,
@@ -160,6 +169,11 @@ def _register_builtin_apps() -> None:
                 "(args: [collective: bool])"),
         AppSpec("ipic3d.pio_decoupled", pio_decoupled, IPICConfig,
                 "iPIC3D particle I/O, decoupled buffered writers"),
+        AppSpec("cg.halo_recovery", cg_halo_recovery, CGHaloRecoveryConfig,
+                "CG halo funnel with checkpointed stream recovery"),
+        AppSpec("ipic3d.pcomm_recovery", pcomm_recovery,
+                PcommRecoveryConfig,
+                "iPIC3D exit funnel with checkpointed stream recovery"),
     ):
         register_app(spec)
 
@@ -182,26 +196,33 @@ def build_config(spec: AppSpec, nprocs: int, params: Dict[str, Any]) -> Any:
 # ----------------------------------------------------------------------
 
 def _max_elapsed(result) -> float:
-    return max(v["elapsed"] for v in result.values)
+    # crashed ranks (fault-injection runs) report None; the survivors
+    # define the figure metric
+    vals = [v["elapsed"] for v in result.values if v is not None]
+    if not vals:
+        raise StudyError("extractor max_elapsed: every rank crashed")
+    return max(vals)
 
 
 def _max_field(result, field: str, role: Optional[str] = None) -> float:
     vals = [v[field] for v in result.values
-            if role is None or v.get("role") == role]
+            if v is not None and (role is None or v.get("role") == role)]
     if not vals:
         raise StudyError(
-            f"extractor max_field: no rank has role {role!r}")
+            f"extractor max_field: no surviving rank has role {role!r}")
     return max(vals)
 
 
 def _pio_visible(result) -> float:
     """Fig. 8 decoupled metric: end-to-end time minus the movers'
     compute baseline — the particle-I/O cost a user actually observes."""
-    movers = [v for v in result.values if v.get("role") == "mover"]
+    movers = [v for v in result.values
+              if v is not None and v.get("role") == "mover"]
     if not movers:
         raise StudyError("extractor pio_visible: no mover ranks")
     baseline = max(v["elapsed"] - v["io_time"] for v in movers)
-    return max(v["elapsed"] for v in result.values) - baseline
+    return max(v["elapsed"] for v in result.values
+               if v is not None) - baseline
 
 
 EXTRACTORS: Dict[str, Callable] = {
@@ -279,6 +300,13 @@ def validate_machine_spec(spec: Optional[Dict[str, Any]],
         raise StudyError(
             f"unknown machine preset {preset!r}; "
             f"choose from {sorted(MACHINE_FACTORIES)}")
+    faults = spec.get("faults")
+    if faults is not None:
+        from ..faults.plan import FaultError, resolve_faults
+        try:
+            resolve_faults(faults)
+        except FaultError as exc:
+            raise StudyError(f"machine spec faults: {exc}") from exc
     placement = spec.get("placement")
     if placement is not None:
         if not isinstance(placement, dict):
@@ -302,6 +330,7 @@ def build_machine(spec: Optional[Dict[str, Any]], app: AppSpec,
     """Resolve a job's machine spec into a :class:`MachineConfig`."""
     spec = dict(spec or {})
     validate_machine_spec(spec, app)
+    spec.pop("faults", None)   # launcher concern, not a MachineConfig field
     if "config" in spec:
         base = MachineConfig.from_json(spec["config"])
     else:

@@ -48,10 +48,16 @@ def execute_job(job: Dict[str, Any]) -> Dict[str, Any]:
     global _SIMULATIONS_EXECUTED
     app = get_app(job["app"])
     cfg = build_config(app, job["nprocs"], job.get("params", {}))
-    machine = build_machine(job.get("machine"), app, cfg)
+    machine_spec = job.get("machine") or {}
+    machine = build_machine(machine_spec, app, cfg)
+    # the machine spec's "faults" sub-key is launcher input, not a
+    # MachineConfig field — but riding in the spec puts the fault
+    # scenario into every cache key
+    faults = machine_spec.get("faults")
     _SIMULATIONS_EXECUTED += 1
     sim = run(app.worker, job["nprocs"],
-              args=(cfg, *job.get("args", ())), machine=machine)
+              args=(cfg, *job.get("args", ())), machine=machine,
+              faults=faults)
     return {
         "value": apply_extract(job["extract"], sim),
         "sim": {"elapsed": sim.elapsed, "messages": sim.messages,
@@ -141,7 +147,7 @@ def run_study(study: Study,
 
 
 # ----------------------------------------------------------------------
-# the imperative escape hatch (and the harness.sweep shim's target)
+# the imperative escape hatch
 # ----------------------------------------------------------------------
 
 def sweep_callable(worker: Callable, cfg_factory: Callable[[int], Any],
@@ -153,7 +159,7 @@ def sweep_callable(worker: Callable, cfg_factory: Callable[[int], Any],
     This is the imperative pre-study sweep, kept for callables that are
     not registry apps — it cannot be parallelized or cached (closures
     don't serialize), which is exactly why declared studies are the
-    primary path.  :func:`repro.bench.harness.sweep` forwards here.
+    primary path.
     """
     from ..bench.harness import Series
 

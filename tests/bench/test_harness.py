@@ -12,7 +12,6 @@ from repro.bench.harness import (
     render_table,
     save_artifact,
     scale_points,
-    sweep,
 )
 from repro.simmpi import quiet_testbed
 
@@ -52,21 +51,27 @@ def test_series_value_names_the_missing_point():
         s.value(7)
 
 
-def test_ratio_to_is_a_deprecated_alias_of_speedup_over():
-    s = Series("a", points={64: 4.0})
-    t = Series("b", points={64: 1.0})
-    with pytest.warns(DeprecationWarning, match="speedup_over"):
-        assert t.ratio_to(s, 64) == t.speedup_over(s, 64) == 4.0
+def test_deprecated_shims_are_gone():
+    """The study-redesign deprecation cycle is over: the backwards-named
+    ratio_to and the forwarding sweep shim were removed."""
+    import repro.bench.harness as harness
+
+    assert not hasattr(Series, "ratio_to")
+    assert not hasattr(harness, "sweep")
+    assert "sweep" not in __import__("repro.bench", fromlist=[""]).__all__
 
 
-def test_sweep_runs_worker_at_each_point():
+def test_sweep_callable_runs_worker_at_each_point():
+    """study.sweep_callable is the imperative replacement for the
+    removed harness.sweep shim."""
+    from repro.study import sweep_callable
+
     def worker(comm, cfg):
         yield from comm.compute(cfg)
         return {"elapsed": comm.time}
 
-    with pytest.warns(DeprecationWarning, match="repro.study"):
-        s = sweep(worker, lambda p: 0.001 * p, [2, 4], quiet_testbed,
-                  max_elapsed, label="t")
+    s = sweep_callable(worker, lambda p: 0.001 * p, [2, 4], quiet_testbed,
+                       max_elapsed, label="t")
     assert s.points[2] == pytest.approx(0.002)
     assert s.points[4] == pytest.approx(0.004)
 

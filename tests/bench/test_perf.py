@@ -105,6 +105,24 @@ def test_committed_quickstart_golden_matches():
     perf.check_golden(rec, golden)
 
 
+def test_committed_fault_recovery_golden_matches():
+    """CI's fault-smoke gate, run as a unit test too: the crash+recover
+    scenario's virtual-time digest must match the committed golden —
+    recovery-timing drift fails exactly like fabric drift."""
+    golden = os.path.join(os.path.dirname(__file__), "..", "..",
+                          "benchmarks", "golden",
+                          "fault_recovery_perf.json")
+    rec = perf.run_scenario("fault-recovery", "fast")
+    perf.check_golden(rec, golden)
+
+
+def test_fault_recovery_scenario_has_no_oracle_leg():
+    scenario = perf.SCENARIOS["fault-recovery"]
+    assert scenario.slow_path == "none"
+    with pytest.raises(perf.PerfError, match="no oracle leg"):
+        perf.run_scenario("fault-recovery", "oracle")
+
+
 def test_cli_write_and_check_golden(tmp_path, capsys):
     golden = str(tmp_path / "g.json")
     assert cli_main(["perf", "--scenario", "quickstart",

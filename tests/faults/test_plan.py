@@ -1,0 +1,97 @@
+"""FaultPlan / Checkpoint declarations: validation and JSON round-trip."""
+
+import pytest
+
+from repro.faults import (
+    Checkpoint,
+    FaultError,
+    FaultPlan,
+    LinkDegrade,
+    RankCrash,
+    Slowdown,
+    resolve_faults,
+)
+
+
+def test_plan_json_round_trip():
+    plan = FaultPlan(
+        [RankCrash(0.5, 2),
+         Slowdown(0.1, 0.4, rank=1, factor=2.5),
+         LinkDegrade(0.2, 0.3, node_a=0, node_b=3, bw_factor=4.0)],
+        detection_latency=5e-5)
+    data = plan.to_json()
+    back = FaultPlan.from_json(data)
+    assert back.to_json() == data
+    assert len(back.crashes) == 1
+    assert len(back.slowdowns) == 1
+    assert len(back.link_events) == 1
+    assert back.detection_latency == 5e-5
+
+
+def test_plan_json_is_plain_data():
+    import json
+    plan = FaultPlan([RankCrash(0.5, -1)])
+    assert json.loads(json.dumps(plan.to_json())) == plan.to_json()
+
+
+def test_event_validation():
+    with pytest.raises(FaultError, match="crash time"):
+        FaultPlan([RankCrash(-1.0, 0)])
+    with pytest.raises(FaultError, match="t0 < t1"):
+        FaultPlan([Slowdown(0.5, 0.5, rank=0, factor=2.0)])
+    with pytest.raises(FaultError, match="factor must be >= 1"):
+        FaultPlan([Slowdown(0.0, 1.0, rank=0, factor=0.5)])
+    with pytest.raises(FaultError, match="bw_factor"):
+        FaultPlan([LinkDegrade(0.0, 1.0, node_a=0, node_b=1, bw_factor=1.0)])
+    with pytest.raises(FaultError, match="distinct"):
+        FaultPlan([LinkDegrade(0.0, 1.0, node_a=2, node_b=2, bw_factor=2.0)])
+    with pytest.raises(FaultError, match="crashes twice"):
+        FaultPlan([RankCrash(0.1, 3), RankCrash(0.2, 3)])
+    with pytest.raises(FaultError, match="overlap"):
+        FaultPlan([Slowdown(0.0, 0.5, rank=1, factor=2.0),
+                   Slowdown(0.4, 0.8, rank=1, factor=3.0)])
+
+
+def test_from_json_rejects_unknowns():
+    with pytest.raises(FaultError, match="unknown keys"):
+        FaultPlan.from_json({"events": [], "bogus": 1})
+    with pytest.raises(FaultError, match="unknown fault event kind"):
+        FaultPlan.from_json({"events": [{"kind": "meteor"}]})
+    with pytest.raises(FaultError, match="unknown fields"):
+        FaultPlan.from_json(
+            {"events": [{"kind": "crash", "time": 0.1, "rank": 0,
+                         "color": "red"}]})
+    with pytest.raises(FaultError, match="missing field"):
+        FaultPlan.from_json({"events": [{"kind": "crash", "time": 0.1}]})
+
+
+def test_resolve_ranks_handles_negative_indexing():
+    plan = FaultPlan([RankCrash(0.5, -1), Slowdown(0.0, 1.0, -2, 2.0)])
+    resolved = plan.resolve_ranks(8)
+    assert resolved.crashes[0].rank == 7
+    assert resolved.slowdowns[0].rank == 6
+    with pytest.raises(FaultError, match="does not resolve"):
+        FaultPlan([RankCrash(0.5, 8)]).resolve_ranks(8)
+    with pytest.raises(FaultError, match="does not resolve"):
+        FaultPlan([RankCrash(0.5, -9)]).resolve_ranks(8)
+
+
+def test_resolve_faults_normalizes():
+    assert resolve_faults(None) is None
+    plan = FaultPlan([RankCrash(0.1, 0)])
+    assert resolve_faults(plan) is plan
+    built = resolve_faults(
+        {"events": [{"kind": "crash", "time": 0.1, "rank": 0}]})
+    assert isinstance(built, FaultPlan)
+    assert built.crashes[0] == RankCrash(0.1, 0)
+    with pytest.raises(FaultError, match="faults must be"):
+        resolve_faults("crash-please")
+
+
+def test_checkpoint_policy():
+    ckpt = Checkpoint(interval=16, state_nbytes=1024, ack_nbytes=32)
+    assert Checkpoint.from_json(ckpt.to_json()) == ckpt
+    with pytest.raises(FaultError, match="interval"):
+        Checkpoint(interval=0).validate()
+    with pytest.raises(FaultError, match="unknown keys"):
+        Checkpoint.from_json({"interval": 4, "flavor": "mint"})

@@ -1,0 +1,92 @@
+"""Channel/stream misuse errors name the offending rank and its role."""
+
+import pytest
+
+from repro.mpistream import attach, create_channel
+from repro.simmpi import quiet_testbed, run
+from repro.simmpi.errors import CommunicatorError
+
+
+def _run(prog, nprocs=4):
+    return run(prog, nprocs, machine=quiet_testbed())
+
+
+def test_check_alive_names_rank_and_role():
+    def prog(comm):
+        ch = yield from create_channel(comm, is_producer=comm.rank < 3,
+                                       is_consumer=comm.rank == 3)
+        yield from ch.free()
+        if comm.rank == 1:
+            with pytest.raises(CommunicatorError,
+                               match=r"freed stream channel \(rank 1, "
+                                     r"role producer\)"):
+                ch.check_alive()
+        if comm.rank == 3:
+            with pytest.raises(CommunicatorError,
+                               match=r"rank 3, role consumer"):
+                ch.check_alive()
+        return "ok"
+
+    assert _run(prog).values == ["ok"] * 4
+
+
+def test_isend_on_non_producer_names_rank_and_role():
+    def prog(comm):
+        ch = yield from create_channel(comm, is_producer=comm.rank < 3,
+                                       is_consumer=comm.rank == 3)
+        s = yield from attach(ch, operator=lambda e: None)
+        if comm.rank == 3:
+            with pytest.raises(CommunicatorError,
+                               match=r"non-producer rank \(rank 3, "
+                                     r"role consumer\)"):
+                yield from s.isend(1)
+        else:
+            yield from s.isend(comm.rank)
+            yield from s.terminate()
+        if comm.rank == 3:
+            yield from s.operate()
+        yield from ch.free()
+        return "ok"
+
+    assert _run(prog).values == ["ok"] * 4
+
+
+def test_recv_and_terminate_roles_in_messages():
+    def prog(comm):
+        ch = yield from create_channel(comm, is_producer=comm.rank < 3,
+                                       is_consumer=comm.rank == 3)
+        s = yield from attach(ch, operator=lambda e: None)
+        if comm.rank == 0:
+            with pytest.raises(CommunicatorError,
+                               match=r"recv_element on a non-consumer "
+                                     r"rank \(rank 0, role producer\)"):
+                yield from s.recv_element()
+        if comm.rank == 3:
+            with pytest.raises(CommunicatorError,
+                               match=r"terminate on a non-producer rank "
+                                     r"\(rank 3, role consumer\)"):
+                yield from s.terminate()
+        if comm.rank < 3:
+            yield from s.terminate()
+        else:
+            yield from s.operate()
+        yield from ch.free()
+        return "ok"
+
+    assert _run(prog).values == ["ok"] * 4
+
+
+def test_bystander_role_in_message():
+    def prog(comm):
+        ch = yield from create_channel(comm, is_producer=comm.rank == 0,
+                                       is_consumer=comm.rank == 1)
+        assert ch.role == ("producer" if comm.rank == 0 else
+                           "consumer" if comm.rank == 1 else "bystander")
+        yield from ch.free()
+        if comm.rank == 2:
+            with pytest.raises(CommunicatorError,
+                               match=r"rank 2, role bystander"):
+                ch.check_alive()
+        return "ok"
+
+    assert _run(prog).values == ["ok"] * 4

@@ -1,0 +1,70 @@
+"""Faults as a study dimension: machine-spec sub-key + cache keys."""
+
+import pytest
+
+from repro.study import StudyError, get_study
+from repro.study.cache import job_key, load, store
+from repro.study.registry import validate_machine_spec, get_app
+from repro.study.runner import execute_job
+
+_CRASH = {"events": [{"kind": "crash", "time": 0.004, "rank": -1}]}
+
+
+def _job(faults=None, nprocs=8):
+    machine = {"preset": "quiet"}
+    if faults is not None:
+        machine["faults"] = faults
+    return {
+        "study": "t", "series": "s", "x": nprocs,
+        "app": "cg.halo_recovery", "nprocs": nprocs,
+        "params": {"alpha": 0.25, "elements_per_producer": 20},
+        "args": [], "machine": machine, "extract": "max_elapsed",
+        "meta": {},
+    }
+
+
+def test_cache_key_incorporates_fault_spec():
+    assert job_key(_job()) != job_key(_job(faults=_CRASH))
+    other = {"events": [{"kind": "crash", "time": 0.005, "rank": -1}]}
+    assert job_key(_job(faults=_CRASH)) != job_key(_job(faults=other))
+    # presentation fields still stay out of the key
+    renamed = dict(_job(faults=_CRASH), series="renamed")
+    assert job_key(renamed) == job_key(_job(faults=_CRASH))
+
+
+def test_cache_never_serves_across_fault_specs(tmp_path):
+    cache = str(tmp_path)
+    faulted = _job(faults=_CRASH)
+    store(cache, faulted, {"value": 1.25, "sim": {}})
+    assert load(cache, faulted) == {"value": 1.25, "sim": {}}
+    assert load(cache, _job()) is None
+
+
+def test_execute_job_injects_faults():
+    fault_free = execute_job(_job())
+    faulted = execute_job(_job(faults=_CRASH))
+    # the crash + recovery must cost time, deterministically
+    assert faulted["value"] > fault_free["value"]
+    assert execute_job(_job(faults=_CRASH))["value"] == faulted["value"]
+
+
+def test_machine_spec_validates_fault_plans():
+    app = get_app("cg.halo_recovery")
+    validate_machine_spec({"preset": "quiet", "faults": _CRASH}, app)
+    with pytest.raises(StudyError, match="faults"):
+        validate_machine_spec(
+            {"preset": "quiet",
+             "faults": {"events": [{"kind": "meteor"}]}}, app)
+
+
+def test_recovery_catalog_study_declares_both_lines():
+    study = get_study("recovery", points=[8])
+    jobs = study.jobs()
+    assert [j["series"] for j in jobs] == ["Fault-free", "Crash + recover"]
+    faulted = jobs[1]
+    assert faulted["machine"]["faults"]["events"][0]["kind"] == "crash"
+    assert job_key(jobs[0]) != job_key(faulted)
+    # a study round-trips with its fault spec intact
+    from repro.study import Study
+    back = Study.from_json(study.to_json())
+    assert back.jobs() == jobs

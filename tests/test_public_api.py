@@ -12,6 +12,7 @@ MODULES = [
     "repro.core",
     "repro.trace",
     "repro.api",
+    "repro.faults",
     "repro.workloads",
     "repro.apps.mapreduce",
     "repro.apps.cg",
@@ -31,6 +32,10 @@ EXPORTING_MODULES = [
     "repro.core",
     "repro.trace",
     "repro.api",
+    "repro.faults",
+    "repro.faults.apps",
+    "repro.faults.injector",
+    "repro.faults.plan",
     "repro.workloads",
     "repro.apps.mapreduce",
     "repro.apps.cg",
@@ -94,6 +99,18 @@ def test_study_exports():
     # every figure the CLI names is in the study catalog
     from repro.bench.cli import SWEEP_FIGURES
     assert set(SWEEP_FIGURES) == set(m.CATALOG)
+
+
+def test_faults_exports():
+    import repro.faults as m
+    for name in ("FaultPlan", "RankCrash", "Slowdown", "LinkDegrade",
+                 "Checkpoint", "FaultController", "resolve_faults"):
+        assert hasattr(m, name), name
+    # the ULFM-style error surface lives in simmpi
+    from repro.simmpi import ProcessFailedError, RevokedError  # noqa: F401
+    from repro.simmpi.comm import Comm
+    assert hasattr(Comm, "failure_ack")
+    assert hasattr(Comm, "revoke")
 
 
 def test_version():

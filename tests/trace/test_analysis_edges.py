@@ -1,0 +1,101 @@
+"""trace.analysis edge cases: empty traces, zero-length intervals,
+single-rank statistics."""
+
+from repro.trace.analysis import (
+    concurrency_profile,
+    idle_fraction,
+    imbalance_stats,
+    measured_beta,
+    overlap_fraction,
+)
+from repro.trace.recorder import Interval, Tracer
+
+
+def _tracer(intervals):
+    """Build a tracer by hand: ``Tracer.record`` filters zero-length
+    intervals, but the analysis layer must stay robust to synthetic or
+    externally loaded traces that contain them."""
+    t = Tracer()
+    for rank, category, label, t0, t1 in intervals:
+        t.intervals.append(Interval(rank, category, label, t0, t1))
+    return t
+
+
+def test_record_drops_zero_length_intervals():
+    t = Tracer()
+    t.record(0, "compute", "a", 1.0, 1.0)
+    assert t.intervals == []
+
+
+# ----------------------------------------------------------------------
+# empty interval lists
+# ----------------------------------------------------------------------
+
+def test_empty_tracer_yields_neutral_metrics():
+    t = _tracer([])
+    assert overlap_fraction(t, "a", "b") == 0.0
+    assert measured_beta(t, "a", "b") == 1.0
+    assert idle_fraction(t, rank=0) == 0.0
+    stats = imbalance_stats(t)
+    assert stats == {"min": 0.0, "max": 0.0, "mean": 0.0, "cv": 0.0,
+                     "ranks": 0}
+    assert concurrency_profile(t, "a", nbuckets=5) == [0] * 5
+
+
+def test_labels_absent_from_a_nonempty_trace():
+    t = _tracer([(0, "compute", "x", 0.0, 1.0)])
+    assert overlap_fraction(t, "missing", "x") == 0.0
+    assert overlap_fraction(t, "x", "missing") == 0.0
+    # op1 never starts: all of op0 ran "before" it (staged execution)
+    assert measured_beta(t, "x", "missing") == 1.0
+
+
+# ----------------------------------------------------------------------
+# zero-length intervals
+# ----------------------------------------------------------------------
+
+def test_zero_length_intervals_contribute_nothing():
+    t = _tracer([
+        (0, "compute", "a", 1.0, 1.0),      # zero-length
+        (0, "compute", "b", 0.0, 2.0),
+    ])
+    # total busy time of "a" is 0: the fraction must be 0, not NaN
+    assert overlap_fraction(t, "a", "b") == 0.0
+    assert measured_beta(t, "a", "b") == 1.0
+    stats = imbalance_stats(t, label="a")
+    assert stats["ranks"] == 1
+    assert stats["mean"] == 0.0
+    assert stats["cv"] == 0.0                # mean 0 guarded
+
+
+def test_idle_fraction_with_zero_horizon():
+    t = _tracer([(3, "compute", "a", 0.5, 0.5)])
+    assert idle_fraction(t, rank=3) == 0.0
+
+
+def test_concurrency_profile_of_instantaneous_label():
+    t = _tracer([(0, "compute", "a", 1.0, 1.0),
+                 (1, "compute", "a", 1.0, 1.0)])
+    # t1 == t0 for every span: degenerate horizon, all-zero profile
+    assert concurrency_profile(t, "a", nbuckets=4) == [0] * 4
+
+
+# ----------------------------------------------------------------------
+# single-rank traces
+# ----------------------------------------------------------------------
+
+def test_single_rank_imbalance_stats():
+    t = _tracer([(5, "compute", "k", 0.0, 2.0),
+                 (5, "compute", "k", 3.0, 4.0)])
+    stats = imbalance_stats(t)
+    assert stats["ranks"] == 1
+    assert stats["min"] == stats["max"] == stats["mean"] == 3.0
+    assert stats["cv"] == 0.0                # one rank cannot be imbalanced
+
+
+def test_single_rank_overlap_fraction():
+    t = _tracer([(0, "compute", "a", 0.0, 1.0),
+                 (0, "io", "b", 0.5, 2.0)])
+    assert overlap_fraction(t, "a", "b") == 0.5
+    assert overlap_fraction(t, "b", "a") == 0.5 / 1.5
+    assert idle_fraction(t, rank=0) == 0.0   # busy the whole horizon
