@@ -218,6 +218,43 @@ class Simulation:
         return Report(sim=sim, plan=compiled.plan,
                       records=list(sim.values))
 
+    def couple(self, graph_a: StreamGraph, graph_b: StreamGraph, *,
+               hub=None, port_a: str, port_b: str,
+               nprocs_a: Optional[int] = None) -> Report:
+        """Run two stream graphs coupled through a translator hub.
+
+        The world is split ``[A ranks | hub ranks | B ranks]``; each
+        graph runs on its own sub-communicator and the two exchange
+        elements through the hub's receive → transform → send stage
+        (see :mod:`repro.cosim`).  ``hub`` is a
+        :class:`~repro.cosim.HubSpec`, its mapping form, or None for
+        the defaults; ``port_a``/``port_b`` name the stage of each
+        graph that talks to the hub; ``nprocs_a`` overrides the even
+        split of the non-hub ranks.
+        """
+        from ..cosim import CosimError, plan_layout, run_coupled
+        if self._plan_placement is not None:
+            raise GraphError(
+                f"placement {self._plan_placement!r} derives group blocks "
+                "from a single StreamGraph's plan; coupled runs need an "
+                "explicit PlacementPolicy")
+        try:
+            layout = plan_layout(self.nprocs, hub, graph_a, graph_b,
+                                 port_a, port_b, nprocs_a)
+        except CosimError as exc:
+            raise GraphError(str(exc)) from exc
+
+        def main(comm):
+            record = yield from run_coupled(
+                comm, graph_a, graph_b, layout.hub,
+                port_a=port_a, port_b=port_b, nprocs_a=layout.nprocs_a)
+            return record
+
+        sim = run(main, self.nprocs, machine=self.machine,
+                  trace=self.trace, max_events=self.max_events,
+                  faults=self.faults)
+        return Report(sim=sim)
+
     def _run_program(self, fn: Callable, args: tuple,
                      rank_args: Optional[Callable[[int], tuple]]) -> Report:
         if self._plan_placement is not None:

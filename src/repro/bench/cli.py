@@ -32,7 +32,12 @@ import os
 import sys
 from typing import List, Optional
 
-from .figures import fig2_traces, fig3_execution_models, fig_recovery
+from .figures import (
+    fig2_traces,
+    fig3_execution_models,
+    fig_cosim,
+    fig_recovery,
+)
 from .harness import (
     DEFAULT_POINTS,
     Series,
@@ -49,8 +54,10 @@ SWEEP_FIGURES = {
     "fig8": "Fig. 8 - particle I/O (s)",
     "placement": "Placement - colocated vs partitioned on a fat-tree (s)",
     "recovery": "Recovery - helper crash + replay vs fault-free (s)",
+    "cosim": "Co-simulation - hub sensitivity (us)",
 }
-ALL_FIGURES = ("fig2", "fig3", "fig_recovery") + tuple(SWEEP_FIGURES)
+ALL_FIGURES = ("fig2", "fig3", "fig_recovery",
+               "fig_cosim") + tuple(SWEEP_FIGURES)
 
 
 def _parse_points(text: Optional[str]) -> List[int]:
@@ -104,6 +111,22 @@ def run_figure(name: str, points: List[int],
         save_artifact("fig_recovery",
                       out["overhead"] + out["recover"], out_dir=out_dir)
         return
+    if name == "fig_cosim":
+        out = fig_cosim()
+        print("Co-simulation - coupled makespan vs hub buffer depth (s):")
+        for s in out["backpressure"]:
+            row = ", ".join(f"d={k}: {v:.6f}" for k, v in
+                            sorted(s.points.items()))
+            print(f"  {s.label:>16}: {row}")
+        print("Co-simulation - crash handoff overhead vs hub size "
+              "(extra s over fault-free):")
+        for s in out["recovery"]:
+            row = ", ".join(f"H={k}: {v:.6f}" for k, v in
+                            sorted(s.points.items()))
+            print(f"  {s.label:>16}: {row}")
+        save_artifact("fig_cosim",
+                      out["backpressure"] + out["recovery"], out_dir=out_dir)
+        return
     # a sweep figure: run its study-catalog declaration
     from ..study import get_study, run_study
 
@@ -112,11 +135,32 @@ def run_figure(name: str, points: List[int],
     save_artifact(f"{name}_cli", rs.to_series(), out_dir=out_dir)
 
 
+def list_studies() -> str:
+    """One line per catalog study: name, title, and its axes."""
+    from ..study.catalog import CATALOG, get_study
+
+    lines = []
+    for name in sorted(CATALOG):
+        study = get_study(name)
+        axes = ", ".join(
+            f"{axis}[{len(values)}]={list(values)}"
+            for axis, values in study.axes.items())
+        lines.append(f"{name:>12}  {study.title}")
+        lines.append(f"{'':>12}  axes: {axes}")
+    return "\n".join(lines)
+
+
 def run_study_cmd(args) -> int:
     """The ``study`` subcommand: run one catalog study end to end."""
     from ..study import get_study, run_study
     from ..study.catalog import CATALOG
 
+    if args.list:
+        if args.name:
+            raise SystemExit("--list enumerates the catalog; it does not "
+                             "take a study name")
+        print(list_studies())
+        return 0
     catalog = ", ".join(sorted(CATALOG))
     if not args.name:
         raise SystemExit(
@@ -129,7 +173,12 @@ def run_study_cmd(args) -> int:
         raise SystemExit(
             "--expect-cached asserts a warm cache; give --cache DIR "
             "(or set $REPRO_STUDY_CACHE)")
-    study = get_study(args.name, points=_parse_points(args.points))
+    # --points absent: pass None so each study keeps its own default
+    # axis (the fig studies default to scale_points(); cosim's default
+    # is deliberately small — its sweep is 16 cells per point)
+    study = get_study(
+        args.name,
+        points=_parse_points(args.points) if args.points else None)
     rs = run_study(study, jobs=args.jobs, cache=args.cache, progress=print)
     print(rs.table())
     print(f"jobs: {len(rs)} total, {rs.executed} executed, "
@@ -245,6 +294,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     study_group.add_argument("--csv", default=None, metavar="FILE",
                              help="also export the study results as CSV "
                                   "(study command only)")
+    study_group.add_argument("--list", action="store_true",
+                             help="list the catalog studies with their "
+                                  "axes and exit (study command only)")
     study_group.add_argument("--expect-cached", action="store_true",
                              help="exit 1 unless every job was served "
                                   "from the cache (CI gate: a warm rerun "
@@ -280,11 +332,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         raise SystemExit(
             f"unexpected argument {args.name!r}: only the 'study' "
             "command takes a name")
-    if args.csv or args.expect_cached:
+    if args.csv or args.expect_cached or args.list:
         # refuse rather than silently ignore: a no-op --expect-cached
         # would green-light a broken cache gate
         raise SystemExit(
-            "--csv/--expect-cached only apply to the 'study' command")
+            "--csv/--expect-cached/--list only apply to the 'study' "
+            "command")
     points = _parse_points(args.points)
     names = ALL_FIGURES if args.figure == "all" else (args.figure,)
     for name in names:

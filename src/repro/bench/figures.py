@@ -170,6 +170,63 @@ def fig_recovery(nprocs: int = 32,
 
 
 # ----------------------------------------------------------------------
+# Co-simulation figure — hub back-pressure and crash handoff (repro.cosim)
+# ----------------------------------------------------------------------
+
+def fig_cosim(nprocs: int = 12,
+              depths: Tuple[int, ...] = (1, 2, 4, 8),
+              ratios: Tuple[int, ...] = (1, 2, 4),
+              hub_sizes: Tuple[int, ...] = (2, 3, 4),
+              crash_fraction: float = 0.5) -> Dict[str, List[Series]]:
+    """The coupled micro/macro pair through a translator hub.
+
+    Two curves:
+
+    * **back-pressure vs buffer depth** — one series per scale ratio;
+      the y-value is the coupled makespan (seconds).  Shallow double
+      buffers stall the producing simulator in rendezvous whenever the
+      transform is busy; deeper buffers absorb the burstiness until the
+      transform itself is the bottleneck.
+    * **crash handoff overhead vs hub size** — the first hub rank
+      crashes mid-stream; the y-value is the extra elapsed time over
+      the fault-free run of the same spec (mirror restore + un-acked
+      replay on the cyclic successor).
+    """
+    from ..cosim import CosimConfig, HubSpec, cosim_worker
+    from ..simmpi.launcher import run
+
+    cfg = CosimConfig(nprocs=nprocs, elements_per_producer=24,
+                      produce_seconds=2e-6)
+
+    def elapsed(spec, faults=None):
+        return run(cosim_worker, nprocs, args=(cfg, spec),
+                   machine=beskow(), faults=faults).elapsed
+
+    depth_series: List[Series] = []
+    for ratio in ratios:
+        s = Series(f"1:{ratio} scale", meta={"nprocs": nprocs})
+        for depth in depths:
+            s.points[depth] = elapsed(
+                HubSpec(size=2, buffer_depth=depth,
+                        transform_seconds=4e-6, scale_ratio=ratio))
+        depth_series.append(s)
+
+    recover = Series("hub crash overhead",
+                     meta={"nprocs": nprocs,
+                           "crash_fraction": crash_fraction})
+    for hub_size in hub_sizes:
+        spec = HubSpec(size=hub_size, buffer_depth=4,
+                       transform_seconds=4e-6, scale_ratio=2)
+        base = elapsed(spec)
+        first_hub_rank = (nprocs - hub_size) // 2  # the layout's default
+        faults = {"events": [{"kind": "crash",
+                              "time": base * crash_fraction,
+                              "rank": first_hub_rank}]}
+        recover.points[hub_size] = elapsed(spec, faults=faults) - base
+    return {"backpressure": depth_series, "recovery": [recover]}
+
+
+# ----------------------------------------------------------------------
 # Fig. 2 — execution traces of iPIC3D, reference vs decoupled
 # ----------------------------------------------------------------------
 

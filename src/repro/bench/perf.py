@@ -203,6 +203,28 @@ _FAULT_RECOVERY_PLAN = {
 }
 
 
+def _cosim_build():
+    """The coupled micro/macro pair through a 2-rank translator hub
+    whose first rank crashes mid-stream: intercommunicator failure
+    detection, window-mirrored buffer adoption by the cyclic successor,
+    un-acked producer replay and TERM handoff all sit on the measured
+    path.  The committed golden digest pins the recovered results."""
+    from ..cosim.apps import CosimConfig, cosim_worker
+    from ..cosim.spec import HubSpec
+    cfg = CosimConfig(nprocs=24, elements_per_producer=24,
+                      produce_seconds=2e-6)
+    spec = HubSpec(size=2, buffer_depth=2, transform_seconds=1e-6,
+                   scale_ratio=3, element_bytes=2048)
+    return cosim_worker, (cfg, spec), _quiet_beskow()
+
+
+#: the cosim scenario's plan: crash the first hub rank (global rank
+#: nprocs_a = (24 - 2) // 2 = 11) mid-stream, while both sides are live
+_COSIM_PLAN = {
+    "events": [{"kind": "crash", "time": 6e-5, "rank": 11}],
+}
+
+
 SCENARIOS: Dict[str, Scenario] = {
     s.name: s for s in (
         Scenario("quickstart", "compute->analyze stream graph, 16 ranks",
@@ -231,6 +253,10 @@ SCENARIOS: Dict[str, Scenario] = {
                  "helper crash + checkpoint replay on a 64-rank funnel",
                  64, _fault_recovery_build,
                  slow_path="none", faults=_FAULT_RECOVERY_PLAN),
+        Scenario("cosim",
+                 "coupled hub + crashed translator rank, 24 ranks",
+                 24, _cosim_build,
+                 slow_path="none", faults=_COSIM_PLAN),
     )
 }
 
@@ -238,7 +264,7 @@ SCENARIOS: Dict[str, Scenario] = {
 #: its slow-path leg alone runs for minutes)
 DEFAULT_SCENARIOS = ("quickstart", "fig5-256", "fig5-1024", "fig7-pcomm",
                      "fig5-placement", "fig5-colocated", "fabric-contention",
-                     "fault-recovery")
+                     "fault-recovery", "cosim")
 
 
 # ----------------------------------------------------------------------
@@ -291,12 +317,16 @@ def _clear_memos() -> None:
     memoization must never flatter the second leg of a comparison."""
     from ..apps.mapreduce import common as mr_common
     from ..apps.mapreduce import decoupled as mr_decoupled
+    from ..cosim import apps as cosim_apps
+    from ..cosim import coupling as cosim_coupling
     from ..faults import apps as fault_apps
     from ..simmpi import topology
     mr_common._rank_file_memo.clear()
     mr_common._chunk_sketch_memo.clear()
     mr_decoupled._compiled_memo.clear()
     fault_apps._compiled_memo.clear()
+    cosim_apps._graph_memo.clear()
+    cosim_coupling._compile_memo.clear()
     topology._best_dims.cache_clear()
     topology._divisors.cache_clear()
 

@@ -1,0 +1,35 @@
+"""repro.cosim: coupled-simulator (hub) workloads.
+
+Two :class:`~repro.api.StreamGraph` simulators with different time
+scales exchange elements through a *hub* — a group of translator ranks
+modeled after InterscaleHUB-style co-simulation middleware.  The hub
+runs receive → transform → send over explicit double buffers, built on
+the simulator's intercommunicators (:meth:`Comm.create_intercomm`) and
+one-sided windows (:class:`~repro.simmpi.rma.Win`); a crashed hub rank
+is recovered by its cyclic successor from the state it mirrored into
+the successor's window.
+
+Entry points: :meth:`repro.api.Simulation.couple` (declarative),
+:func:`run_coupled` (SPMD main), and the ``cosim.hub`` registry app
+(studies / the ``cosim`` catalog sweep).
+"""
+
+from .apps import CosimConfig, build_graphs, cosim_worker
+from .coupling import CouplingLayout, plan_layout, run_coupled
+from .hub import APort, BPort, hub_main
+from .spec import CosimError, HubSpec, resolve_hub
+
+__all__ = [
+    "APort",
+    "BPort",
+    "CosimConfig",
+    "CosimError",
+    "CouplingLayout",
+    "HubSpec",
+    "build_graphs",
+    "cosim_worker",
+    "hub_main",
+    "plan_layout",
+    "resolve_hub",
+    "run_coupled",
+]

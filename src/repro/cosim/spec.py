@@ -1,0 +1,95 @@
+"""The coupling specification: how big the hub is and how it behaves.
+
+A :class:`HubSpec` is the declarative knob set of a co-simulation hub
+(InterscaleHUB-shaped): how many translator ranks, how deep each rank's
+double buffer is, what one element costs to transform, and how many
+fine-scale (micro) elements aggregate into one coarse-scale (macro)
+element.  It round-trips through JSON so it can ride in a study's
+machine spec (``machine.cosim.*``) and enter the cache key like every
+other machine axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Mapping, Union
+
+
+class CosimError(ValueError):
+    """Invalid coupling specification or coupled-graph wiring."""
+
+
+@dataclass(frozen=True)
+class HubSpec:
+    """Parameters of the translator (hub) group between two simulators.
+
+    size:
+        Number of hub (translator) ranks.
+    buffer_depth:
+        Capacity of each hub rank's fill buffer.  The hub stops
+        matching incoming elements while the fill buffer is at capacity
+        and the drain buffer is still being transformed — rendezvous
+        back-pressure then propagates to the producing simulator.
+    transform_seconds:
+        Modeled compute cost of transforming one element.
+    scale_ratio:
+        Micro elements aggregated into one macro element per producer
+        (the time-scale translation: the receiving simulator advances
+        once per ``scale_ratio`` steps of the sending one).
+    element_bytes:
+        Wire size of one element (micro and macro alike).
+    """
+
+    size: int = 2
+    buffer_depth: int = 4
+    transform_seconds: float = 0.0
+    scale_ratio: int = 1
+    element_bytes: int = 1024
+
+    def validate(self) -> None:
+        if self.size < 1:
+            raise CosimError(f"hub size must be >= 1, got {self.size}")
+        if self.buffer_depth < 1:
+            raise CosimError(
+                f"hub buffer_depth must be >= 1, got {self.buffer_depth}")
+        if self.transform_seconds < 0:
+            raise CosimError(
+                f"hub transform_seconds must be >= 0, got "
+                f"{self.transform_seconds}")
+        if self.scale_ratio < 1:
+            raise CosimError(
+                f"hub scale_ratio must be >= 1, got {self.scale_ratio}")
+        if self.element_bytes < 1:
+            raise CosimError(
+                f"hub element_bytes must be >= 1, got {self.element_bytes}")
+
+    def to_json(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "HubSpec":
+        if not isinstance(data, Mapping):
+            raise CosimError(
+                f"cosim spec must be a mapping of HubSpec fields, "
+                f"got {type(data).__name__}")
+        known = {f for f in cls.__dataclass_fields__}  # noqa: C416
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise CosimError(
+                f"unknown cosim spec field(s) {unknown}; "
+                f"known fields: {sorted(known)}")
+        spec = cls(**dict(data))
+        spec.validate()
+        return spec
+
+
+def resolve_hub(hub: Union[None, Mapping[str, Any], HubSpec]) -> HubSpec:
+    """Accept a HubSpec, its JSON dict, or None (defaults)."""
+    if hub is None:
+        spec = HubSpec()
+        spec.validate()
+        return spec
+    if isinstance(hub, HubSpec):
+        hub.validate()
+        return hub
+    return HubSpec.from_json(hub)

@@ -68,6 +68,11 @@ class FaultController:
         for windows in self._windows.values():
             windows.sort()
         self._contexts: Dict[int, Tuple[Tuple[int, ...], Tuple[int, int]]] = {}
+        #: intercommunicators, kept separate because the detection sweep
+        #: crosses groups: a dead rank in one group dooms receives posted
+        #: by the *other* group.  context -> (group, other group, contexts)
+        self._inter_contexts: Dict[
+            int, Tuple[Tuple[int, ...], Tuple[int, ...], Tuple[int, int]]] = {}
         #: context ids of revoked communicators (ULFM MPI_Comm_revoke)
         self.revoked: set = set()
         #: (channel context, stream tag) -> local ranks of producers
@@ -85,6 +90,14 @@ class FaultController:
         """Record a communicator's membership for the detection sweep
         (called from ``Comm.__init__`` on fault-mode runs; the first
         member instance wins, they are identical by construction)."""
+        remote = getattr(comm, "remote_ranks", None)
+        if remote is not None:
+            # either side may register first; the sweep treats the two
+            # groups symmetrically, so the stored orientation is moot
+            if comm.context not in self._inter_contexts:
+                self._inter_contexts[comm.context] = (
+                    comm.ranks, remote, (comm.context, comm.context_coll))
+            return
         if comm.context not in self._contexts:
             self._contexts[comm.context] = (
                 comm.ranks, (comm.context, comm.context_coll))
@@ -148,6 +161,23 @@ class FaultController:
                 victims = mailboxes[g].cancel_posted(contexts, dead_local)
                 for req in victims:
                     engine.set_flag(req, FaultSignal(exc))
+        # intercommunicators: a dead rank is addressed by its rank in its
+        # OWN group, and the doomed receives were posted by the OTHER
+        # group — so the sweep crosses sides
+        for key in sorted(self._inter_contexts):
+            group_a, group_b, contexts = self._inter_contexts[key]
+            if rank in group_a:
+                dead_local, victims_of = group_a.index(rank), group_b
+            elif rank in group_b:
+                dead_local, victims_of = group_b.index(rank), group_a
+            else:
+                continue
+            for g in victims_of:
+                if g in self.failed:
+                    continue
+                victims = mailboxes[g].cancel_posted(contexts, dead_local)
+                for req in victims:
+                    engine.set_flag(req, FaultSignal(exc))
 
     # ------------------------------------------------------------------
     # communicator revocation (ULFM MPI_Comm_revoke)
@@ -173,7 +203,10 @@ class FaultController:
             f"communicator {comm.name!r} revoked", rank=comm.rank)
         engine = self.engine
         mailboxes = self.world.mailboxes
-        for g in comm.ranks:
+        # on an intercomm both groups post receives on the revoked
+        # context; sweep every member of either side
+        members = comm.ranks + getattr(comm, "remote_ranks", ())
+        for g in members:
             if g in self.failed:
                 continue
             for req in mailboxes[g].cancel_posted(todo, None):
@@ -198,19 +231,23 @@ class FaultController:
         if not self.detected:
             return
         detected = self.detected
+        # intercomm receives are addressed by remote-group rank; the
+        # peers whose death dooms them live in the remote group
+        peers = comm.remote_ranks if comm.is_inter else comm.ranks
         if source == ANY_SOURCE:
             if comm._fault_acked >= self.version:
                 return
-            dead = [i for i, g in enumerate(comm.ranks) if g in detected]
+            dead = [i for i, g in enumerate(peers) if g in detected]
             if dead:
                 raise ProcessFailedError(
                     f"wildcard receive on {comm.name!r} interrupted: "
-                    f"member rank(s) {dead} failed; call failure_ack() "
+                    f"{'remote ' if comm.is_inter else ''}member rank(s) "
+                    f"{dead} failed; call failure_ack() "
                     "to continue receiving from the survivors",
                     rank=dead[0])
             comm._fault_acked = self.version
             return
-        g = comm.ranks[source]
+        g = peers[source]
         if g in detected:
             raise ProcessFailedError(
                 f"receive from rank {source} on {comm.name!r}: peer "

@@ -53,7 +53,10 @@ class StreamChannel:
                  groups: Optional[_ChannelGroups] = None):
         if not producers or not consumers:
             raise CommunicatorError(
-                "a stream channel needs at least one producer and one consumer"
+                f"a stream channel needs at least one producer and one "
+                f"consumer: got {len(producers)} producer(s) and "
+                f"{len(consumers)} consumer(s) over {comm.name!r} "
+                f"of size {comm.size}"
             )
         if groups is None:
             groups = _ChannelGroups(list(producers), list(consumers))

@@ -33,7 +33,7 @@ from .config import (
     quiet_testbed,
     resolve_topology,
 )
-from .comm import Comm, World
+from .comm import Comm, Intercomm, World
 from .fabrics import DragonflyFabric, FatTreeFabric
 from .placement import (
     BlockPlacement,
@@ -72,12 +72,14 @@ from .errors import (
     SimMPIError,
     TopologyError,
     TruncationError,
+    WindowError,
 )
 from .launcher import SimResult, run
 from .matching import ANY_SOURCE, ANY_TAG, TAG_UB
 from .noise import NoiseModel
 from .network import Fabric, Network, TransferTiming, build_network
 from .request import PersistentRequest, Request, Status
+from .rma import Win
 from .topology import CartComm, cart_create, dims_create
 
 __all__ = [
@@ -85,14 +87,15 @@ __all__ = [
     "ColocatedPlacement", "Comm", "CommunicatorError", "DOUBLE", "Datatype",
     "DeadlockError", "Delay", "DragonflyFabric", "Engine", "EventFlag",
     "FLOAT", "Fabric", "FatTreeFabric", "File", "FileSystem", "INT",
-    "IOConfig", "InvalidRankError", "InvalidTagError", "LONG",
+    "IOConfig", "Intercomm", "InvalidRankError", "InvalidTagError", "LONG",
     "MachineConfig", "Network", "NetworkConfig", "NoiseConfig",
     "NoiseModel", "PartitionedPlacement", "PersistentRequest", "Placement",
     "PlacementError", "PlacementPolicy", "ProcessFailedError", "Request",
     "RequestError", "RevokedError",
     "RoundRobinPlacement", "SimMPIError", "SimResult", "SizedPayload",
     "Spawn", "Status", "TAG_UB", "TopologyConfig", "TopologyError",
-    "TransferTiming", "TruncationError", "WaitFlag", "beskow",
+    "TransferTiming", "TruncationError", "WaitFlag", "Win", "WindowError",
+    "beskow",
     "build_network", "cart_create", "contiguous", "dims_create",
     "ideal_network_testbed", "open_file", "payload_nbytes",
     "quiet_testbed", "read_back", "resolve_placement", "resolve_topology",

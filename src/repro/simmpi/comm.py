@@ -165,6 +165,10 @@ class World:
         # compute() durations repeat heavily (per-file map costs,
         # per-element merge costs), so share them
         self._delay_cache: Dict[float, "ComputeCharge"] = {}
+        # one-sided windows: shared _WinState per collective allocation,
+        # keyed (comm context, "win", per-comm allocation seq) — the
+        # same first-arrival agreement scheme as _subcomm_cache
+        self._win_cache: Dict[tuple, Any] = {}
 
     # ------------------------------------------------------------------
     # context management (communicator creation must agree across ranks)
@@ -272,6 +276,10 @@ class World:
 
 class Comm:
     """Per-rank communicator handle (mirrors the mpi4py object API)."""
+
+    #: intracommunicators address their own members; :class:`Intercomm`
+    #: overrides this (fault gates and streams branch on it cheaply)
+    is_inter = False
 
     def __init__(self, world: World, ranks: Sequence[int], my_global: int,
                  context_p2p: int, context_coll: int, name: str = "comm",
@@ -744,10 +752,17 @@ class Comm:
             # identical by contract, like real MPI_Comm_create_group)
             # reuses them — O(members) total instead of per rank
             if not members:
-                raise CommunicatorError("group_from_ranks needs members")
-            if len(set(members)) != len(members):
                 raise CommunicatorError(
-                    "group_from_ranks members must be duplicate-free")
+                    f"group_from_ranks on {self.name!r} (size {self.size}) "
+                    "needs at least one member rank, got an empty list")
+            if len(set(members)) != len(members):
+                seen: set = set()
+                dupes = sorted({r for r in members
+                                if r in seen or seen.add(r)})
+                raise CommunicatorError(
+                    f"group_from_ranks on {self.name!r} members must be "
+                    f"duplicate-free: rank(s) {dupes} appear more than "
+                    f"once in {len(members)} requested members")
             for r in members:
                 self._check_rank(r)
             globals_ = tuple(self.ranks[r] for r in members)
@@ -761,8 +776,12 @@ class Comm:
         globals_, index_of, span = cached
         my_local = index_of.get(self._rank)
         if my_local is None:
+            preview = (list(members) if len(members) <= 16
+                       else list(members[:16]) + ["..."])
             raise CommunicatorError(
-                f"rank {self._rank} is not in the requested group")
+                f"rank {self._rank} of {self.name!r} is not in the "
+                f"requested group of {len(members)} member(s) {preview}; "
+                "only members may call group_from_ranks")
         if node_hint is not None and node_hint not in ("colocated", "spread"):
             raise CommunicatorError(
                 f"unknown node_hint {node_hint!r}; use 'colocated', "
@@ -782,6 +801,74 @@ class Comm:
             else (span == 1) == (node_hint == "colocated"))
         return comm
 
+    def create_intercomm(self, local_ranks: Sequence[int],
+                         remote_ranks: Sequence[int], tag: int = 0,
+                         name: Optional[str] = None) -> "Intercomm":
+        """Create an intercommunicator between two disjoint groups of
+        this communicator's members *without communication* (the
+        connect/accept analogue of :meth:`group_from_ranks`; cf.
+        ``MPI_Intercomm_create``).
+
+        Members of *both* groups call this at the same logical point:
+        each side passes its own group as ``local_ranks`` and the peer
+        group as ``remote_ranks`` (so the two sides' argument lists are
+        mirrors of each other).  The context pair is agreed through the
+        world's first-creator cache under a key derived from the *pair*
+        of member tuples (order-normalized), so both sides resolve the
+        identical contexts — the analogue of the bridge-communicator
+        tag agreement in ``MPI_Intercomm_create``.  ``tag``
+        disambiguates repeated intercommunicators between the same two
+        groups, exactly like the MPI bridge tag.
+
+        On the returned :class:`Intercomm`, ``dest``/``source`` ranks
+        address the **remote** group; collectives and communicator
+        derivation are not modeled and raise
+        :class:`~repro.simmpi.errors.CommunicatorError`.
+        """
+        if self._freed:
+            raise CommunicatorError(
+                f"operation on freed communicator {self.name!r}")
+        self._check_tag(tag)
+        local = tuple(local_ranks)
+        remote = tuple(remote_ranks)
+        for side, group in (("local", local), ("remote", remote)):
+            if not group:
+                raise CommunicatorError(
+                    f"create_intercomm on {self.name!r}: the {side} group "
+                    f"is empty (local has {len(local)} member(s), remote "
+                    f"has {len(remote)}); both groups need at least one "
+                    "rank")
+            if len(set(group)) != len(group):
+                raise CommunicatorError(
+                    f"create_intercomm on {self.name!r}: the {side} group "
+                    f"{list(group)} has duplicate ranks")
+            for r in group:
+                self._check_rank(r)
+        overlap = sorted(set(local) & set(remote))
+        if overlap:
+            raise CommunicatorError(
+                f"create_intercomm on {self.name!r}: groups must be "
+                f"disjoint; rank(s) {overlap} appear on both sides")
+        if self._rank not in local:
+            raise CommunicatorError(
+                f"rank {self._rank} of {self.name!r} is not in its own "
+                f"local group {list(local)}; each side passes its own "
+                "group as local_ranks")
+        local_glob = tuple(self.ranks[r] for r in local)
+        remote_glob = tuple(self.ranks[r] for r in remote)
+        # both sides must compute one key: normalize the pair by the
+        # smaller leading member (the groups are disjoint, so the
+        # ordering is total and communication-free)
+        lo, hi = ((local_glob, remote_glob)
+                  if local_glob[0] < remote_glob[0]
+                  else (remote_glob, local_glob))
+        ctx_key = (self.context, "intercomm", tag, lo, hi)
+        p2p, coll = self.world.get_or_create_contexts(ctx_key)
+        return Intercomm(
+            self.world, local_glob, remote_glob, self._global, p2p, coll,
+            name=name or f"{self.name}/inter{tag}",
+            my_local=local.index(self._rank))
+
     def dup(self) -> Generator[Any, Any, "Comm"]:
         """Duplicate the communicator with fresh contexts (collective)."""
         seq = self._create_seq
@@ -794,3 +881,230 @@ class Comm:
 
     def free(self) -> None:
         self._freed = True
+
+
+class Intercomm(Comm):
+    """An intercommunicator: a local group exchanging point-to-point
+    traffic with a disjoint remote group (``MPI_Comm_test_inter`` true).
+
+    ``rank``/``size`` describe the **local** group (as in MPI);
+    ``dest``/``source`` arguments of every point-to-point operation
+    address the **remote** group.  Envelopes carry the sender's rank in
+    *its own* group, which is exactly the remote-rank coordinate the
+    receiver matches on — so the shared mailboxes need no new matching
+    machinery, only the dedicated context pair.
+
+    Intercommunicator collectives and communicator derivation (split /
+    dup / merge) are not part of the modeled surface and raise
+    :class:`~repro.simmpi.errors.CommunicatorError`.
+
+    Fault semantics (fault-injection runs): a detected failure in the
+    remote group poisons exact receives from the dead remote rank and
+    interrupts wildcard receives on this intercommunicator
+    (``PROC_FAILED_PENDING``) until :meth:`failure_ack`;
+    :meth:`failed_members` reports dead **remote** ranks, since only
+    remote peers carry intercomm traffic.
+    """
+
+    is_inter = True
+
+    def __init__(self, world: World, ranks: Sequence[int],
+                 remote_ranks: Sequence[int], my_global: int,
+                 context_p2p: int, context_coll: int, name: str = "intercomm",
+                 my_local: Optional[int] = None):
+        # set before Comm.__init__: the fault controller's register_comm
+        # (called from there) distinguishes intercomms by this attribute
+        self.remote_ranks: Tuple[int, ...] = tuple(remote_ranks)
+        self.remote_size = len(self.remote_ranks)
+        super().__init__(world, ranks, my_global, context_p2p, context_coll,
+                         name=name, my_local=my_local)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def remote_global_of(self, remote: int) -> int:
+        """Global rank behind a remote-group rank."""
+        self._check_remote_rank(remote)
+        return self.remote_ranks[remote]
+
+    @property
+    def all_member_ranks(self) -> Tuple[int, ...]:
+        """Global ranks of both groups (local first) — the revocation
+        sweep cancels pending receives on every one of them."""
+        return self.ranks + self.remote_ranks
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Intercomm({self.name!r}, rank={self._rank}/{self.size}, "
+                f"remote={self.remote_size})")
+
+    # ------------------------------------------------------------------
+    # validation (dest/source live in the remote group)
+    # ------------------------------------------------------------------
+    def _check_remote_rank(self, r: int, wildcard: bool = False) -> None:
+        if self._freed:
+            raise CommunicatorError(
+                f"operation on freed intercommunicator {self.name!r}")
+        if 0 <= r < self.remote_size:
+            return
+        if wildcard and r == ANY_SOURCE:
+            return
+        raise InvalidRankError(
+            f"remote rank {r} out of range for intercommunicator "
+            f"{self.name!r} with a remote group of size {self.remote_size} "
+            f"(local size {self.size})")
+
+    # ------------------------------------------------------------------
+    # point-to-point, remote-rank addressed
+    # ------------------------------------------------------------------
+    def isend(self, data: Any, dest: int, tag: int = 0,
+              datatype: Optional[Datatype] = None, count: Optional[int] = None,
+              _ctx: Optional[int] = None,
+              nbytes: Optional[int] = None,
+              force_eager: bool = False) -> Generator[Any, Any, Request]:
+        if self._freed or dest < 0 or dest >= self.remote_size:
+            self._check_remote_rank(dest)
+        if tag < 0 or tag > TAG_UB:
+            self._check_tag(tag)
+        if nbytes is None:
+            nbytes = payload_nbytes(data, datatype, count)
+        world = self.world
+        delay = world._o_send_delay
+        if delay is not None:
+            yield delay
+        # lsrc is this rank's coordinate in its OWN group: that is the
+        # remote-rank value the receiving side matches against
+        return world.post_send(
+            self._global, self.remote_ranks[dest], self._rank, tag,
+            self.context if _ctx is None else _ctx, data, nbytes,
+            force_eager=force_eager,
+        )
+
+    def issend(self, data: Any, dest: int, tag: int = 0,
+               datatype: Optional[Datatype] = None, count: Optional[int] = None,
+               _ctx: Optional[int] = None) -> Generator[Any, Any, Request]:
+        self._check_remote_rank(dest)
+        self._check_tag(tag)
+        nbytes = payload_nbytes(data, datatype, count)
+        o_send = self.world._o_send
+        if o_send > 0:
+            yield Delay(o_send)
+        return self.world.post_send(
+            self._global, self.remote_ranks[dest], self._rank, tag,
+            self.context if _ctx is None else _ctx, data, nbytes,
+            synchronous=True,
+        )
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+              max_nbytes: Optional[int] = None,
+              _ctx: Optional[int] = None) -> Request:
+        if self._freed or source < ANY_SOURCE or source >= self.remote_size:
+            self._check_remote_rank(source, wildcard=True)
+        if tag > TAG_UB or tag < ANY_TAG:
+            self._check_tag(tag, wildcard=True)
+        ctl = self.world._fault_ctl
+        if ctl is not None:
+            ctl.check_recv(self, source)
+        return self.world.post_recv(
+            self._global, source, tag,
+            self.context if _ctx is None else _ctx, max_nbytes,
+        )
+
+    def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG
+               ) -> Optional[Status]:
+        self._check_remote_rank(source, wildcard=True)
+        self._check_tag(tag, wildcard=True)
+        env = self.world.mailboxes[self._global].probe(
+            source, tag, self.context)
+        if env is None:
+            return None
+        return Status(env.src, env.tag, env.nbytes)
+
+    def send_init(self, dest: int, tag: int = 0) -> PersistentRequest:
+        self._check_remote_rank(dest)
+        self._check_tag(tag)
+        return PersistentRequest("send", self, dest, tag)
+
+    def recv_init(self, source: int = ANY_SOURCE, tag: int = ANY_TAG
+                  ) -> PersistentRequest:
+        self._check_remote_rank(source, wildcard=True)
+        self._check_tag(tag, wildcard=True)
+        return PersistentRequest("recv", self, source, tag)
+
+    # ------------------------------------------------------------------
+    # fault surface (remote group carries the traffic)
+    # ------------------------------------------------------------------
+    def failed_members(self) -> Tuple[int, ...]:
+        """Remote-group ranks whose failure has been detected."""
+        ctl = self.world._fault_ctl
+        if ctl is None:
+            return ()
+        detected = ctl.detected
+        return tuple(i for i, g in enumerate(self.remote_ranks)
+                     if g in detected)
+
+    # ------------------------------------------------------------------
+    # the unmodeled surface
+    # ------------------------------------------------------------------
+    def _no_intercomm(self, op: str):
+        raise CommunicatorError(
+            f"{op} is not modeled on intercommunicators "
+            f"({self.name!r}); merge the groups into an "
+            "intracommunicator first")
+
+    def barrier(self):
+        self._no_intercomm("barrier")
+
+    def bcast(self, data: Any, root: int = 0):
+        self._no_intercomm("bcast")
+
+    def reduce(self, value: Any, op=None, root: int = 0, op_cost=None):
+        self._no_intercomm("reduce")
+
+    def allreduce(self, value: Any, op=None, op_cost=None):
+        self._no_intercomm("allreduce")
+
+    def gather(self, value: Any, root: int = 0):
+        self._no_intercomm("gather")
+
+    def allgather(self, value: Any):
+        self._no_intercomm("allgather")
+
+    def allgatherv(self, value: Any):
+        self._no_intercomm("allgatherv")
+
+    def alltoall(self, values: Sequence[Any]):
+        self._no_intercomm("alltoall")
+
+    def scatter(self, values: Optional[Sequence[Any]], root: int = 0):
+        self._no_intercomm("scatter")
+
+    def scan(self, value: Any, op=None):
+        self._no_intercomm("scan")
+
+    def ibarrier(self):
+        self._no_intercomm("ibarrier")
+
+    def ireduce(self, value: Any, op=None, root: int = 0, op_cost=None):
+        self._no_intercomm("ireduce")
+
+    def iallgatherv(self, value: Any):
+        self._no_intercomm("iallgatherv")
+
+    def iallreduce(self, value: Any, op=None):
+        self._no_intercomm("iallreduce")
+
+    def split(self, color: Optional[int], key: int = 0):
+        self._no_intercomm("split")
+
+    def dup(self):
+        self._no_intercomm("dup")
+
+    def group_from_ranks(self, local_ranks: Sequence[int],
+                         name: Optional[str] = None,
+                         node_hint: Optional[str] = None) -> "Comm":
+        self._no_intercomm("group_from_ranks")
+
+    def create_intercomm(self, local_ranks: Sequence[int],
+                         remote_ranks: Sequence[int], tag: int = 0,
+                         name: Optional[str] = None) -> "Intercomm":
+        self._no_intercomm("create_intercomm")

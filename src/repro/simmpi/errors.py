@@ -57,6 +57,12 @@ class IOError_(SimMPIError):
     """MPI-IO failure (file not opened, bad view, write on read-only...)."""
 
 
+class WindowError(SimMPIError):
+    """Misuse of a one-sided window: out-of-range target rank or byte
+    range, RMA access outside an epoch, unlock without lock, freeing a
+    window with an open epoch (``MPI_ERR_WIN`` / ``MPI_ERR_RMA_SYNC``)."""
+
+
 class ProcessFailedError(SimMPIError):
     """An operation could not complete because a peer process failed.
 

@@ -21,6 +21,7 @@ __all__ = [
     "CATALOG",
     "CG_PAPER_ITERATIONS",
     "IPIC_PAPER_STEPS",
+    "cosim_study",
     "fig5_study",
     "fig6_study",
     "fig7_study",
@@ -189,6 +190,40 @@ def recovery_study(points: Optional[Sequence[int]] = None,
     )
 
 
+# ----------------------------------------------------------------------
+# Co-simulation scenario family — hub sensitivity sweep
+# ----------------------------------------------------------------------
+
+def cosim_study(points: Optional[Sequence[int]] = None,
+                elements_per_producer: int = 24,
+                produce_seconds: float = 2e-6) -> Study:
+    """The coupled micro/macro pair under a hub-knob sweep: hub size x
+    buffer depth x transform cost x scale ratio, each landing in the
+    machine spec's ``cosim`` sub-key — so every combination has its own
+    cache address, like fault scenarios do.
+
+    The default points are deliberately small (the sweep is 16 cells
+    per point); pass ``points`` explicitly for scaling curves."""
+    params = {"elements_per_producer": elements_per_producer,
+              "produce_seconds": produce_seconds}
+    return (
+        Study("cosim", title="Co-simulation - hub sensitivity (us)")
+        .axis("nprocs", list(points) if points is not None else [12, 20])
+        .axis("hub", (1, 2))
+        .axis("depth", (2, 8))
+        .axis("transform", (0.0, 4e-6))
+        .axis("ratio", (1, 4))
+        .cell("Hub (H={hub}, depth={depth}, t={transform:g}, 1:{ratio})",
+              app="cosim.hub", params=params,
+              extract={"name": "max_elapsed", "scale": 1e6},
+              bind={"hub": "machine.cosim.size",
+                    "depth": "machine.cosim.buffer_depth",
+                    "transform": "machine.cosim.transform_seconds",
+                    "ratio": "machine.cosim.scale_ratio"},
+              machine={"preset": "beskow"})
+    )
+
+
 #: name -> study builder(points=None, **kwargs)
 CATALOG: Dict[str, Callable[..., Study]] = {
     "fig5": fig5_study,
@@ -197,6 +232,7 @@ CATALOG: Dict[str, Callable[..., Study]] = {
     "fig8": fig8_study,
     "placement": placement_study,
     "recovery": recovery_study,
+    "cosim": cosim_study,
 }
 
 

@@ -68,12 +68,14 @@ MACHINE_FACTORIES: Dict[str, Callable[[], MachineConfig]] = {
 #: placement policies whose group blocks come from a compiled plan
 _PLAN_POLICIES = ("colocated", "partitioned")
 
-#: keys a machine spec may carry.  "faults" is not part of the
-#: MachineConfig — it resolves to a FaultPlan handed to the launcher —
-#: but riding in the machine spec means every cache key incorporates
-#: the fault scenario automatically (the spec is hashed verbatim).
+#: keys a machine spec may carry.  "faults" and "cosim" are not part
+#: of the MachineConfig — faults resolve to a FaultPlan handed to the
+#: launcher, cosim to a HubSpec handed to the app's worker — but
+#: riding in the machine spec means every cache key incorporates the
+#: fault scenario and coupling spec automatically (the spec is hashed
+#: verbatim).
 _MACHINE_KEYS = ("preset", "config", "noise", "topology", "placement",
-                 "ranks_per_node", "compute_speed", "faults")
+                 "ranks_per_node", "compute_speed", "faults", "cosim")
 
 
 # ----------------------------------------------------------------------
@@ -141,6 +143,7 @@ def _register_builtin_apps() -> None:
         decoupled_worker,
         reference_worker,
     )
+    from ..cosim.apps import CosimConfig, cosim_worker
     from ..faults.apps import (
         CGHaloRecoveryConfig,
         PcommRecoveryConfig,
@@ -174,6 +177,9 @@ def _register_builtin_apps() -> None:
         AppSpec("ipic3d.pcomm_recovery", pcomm_recovery,
                 PcommRecoveryConfig,
                 "iPIC3D exit funnel with checkpointed stream recovery"),
+        AppSpec("cosim.hub", cosim_worker, CosimConfig,
+                "coupled micro/macro simulators through a translator "
+                "hub (machine.cosim.* sets the hub knobs)"),
     ):
         register_app(spec)
 
@@ -307,6 +313,13 @@ def validate_machine_spec(spec: Optional[Dict[str, Any]],
             resolve_faults(faults)
         except FaultError as exc:
             raise StudyError(f"machine spec faults: {exc}") from exc
+    cosim = spec.get("cosim")
+    if cosim is not None:
+        from ..cosim.spec import CosimError, resolve_hub
+        try:
+            resolve_hub(cosim)
+        except CosimError as exc:
+            raise StudyError(f"machine spec cosim: {exc}") from exc
     placement = spec.get("placement")
     if placement is not None:
         if not isinstance(placement, dict):
@@ -331,6 +344,7 @@ def build_machine(spec: Optional[Dict[str, Any]], app: AppSpec,
     spec = dict(spec or {})
     validate_machine_spec(spec, app)
     spec.pop("faults", None)   # launcher concern, not a MachineConfig field
+    spec.pop("cosim", None)    # worker concern, not a MachineConfig field
     if "config" in spec:
         base = MachineConfig.from_json(spec["config"])
     else:

@@ -50,13 +50,19 @@ def execute_job(job: Dict[str, Any]) -> Dict[str, Any]:
     cfg = build_config(app, job["nprocs"], job.get("params", {}))
     machine_spec = job.get("machine") or {}
     machine = build_machine(machine_spec, app, cfg)
-    # the machine spec's "faults" sub-key is launcher input, not a
-    # MachineConfig field — but riding in the spec puts the fault
-    # scenario into every cache key
+    # the machine spec's "faults" and "cosim" sub-keys are launcher and
+    # worker input respectively, not MachineConfig fields — but riding
+    # in the spec puts the fault scenario and the coupling spec into
+    # every cache key
     faults = machine_spec.get("faults")
+    extra = ()
+    cosim = machine_spec.get("cosim")
+    if cosim is not None:
+        from ..cosim.spec import resolve_hub
+        extra = (resolve_hub(cosim),)
     _SIMULATIONS_EXECUTED += 1
     sim = run(app.worker, job["nprocs"],
-              args=(cfg, *job.get("args", ())), machine=machine,
+              args=(cfg, *extra, *job.get("args", ())), machine=machine,
               faults=faults)
     return {
         "value": apply_extract(job["extract"], sim),

@@ -1,0 +1,43 @@
+"""``Simulation.couple``: the declarative front-end of repro.cosim."""
+
+import pytest
+
+from repro.api import GraphError, Simulation
+from repro.cosim import CosimConfig, build_graphs
+
+
+def _graphs(**kw):
+    cfg = CosimConfig(nprocs=10, elements_per_producer=6,
+                      produce_seconds=1e-6, **kw)
+    return build_graphs(cfg)
+
+
+def test_couple_runs_end_to_end():
+    ga, gb = _graphs()
+    rep = Simulation(10, machine="quiet").couple(
+        ga, gb, hub={"size": 2, "scale_ratio": 2},
+        port_a="micro", port_b="macro")
+    hubs = [v for v in rep.values if v and v.get("role") == "hub"]
+    b_ports = [v["port"] for v in rep.values
+               if v and v.get("role") == "b" and "port" in v]
+    assert sum(h["forwarded"] for h in hubs) == 4 * 6 // 2 == 12
+    assert sum(p["received"] for p in b_ports) == 12
+
+
+def test_couple_validates_layout_eagerly():
+    ga, gb = _graphs()
+    with pytest.raises(GraphError, match="cannot host a coupling"):
+        Simulation(3, machine="quiet").couple(
+            ga, gb, hub={"size": 2}, port_a="micro", port_b="macro")
+    with pytest.raises(GraphError, match="port stage 'nope'"):
+        Simulation(10, machine="quiet").couple(
+            ga, gb, port_a="nope", port_b="macro")
+
+
+def test_couple_rejects_plan_placements():
+    """colocated/partitioned derive blocks from one graph's plan; a
+    coupled world has two plans plus a hub, so they cannot apply."""
+    ga, gb = _graphs()
+    with pytest.raises(GraphError, match="explicit PlacementPolicy"):
+        Simulation(10, machine="quiet", placement="colocated").couple(
+            ga, gb, port_a="micro", port_b="macro")

@@ -1,0 +1,53 @@
+"""The cosim catalog study: cache keys hash the coupling spec, warm
+reruns do zero simulation work, and the CLI enumerates the sweep."""
+
+import copy
+
+import pytest
+
+from repro.bench.cli import main
+from repro.study import get_study, job_key, run_study
+from repro.study.runner import simulations_executed
+
+
+def test_cache_keys_hash_the_coupling_spec():
+    study = get_study("cosim", points=[8])
+    jobs = study.jobs()
+    assert len(jobs) == 16  # hub x depth x transform x ratio
+    assert len({job_key(j) for j in jobs}) == len(jobs)
+    for j in jobs:
+        assert set(j["machine"]["cosim"]) == {
+            "size", "buffer_depth", "transform_seconds", "scale_ratio"}
+    # flipping one hub knob moves the cache address
+    probe = copy.deepcopy(jobs[0])
+    probe["machine"]["cosim"]["buffer_depth"] += 1
+    assert job_key(probe) != job_key(jobs[0])
+
+
+def test_warm_rerun_is_fully_cached(tmp_path):
+    study = get_study("cosim", points=[8])
+    before = simulations_executed()
+    cold = run_study(study, cache=str(tmp_path))
+    assert simulations_executed() - before == len(study.jobs())
+    before = simulations_executed()
+    warm = run_study(study, cache=str(tmp_path))
+    assert simulations_executed() == before, \
+        "a warm rerun must be served entirely from the cache"
+    assert [(s.label, s.points) for s in warm.to_series()] == \
+        [(s.label, s.points) for s in cold.to_series()]
+
+
+def test_cli_lists_the_catalog_with_axes(capsys):
+    assert main(["study", "--list"]) == 0
+    out = capsys.readouterr().out
+    assert "cosim" in out and "Co-simulation" in out
+    assert "hub[2]=[1, 2]" in out
+    assert "depth[2]=[2, 8]" in out
+    # every catalog study appears
+    for name in ("fig5", "fig6", "fig7", "fig8", "placement", "recovery"):
+        assert name in out
+
+
+def test_cli_list_takes_no_study_name():
+    with pytest.raises(SystemExit, match="does not take a study name"):
+        main(["study", "cosim", "--list"])

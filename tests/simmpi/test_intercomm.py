@@ -1,0 +1,154 @@
+"""Intercommunicator edge cases: group validation, remote addressing,
+wildcard receives, context isolation, and the ULFM revoke surface."""
+
+import pytest
+
+from repro.simmpi import ANY_SOURCE, ANY_TAG, run
+from repro.simmpi.errors import (
+    CommunicatorError,
+    InvalidRankError,
+    RevokedError,
+)
+
+
+def _halves(comm):
+    """Split the world in two and bridge the halves."""
+    left = tuple(range(comm.size // 2))
+    right = tuple(range(comm.size // 2, comm.size))
+    mine, peer = (left, right) if comm.rank in left else (right, left)
+    return comm.create_intercomm(mine, peer, tag=0, name="halves")
+
+
+def test_send_recv_addresses_remote_group():
+    def prog(comm):
+        inter = _halves(comm)
+        if comm.rank < 2:
+            yield from inter.send(("hello", comm.rank), dest=comm.rank)
+            return None
+        data = yield from inter.recv(source=comm.rank - 2)
+        return data
+
+    r = run(prog, 4)
+    assert r.values[2] == ("hello", 0)
+    assert r.values[3] == ("hello", 1)
+
+
+def test_wildcard_recv_reports_remote_source():
+    def prog(comm):
+        inter = _halves(comm)
+        if comm.rank < 2:
+            yield from inter.send(("m", comm.rank), dest=0, tag=comm.rank)
+            return None
+        if comm.rank == 2:
+            got = []
+            for _ in range(2):
+                data, st = yield from inter.recv(
+                    source=ANY_SOURCE, tag=ANY_TAG, status=True)
+                got.append((st.source, st.tag, data))
+            return sorted(got)
+        return None
+
+    r = run(prog, 4)
+    assert r.values[2] == [(0, 0, ("m", 0)), (1, 1, ("m", 1))]
+
+
+def test_context_isolated_from_parent():
+    """The same (src, dst, tag) coordinates on the parent communicator
+    and on the intercommunicator never cross-match."""
+    def prog(comm):
+        inter = _halves(comm)
+        if comm.rank == 0:
+            yield from comm.send("world", dest=2, tag=5)
+            yield from inter.send("inter", dest=0, tag=5)
+            return None
+        if comm.rank == 2:
+            via_inter = yield from inter.recv(source=0, tag=5)
+            via_world = yield from comm.recv(source=0, tag=5)
+            return (via_inter, via_world)
+        return None
+
+    assert run(prog, 4).values[2] == ("inter", "world")
+
+
+def test_empty_remote_group_names_sizes():
+    def prog(comm):
+        try:
+            comm.create_intercomm((0, 1), (), tag=0)
+        except CommunicatorError as exc:
+            return str(exc)
+        return "no error"
+        yield  # pragma: no cover - makes prog a generator
+
+    msg = run(prog, 2).values[0]
+    assert "remote group is empty" in msg
+    assert "local has 2 member(s)" in msg
+    assert "remote has 0" in msg
+
+
+def test_group_validation_errors():
+    def prog(comm):
+        out = []
+        with pytest.raises(CommunicatorError, match="disjoint"):
+            comm.create_intercomm((0, 1), (1, 2))
+        out.append("overlap")
+        with pytest.raises(CommunicatorError, match="duplicate"):
+            comm.create_intercomm((0, 0), (1,))
+        out.append("dup")
+        with pytest.raises(CommunicatorError,
+                           match="not in its own local group"):
+            comm.create_intercomm(((comm.rank + 1) % comm.size,),
+                                  ((comm.rank + 2) % comm.size,))
+        out.append("not-local")
+        with pytest.raises(InvalidRankError):
+            comm.create_intercomm((comm.rank,), (99,))
+        out.append("range")
+        return out
+        yield  # pragma: no cover - makes prog a generator
+
+    r = run(prog, 4)
+    assert r.values[0] == ["overlap", "dup", "not-local", "range"]
+
+
+def test_remote_rank_out_of_range_on_send():
+    def prog(comm):
+        inter = _halves(comm)
+        with pytest.raises(InvalidRankError, match="remote rank"):
+            yield from inter.send("x", dest=inter.remote_size)
+        return "ok"
+
+    assert run(prog, 4).values[0] == "ok"
+
+
+def test_revoke_poisons_pending_recvs_on_both_sides():
+    """``Comm.revoke`` on an intercommunicator resolves every member's
+    pending receive — both groups — to RevokedError."""
+    def prog(comm):
+        inter = _halves(comm)
+        if comm.rank == 0:
+            yield from comm.compute(1e-4, label="delay")
+            inter.revoke()
+            return "revoked"
+        try:
+            yield from inter.recv(source=ANY_SOURCE)
+        except RevokedError:
+            return "poisoned"
+        return "delivered"
+
+    r = run(prog, 4, faults={"events": []})
+    assert r.values[0] == "revoked"
+    assert r.values[1:] == ["poisoned"] * 3
+
+
+def test_revoked_intercomm_rejects_new_operations():
+    def prog(comm):
+        inter = _halves(comm)
+        if comm.rank == 0:
+            inter.revoke()
+        yield from comm.barrier()
+        if comm.rank == 1:
+            with pytest.raises(RevokedError):
+                yield from inter.send("late", dest=0)
+            return "rejected"
+        return None
+
+    assert run(prog, 4, faults={"events": []}).values[1] == "rejected"

@@ -1,0 +1,184 @@
+"""One-sided windows: fence/lock epochs, self-puts, passive-target
+serialization, and the WindowError misuse surface."""
+
+import pytest
+
+from repro.simmpi import run
+from repro.simmpi.errors import WindowError
+from repro.simmpi.rma import Win
+
+
+def test_fence_put_roundtrip():
+    def prog(comm):
+        win = yield from Win.allocate(comm, 64)
+        yield from win.fence()
+        if comm.rank == 0:
+            req = yield from win.put("payload", target=1, offset=8,
+                                     nbytes=16)
+            yield from comm.wait(req)
+        yield from win.fence(end=True)
+        return win.local()
+
+    r = run(prog, 2)
+    assert r.values[1] == {8: "payload"}
+    assert r.values[0] == {}
+
+
+def test_self_put_visible_after_fence():
+    """A rank may target its own window; the value lands in local()."""
+    def prog(comm):
+        win = yield from Win.allocate(comm, 32)
+        yield from win.fence()
+        req = yield from win.put(("me", comm.rank), target=comm.rank,
+                                 nbytes=8)
+        yield from comm.wait(req)
+        yield from win.fence(end=True)
+        return win.local()[0]
+
+    r = run(prog, 2)
+    assert r.values == [("me", 0), ("me", 1)]
+
+
+def test_get_reads_remote_memory():
+    def prog(comm):
+        win = yield from Win.allocate(comm, 32)
+        yield from win.fence()
+        if comm.rank == 0:
+            req = yield from win.put(41, target=1, offset=0, nbytes=8)
+            yield from comm.wait(req)
+        yield from win.fence()  # value visible at the target from here
+        out = None
+        if comm.rank == 0:
+            req = yield from win.get(1, offset=0, nbytes=8)
+            out = yield from comm.wait(req)
+        yield from win.fence(end=True)
+        return out
+
+    assert run(prog, 2).values[0] == 41
+
+
+def test_overlapping_epochs_rejected_both_directions():
+    def prog(comm):
+        win = yield from Win.allocate(comm, 16)
+        yield from win.fence()
+        with pytest.raises(WindowError, match="while a fence epoch is open"):
+            yield from win.lock(0)
+        yield from win.fence(end=True)
+        yield from win.lock(comm.rank)
+        with pytest.raises(WindowError, match="fence while a lock"):
+            yield from win.fence()
+        yield from win.unlock(comm.rank)
+        return "ok"
+
+    assert run(prog, 2).values == ["ok", "ok"]
+
+
+def test_access_outside_epoch_rejected():
+    def prog(comm):
+        win = yield from Win.allocate(comm, 16)
+        with pytest.raises(WindowError,
+                           match="outside any synchronization epoch"):
+            yield from win.put(1, target=0, nbytes=4)
+        with pytest.raises(WindowError,
+                           match="outside any synchronization epoch"):
+            yield from win.get(0, nbytes=4)
+        return "ok"
+
+    assert run(prog, 2).values == ["ok", "ok"]
+
+
+def test_zero_size_window_is_origin_only():
+    """A zero-byte exposure is legal: the rank can originate RMA but
+    offers no target memory."""
+    def prog(comm):
+        nbytes = 16 if comm.rank == 0 else 0
+        win = yield from Win.allocate(comm, nbytes)
+        yield from win.fence()
+        if comm.rank == 1:
+            req = yield from win.put("x", target=0, offset=0, nbytes=4)
+            yield from comm.wait(req)
+            with pytest.raises(WindowError, match="does not fit"):
+                yield from win.put("y", target=1, offset=0, nbytes=1)
+        yield from win.fence(end=True)
+        return win.local()
+
+    r = run(prog, 2)
+    assert r.values[0] == {0: "x"}
+    assert r.values[1] == {}
+
+
+def test_range_check_names_target_and_size():
+    def prog(comm):
+        win = yield from Win.allocate(comm, 8)
+        yield from win.fence()
+        with pytest.raises(WindowError) as ei:
+            yield from win.put("big", target=1, offset=4, nbytes=8)
+        yield from win.fence(end=True)
+        return str(ei.value)
+
+    msg = run(prog, 2).values[0]
+    assert "byte range [4, 12)" in msg
+    assert "target rank 1" in msg
+    assert "8 byte(s)" in msg
+
+
+def test_passive_lock_serializes_and_publishes():
+    """Contended exclusive locks queue FIFO at the target; unlock
+    drains the epoch so lock-put-unlock publishes the value."""
+    def prog(comm):
+        win = yield from Win.allocate(comm, 64)
+        if comm.rank in (0, 1):
+            yield from win.lock(2)
+            req = yield from win.put(comm.rank, target=2,
+                                     offset=8 * comm.rank, nbytes=8)
+            yield from win.unlock(2)
+            yield from comm.wait(req)
+        yield from comm.barrier()
+        if comm.rank == 2:
+            return win.local()
+        return None
+
+    r = run(prog, 3)
+    assert r.values[2] == {0: 0, 8: 1}
+
+
+def test_unlock_without_lock_rejected():
+    def prog(comm):
+        win = yield from Win.allocate(comm, 16)
+        with pytest.raises(WindowError, match="without a matching lock"):
+            yield from win.unlock(0)
+        if comm.rank == 0:
+            yield from win.lock(0)
+            with pytest.raises(WindowError,
+                               match="the lock held is on target rank 0"):
+                yield from win.unlock(1)
+            yield from win.unlock(0)
+        return "ok"
+
+    assert run(prog, 2).values == ["ok", "ok"]
+
+
+def test_window_over_intercomm_rejected():
+    def prog(comm):
+        mine, peer = ((0,), (1,)) if comm.rank == 0 else ((1,), (0,))
+        inter = comm.create_intercomm(mine, peer)
+        with pytest.raises(WindowError, match="intracommunicator"):
+            yield from Win.allocate(inter, 8)
+        return "ok"
+
+    assert run(prog, 2).values == ["ok", "ok"]
+
+
+def test_free_with_open_lock_epoch_rejected():
+    def prog(comm):
+        win = yield from Win.allocate(comm, 16)
+        yield from win.lock(comm.rank)
+        with pytest.raises(WindowError, match="open lock epoch"):
+            yield from win.free()
+        yield from win.unlock(comm.rank)
+        yield from win.free()
+        with pytest.raises(WindowError, match="freed window"):
+            win.local()
+        return "ok"
+
+    assert run(prog, 2).values == ["ok", "ok"]

@@ -19,11 +19,12 @@ MODULES = [
     "repro.apps.ipic3d",
     "repro.bench",
     "repro.study",
+    "repro.cosim",
 ]
 
 #: layers that publish an export list (incl. the submodules that carry
-#: their own ``__all__`` — the placement/fabric subsystem and the
-#: study subsystem)
+#: their own ``__all__`` — the placement/fabric subsystem, the study
+#: subsystem and the co-simulation subsystem)
 EXPORTING_MODULES = [
     "repro.simmpi",
     "repro.simmpi.fabrics",
@@ -48,6 +49,10 @@ EXPORTING_MODULES = [
     "repro.study.results",
     "repro.study.runner",
     "repro.study.study",
+    "repro.cosim",
+    "repro.cosim.apps",
+    "repro.cosim.coupling",
+    "repro.cosim.hub",
 ]
 
 
@@ -111,6 +116,21 @@ def test_faults_exports():
     from repro.simmpi.comm import Comm
     assert hasattr(Comm, "failure_ack")
     assert hasattr(Comm, "revoke")
+
+
+def test_cosim_exports():
+    import repro.cosim as m
+    for name in ("HubSpec", "CosimConfig", "CosimError", "run_coupled",
+                 "plan_layout", "resolve_hub", "hub_main", "APort",
+                 "BPort", "build_graphs", "cosim_worker"):
+        assert hasattr(m, name), name
+    # the MPI surface the hub rides on
+    from repro.simmpi.comm import Comm
+    from repro.simmpi.rma import Win  # noqa: F401
+    assert hasattr(Comm, "create_intercomm")
+    # the declarative front-end exposes coupling
+    from repro.api import Simulation
+    assert hasattr(Simulation, "couple")
 
 
 def test_version():
