@@ -5,6 +5,9 @@
     python -m repro.bench study fig5 --jobs 4 --cache ~/.cache/repro-study
     python -m repro.bench study placement --points 32,128 --csv placement.csv
     python -m repro.bench study fig5 --cache DIR --expect-cached   # CI gate
+    python -m repro.bench study fig5 --cache DIR --keep-going \
+        --timeout 60 --retries 2          # survive bad cells, then
+    python -m repro.bench study fig5 --cache DIR --resume   # finish holes
 
 The ``fig*`` subcommands are kept as thin aliases over the same study
 declarations: they regenerate one figure (or ``all``), printing the
@@ -54,6 +57,7 @@ SWEEP_FIGURES = {
     "fig8": "Fig. 8 - particle I/O (s)",
     "placement": "Placement - colocated vs partitioned on a fat-tree (s)",
     "recovery": "Recovery - helper crash + replay vs fault-free (s)",
+    "resilience": "Resilience - healthy sweep + one poisoned cell (s)",
     "cosim": "Co-simulation - hub sensitivity (us)",
 }
 ALL_FIGURES = ("fig2", "fig3", "fig_recovery",
@@ -152,7 +156,7 @@ def list_studies() -> str:
 
 def run_study_cmd(args) -> int:
     """The ``study`` subcommand: run one catalog study end to end."""
-    from ..study import get_study, run_study
+    from ..study import StudyError, get_study, run_study
     from ..study.catalog import CATALOG
 
     if args.list:
@@ -173,20 +177,44 @@ def run_study_cmd(args) -> int:
         raise SystemExit(
             "--expect-cached asserts a warm cache; give --cache DIR "
             "(or set $REPRO_STUDY_CACHE)")
+    if args.resume and not (args.cache
+                            or os.environ.get("REPRO_STUDY_CACHE")):
+        raise SystemExit(
+            "--resume reads the run journal kept under the cache dir; "
+            "give --cache DIR (or set $REPRO_STUDY_CACHE)")
     # --points absent: pass None so each study keeps its own default
     # axis (the fig studies default to scale_points(); cosim's default
     # is deliberately small — its sweep is 16 cells per point)
     study = get_study(
         args.name,
         points=_parse_points(args.points) if args.points else None)
-    rs = run_study(study, jobs=args.jobs, cache=args.cache, progress=print)
+    # only build a policy when a flag asks for one, so the study's own
+    # declared policy (e.g. the resilience study's keep_going) applies
+    policy = None
+    if args.keep_going or args.timeout is not None or args.retries is not None:
+        from ..study import RunPolicy
+        policy = RunPolicy(
+            timeout=args.timeout,
+            retries=args.retries if args.retries is not None else 0,
+            on_error="keep_going" if args.keep_going else "raise")
+    try:
+        rs = run_study(study, jobs=args.jobs, cache=args.cache,
+                       progress=print, policy=policy, resume=args.resume)
+    except StudyError as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        return 1
     print(rs.table())
     print(f"jobs: {len(rs)} total, {rs.executed} executed, "
-          f"{rs.cached} cached")
+          f"{rs.cached} cached, {rs.failed} failed, "
+          f"{rs.quarantined} quarantined, {rs.missing} missing")
+    for r in rs.failures():
+        print(f"  {r.series} @ P={r.x}: {r.describe_failure()} "
+              f"({r.attempts} attempt(s))")
     path = save_artifact(
         f"{study.name}_study", rs.to_series(),
         extra={"total": len(rs), "executed": rs.executed,
-               "cached": rs.cached},
+               "cached": rs.cached, "failed": rs.failed,
+               "quarantined": rs.quarantined, "missing": rs.missing},
         out_dir=args.out)
     print(f"artifact: {path}")
     if args.csv:
@@ -302,6 +330,27 @@ def main(argv: Optional[List[str]] = None) -> int:
                                   "from the cache (CI gate: a warm rerun "
                                   "must do zero simulation work; study "
                                   "command only)")
+    study_group.add_argument("--keep-going", action="store_true",
+                             help="record failed/timed-out cells as holes "
+                                  "and finish the sweep instead of "
+                                  "aborting on the first failure "
+                                  "(study command only)")
+    study_group.add_argument("--timeout", type=float, default=None,
+                             metavar="S",
+                             help="per-job wall-clock timeout in seconds "
+                                  "(study command only)")
+    study_group.add_argument("--retries", type=int, default=None,
+                             metavar="N",
+                             help="retry each failed/timed-out job up to "
+                                  "N times with exponential backoff "
+                                  "(study command only)")
+    study_group.add_argument("--resume", action="store_true",
+                             help="resume from the previous run's journal "
+                                  "under the cache dir: completed cells "
+                                  "are served without re-execution, only "
+                                  "failed/timed-out/quarantined cells "
+                                  "re-run (needs --cache; study command "
+                                  "only)")
     perf_group = parser.add_argument_group("perf options")
     perf_group.add_argument("--scenario", action="append", default=None,
                             metavar="NAME",
@@ -332,12 +381,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         raise SystemExit(
             f"unexpected argument {args.name!r}: only the 'study' "
             "command takes a name")
-    if args.csv or args.expect_cached or args.list:
+    if (args.csv or args.expect_cached or args.list or args.keep_going
+            or args.timeout is not None or args.retries is not None
+            or args.resume):
         # refuse rather than silently ignore: a no-op --expect-cached
-        # would green-light a broken cache gate
+        # would green-light a broken cache gate, and a silently dropped
+        # --keep-going would turn a partial-results request into an
+        # abort-on-first-failure run
         raise SystemExit(
-            "--csv/--expect-cached/--list only apply to the 'study' "
-            "command")
+            "--csv/--expect-cached/--list/--keep-going/--timeout/"
+            "--retries/--resume only apply to the 'study' command")
     points = _parse_points(args.points)
     names = ALL_FIGURES if args.figure == "all" else (args.figure,)
     for name in names:

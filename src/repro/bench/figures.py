@@ -29,8 +29,15 @@ from ..study.catalog import (
     fig8_study,
     placement_study,
 )
+from ..study.policy import RunPolicy
 from ..study.runner import run_study
 from .harness import Series
+
+#: figure sweeps degrade rather than abort: a failed cell becomes a
+#: hole in its Series (``Series.missing``) and the rest of the figure
+#: still renders — callers that need a specific point get a KeyError
+#: naming the failure from :meth:`Series.value`
+_FIGURE_POLICY = RunPolicy(on_error="keep_going")
 
 
 # ----------------------------------------------------------------------
@@ -41,7 +48,8 @@ def fig5_mapreduce(points: List[int],
                    alphas: Tuple[float, ...] = (0.125, 0.0625, 0.03125)
                    ) -> List[Series]:
     """Reference vs decoupled (three alphas), 2.9 TB-equivalent corpus."""
-    return run_study(fig5_study(points=points, alphas=alphas)).to_series()
+    return run_study(fig5_study(points=points, alphas=alphas),
+                     policy=_FIGURE_POLICY).to_series()
 
 
 # ----------------------------------------------------------------------
@@ -62,7 +70,8 @@ def fig_placement(points: List[int], alpha: float = 0.0625,
     scenario family.
     """
     return run_study(placement_study(points=points, alpha=alpha,
-                                     topology=topology)).to_series()
+                                     topology=topology),
+                     policy=_FIGURE_POLICY).to_series()
 
 
 # ----------------------------------------------------------------------
@@ -73,7 +82,8 @@ def fig6_cg(points: List[int], sim_iterations: int = 20) -> List[Series]:
     """Blocking / non-blocking / decoupled CG, 120^3 points per rank,
     reported at the paper's 300 iterations."""
     return run_study(fig6_study(points=points,
-                                sim_iterations=sim_iterations)).to_series()
+                                sim_iterations=sim_iterations),
+                     policy=_FIGURE_POLICY).to_series()
 
 
 # ----------------------------------------------------------------------
@@ -84,7 +94,8 @@ def fig7_pcomm(points: List[int], sim_steps: int = 8) -> List[Series]:
     """Reference forwarding vs decoupled exchange, GEM setup, reported
     at the paper's step count."""
     return run_study(fig7_study(points=points,
-                                sim_steps=sim_steps)).to_series()
+                                sim_steps=sim_steps),
+                     policy=_FIGURE_POLICY).to_series()
 
 
 # ----------------------------------------------------------------------
@@ -101,7 +112,8 @@ def fig8_pio(points: List[int], sim_steps: int = 8) -> List[Series]:
     ``pio_visible`` extractor).
     """
     return run_study(fig8_study(points=points,
-                                sim_steps=sim_steps)).to_series()
+                                sim_steps=sim_steps),
+                     policy=_FIGURE_POLICY).to_series()
 
 
 # ----------------------------------------------------------------------

@@ -40,16 +40,28 @@ def scale_points() -> List[int]:
 
 @dataclass
 class Series:
-    """One line of a figure: label -> {nprocs: seconds}."""
+    """One line of a figure: label -> {nprocs: seconds}.
+
+    ``missing`` records points that were *swept but produced no value*
+    (a failed/timed-out/quarantined study cell) as ``{p: reason}`` —
+    they render as holes, and :meth:`value` names the failure instead
+    of pretending the point was never asked for.
+    """
 
     label: str
     points: Dict[int, float] = field(default_factory=dict)
     meta: Dict[str, Any] = field(default_factory=dict)
+    missing: Dict[int, str] = field(default_factory=dict)
 
     def value(self, p: int) -> float:
         try:
             return self.points[p]
         except KeyError:
+            if p in self.missing:
+                raise KeyError(
+                    f"series {self.label!r} has no value at P={p} — "
+                    f"the job produced none ({self.missing[p]}); "
+                    f"process counts with values: {self.xs}") from None
             raise KeyError(
                 f"series {self.label!r} has no point P={p}; "
                 f"available process counts: {self.xs}") from None
@@ -124,9 +136,13 @@ def save_artifact(name: str, series: List[Series],
     payload = {
         "figure": name,
         "series": [
+            # "missing" appears only when a series has holes, so
+            # fault-free artifacts are byte-identical to the old format
             {"label": s.label,
              "points": {str(k): v for k, v in s.points.items()},
-             "meta": s.meta}
+             "meta": s.meta,
+             **({"missing": {str(k): v for k, v in s.missing.items()}}
+                if s.missing else {})}
             for s in series
         ],
         "extra": extra or {},

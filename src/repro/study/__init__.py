@@ -9,7 +9,12 @@ piece of data instead of a Python call tree:
   ``to_json()`` / ``from_json()``, so scenarios become files.
 * :func:`run_study` — executes the jobs across a process pool with a
   content-addressed on-disk result cache (job spec + code version;
-  virtual-time determinism makes caching exact).
+  virtual-time determinism makes caching exact), under a
+  :class:`RunPolicy` (per-job wall-clock timeouts, deterministic retry
+  backoff, ``keep_going`` partial results, quarantine of cells that
+  kill their worker) with a :class:`RunJournal` under the cache dir
+  making crashed or partially-failed sweeps resumable
+  (``resume=True``).
 * :class:`ResultSet` — query (``series``, ``ratio``), render
   (``table``) and export (``to_json``, ``to_csv``) the results.
 * :mod:`~repro.study.catalog` — the paper's figures (fig5-fig8, the
@@ -29,7 +34,10 @@ from .catalog import (
     fig8_study,
     get_study,
     placement_study,
+    resilience_study,
 )
+from .journal import RunJournal
+from .policy import RunPolicy
 from .registry import (
     APPS,
     AppSpec,
@@ -50,6 +58,8 @@ __all__ = [
     "EXTRACTORS",
     "JobResult",
     "ResultSet",
+    "RunJournal",
+    "RunPolicy",
     "Study",
     "StudyError",
     "apply_extract",
@@ -65,6 +75,7 @@ __all__ = [
     "placement_study",
     "register_app",
     "register_extractor",
+    "resilience_study",
     "run_study",
     "simulations_executed",
     "sweep_callable",

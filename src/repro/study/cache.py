@@ -27,12 +27,32 @@ import os
 from typing import Any, Dict, Optional
 
 __all__ = ["EXECUTION_FIELDS", "cache_path", "code_version",
-           "execution_spec", "job_key", "load", "store"]
+           "execution_spec", "job_key", "load", "skipped_entries",
+           "skipped_total", "store"]
 
 #: cache entry schema version (bump to orphan old entries on format change)
 _SCHEMA = 1
 
 _code_version_memo: Optional[str] = None
+
+#: entries :func:`load` refused to serve, by reason — "corrupt"
+#: (unreadable/not JSON/malformed outcome), "schema" (format version
+#: mismatch), "spec" (stored spec does not match the requested one, the
+#: hash-collision guard).  A plain absent entry counts as nothing: only
+#: entries that *exist but were rejected* are tallied, so a run can
+#: report silent cache damage instead of masking it as cold misses.
+_SKIPPED: Dict[str, int] = {"corrupt": 0, "schema": 0, "spec": 0}
+
+
+def skipped_entries() -> Dict[str, int]:
+    """Per-reason counts of existing-but-rejected entries (monotonic,
+    process lifetime)."""
+    return dict(_SKIPPED)
+
+
+def skipped_total() -> int:
+    """Total existing-but-rejected entries this process has skipped."""
+    return sum(_SKIPPED.values())
 
 
 def code_version() -> str:
@@ -91,15 +111,24 @@ def load(cache_dir: str, job: Dict[str, Any]) -> Optional[Dict[str, Any]]:
     """The cached outcome (``{"value", "sim"}``) for ``job``, or None.
 
     Unreadable or mismatched entries are treated as misses, never
-    errors — a cache must not be able to break a run.
+    errors — a cache must not be able to break a run.  But they are
+    *counted* (see :func:`skipped_entries`), so the runner can surface
+    "your cache is damaged" instead of silently re-simulating.
     """
     path = cache_path(cache_dir, job_key(job))
     try:
         with open(path) as fh:
             entry = json.load(fh)
+    except FileNotFoundError:
+        return None                     # a plain cold miss
     except (OSError, ValueError):
+        _SKIPPED["corrupt"] += 1
+        return None
+    if not isinstance(entry, dict):
+        _SKIPPED["corrupt"] += 1
         return None
     if entry.get("schema") != _SCHEMA:
+        _SKIPPED["schema"] += 1
         return None
     # collision paranoia: verify the stored spec, don't trust the hash.
     # Execution-spec comparison in canonical form, so neither a series
@@ -107,9 +136,11 @@ def load(cache_dir: str, job: Dict[str, Any]) -> Optional[Dict[str, Any]]:
     # never return a wrong result.
     if canonical_json(execution_spec(entry.get("job", {}))) \
             != canonical_json(execution_spec(job)):
+        _SKIPPED["spec"] += 1
         return None
     outcome = entry.get("outcome")
     if not isinstance(outcome, dict) or "value" not in outcome:
+        _SKIPPED["corrupt"] += 1
         return None
     return outcome
 
@@ -125,5 +156,10 @@ def store(cache_dir: str, job: Dict[str, Any],
         json.dump({"schema": _SCHEMA, "key": key,
                    "code_version": code_version(),
                    "job": job, "outcome": outcome}, fh, indent=1)
+        # flush + fsync BEFORE the rename: os.replace is atomic in the
+        # namespace but says nothing about the data — without the fsync
+        # a host crash can leave a fully-renamed yet truncated entry
+        fh.flush()
+        os.fsync(fh.fileno())
     os.replace(tmp, path)
     return path

@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..simmpi.config import TopologyConfig
+from .policy import RunPolicy
 from .study import Study, StudyError
 
 __all__ = [
@@ -29,6 +30,7 @@ __all__ = [
     "get_study",
     "placement_study",
     "recovery_study",
+    "resilience_study",
 ]
 
 #: paper parameters
@@ -224,6 +226,36 @@ def cosim_study(points: Optional[Sequence[int]] = None,
     )
 
 
+# ----------------------------------------------------------------------
+# Resilience smoke scenario — a healthy sweep plus one poisoned cell
+# ----------------------------------------------------------------------
+
+def resilience_study(points: Optional[Sequence[int]] = None,
+                     poison_nprocs: int = 4) -> Study:
+    """A healthy ``study.chaos`` sweep plus one always-failing cell.
+
+    This is the runner-resilience smoke scenario (the
+    ``study-resilience`` CI job runs it): under the study's default
+    ``keep_going`` policy the run completes with *exactly one* failed
+    cell — the poisoned one, swept over its own single-point axis — and
+    a ``--resume`` rerun serves every healthy cell from the journal/
+    cache while re-executing only the poison.  Healthy values are
+    deterministic, so serial, parallel and resumed runs agree
+    bit-for-bit.
+    """
+    return (
+        Study("resilience",
+              title="Resilience - healthy sweep + one poisoned cell (s)")
+        .axis("nprocs", _points(points))
+        .axis("poison_nprocs", [poison_nprocs])
+        .cell("Healthy", app="study.chaos")
+        .cell("Poison", app="study.chaos", params={"fail": True},
+              x_axis="poison_nprocs",
+              meta={"note": "always fails; the runner must survive it"})
+        .with_policy(RunPolicy(on_error="keep_going"))
+    )
+
+
 #: name -> study builder(points=None, **kwargs)
 CATALOG: Dict[str, Callable[..., Study]] = {
     "fig5": fig5_study,
@@ -232,6 +264,7 @@ CATALOG: Dict[str, Callable[..., Study]] = {
     "fig8": fig8_study,
     "placement": placement_study,
     "recovery": recovery_study,
+    "resilience": resilience_study,
     "cosim": cosim_study,
 }
 

@@ -1,0 +1,211 @@
+"""Journaled study runs: an append-only JSONL record of every cell.
+
+A :class:`RunJournal` lives under the cache directory (``<cache>/
+journal/<run_key>.jsonl``) and records what happened to each cell of
+one study run: ``submitted``, ``running`` (written by the *worker*
+process, so a pool break can be attributed to the cells that were
+actually executing), ``completed`` (with the outcome inline),
+``failed`` / ``timeout`` and ``quarantined``.  The file is created
+atomically (temp + ``os.replace``, like :func:`repro.study.cache.store`)
+and then strictly appended; records are one JSON object per line and a
+truncated tail line — a crashed host mid-append — is skipped on load,
+never an error.
+
+The **run key** identifies *what the journal is a journal of*:
+``sha256(study name || sorted job keys)``.  Job keys already hash the
+execution spec and the code version, so editing the study, its machine
+specs or any ``repro`` source starts a fresh journal instead of
+resuming a stale one.
+
+``run_study(..., resume=True)`` replays the journal: cells with a
+``completed`` record are served without re-execution (even if the
+result cache was wiped), cells that failed, timed out or were
+quarantined are re-executed fresh.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, IO, Iterable, List, Optional, Set
+
+__all__ = ["JournalState", "RunJournal", "journal_path", "mark_running",
+           "run_key"]
+
+#: journal format version (bump to orphan old journals)
+_SCHEMA = 1
+
+
+def run_key(study_name: str, job_keys: Iterable[str]) -> str:
+    """Content address of one study run's *identity* (see module doc)."""
+    h = hashlib.sha256()
+    h.update(study_name.encode())
+    h.update(b"\x00")
+    for key in sorted(job_keys):
+        h.update(key.encode())
+        h.update(b"\n")
+    return h.hexdigest()
+
+
+def journal_path(journal_dir: str, key: str) -> str:
+    return os.path.join(journal_dir, key + ".jsonl")
+
+
+def mark_running(path: str, key: str, attempt: int) -> None:
+    """Append a ``running`` record — called by the *executing* process
+    right before it starts the simulation, so the parent can tell which
+    cells were in flight when a worker died.  O_APPEND keeps concurrent
+    one-line writes from interleaving; best-effort (a journal must not
+    be able to fail a job).
+    """
+    try:
+        with open(path, "a") as fh:
+            fh.write(json.dumps({"event": "running", "key": key,
+                                 "attempt": attempt}) + "\n")
+            fh.flush()
+    except OSError:  # pragma: no cover - journal loss is non-fatal
+        pass
+
+
+@dataclass
+class JournalState:
+    """What a journal says about each cell, by job key."""
+
+    #: key -> {"value", "sim", "attempts"} for cells that finished
+    completed: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: key -> {"status", "error", "attempts"} for cells that did not
+    failed: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: keys quarantined after repeated pool breaks
+    quarantined: Set[str] = field(default_factory=set)
+    #: key -> highest attempt number with a ``running`` marker
+    running: Dict[str, int] = field(default_factory=dict)
+    #: unparsable lines skipped on load (truncated tail, torn writes)
+    skipped_lines: int = 0
+
+
+class RunJournal:
+    """One study run's append-only JSONL record (see module doc)."""
+
+    def __init__(self, path: str, key: str):
+        self.path = path
+        self.key = key
+        self._fh: Optional[IO[str]] = None
+        self._prior = JournalState()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(cls, journal_dir: str, study_name: str,
+             job_keys: List[str], resume: bool = False
+             ) -> "RunJournal":
+        """Create (or, with ``resume``, reopen) the journal for a run.
+
+        Without ``resume`` any previous journal for the same identity is
+        atomically replaced by a fresh one; with ``resume`` the existing
+        file is appended to, and :meth:`prior_state` exposes what it
+        already recorded.
+        """
+        key = run_key(study_name, job_keys)
+        path = journal_path(journal_dir, key)
+        os.makedirs(journal_dir, exist_ok=True)
+        journal = cls(path, key)
+        header = {"event": "run", "schema": _SCHEMA, "study": study_name,
+                  "jobs": len(job_keys), "resumed": bool(resume)}
+        if resume and os.path.exists(path):
+            journal._prior = cls.read_state(path)
+            journal._fh = open(path, "a")
+            journal._append(header)
+        else:
+            # fresh (or resume-with-no-journal): atomic create, so a
+            # crash mid-header can never leave a half-written file that
+            # a later resume would trust
+            tmp = path + ".tmp"
+            with open(tmp, "w") as fh:
+                fh.write(json.dumps(header) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+            journal._fh = open(path, "a")
+        return journal
+
+    def prior_state(self) -> JournalState:
+        """What the journal recorded *before* this run (resume input)."""
+        return self._prior
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def _append(self, record: Dict[str, Any]) -> None:
+        if self._fh is None:  # pragma: no cover - defensive
+            return
+        self._fh.write(json.dumps(record) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def record(self, event: str, **fields: Any) -> None:
+        """Durably append one record (``event`` plus its fields)."""
+        self._append({"event": event, **fields})
+
+    # ------------------------------------------------------------------
+    # replay
+    # ------------------------------------------------------------------
+    @staticmethod
+    def read_state(path: str) -> JournalState:
+        """Fold a journal file into per-cell state, newest record wins.
+
+        Unparsable lines (torn tail writes) are counted and skipped —
+        a journal must degrade, never raise.
+        """
+        state = JournalState()
+        try:
+            with open(path) as fh:
+                lines = fh.readlines()
+        except OSError:
+            return state
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except ValueError:
+                state.skipped_lines += 1
+                continue
+            if not isinstance(rec, dict):
+                state.skipped_lines += 1
+                continue
+            event, key = rec.get("event"), rec.get("key")
+            if event == "running" and key:
+                state.running[key] = max(state.running.get(key, 0),
+                                         int(rec.get("attempt", 1)))
+            elif event == "completed" and key:
+                state.completed[key] = {
+                    "value": rec.get("value"),
+                    "sim": rec.get("sim", {}),
+                    "attempts": int(rec.get("attempts", 1))}
+                state.failed.pop(key, None)
+                state.quarantined.discard(key)
+            elif event in ("failed", "timeout") and key:
+                state.failed[key] = {
+                    "status": rec.get("status", event),
+                    "error": rec.get("error", ""),
+                    "attempts": int(rec.get("attempts", 1))}
+                state.completed.pop(key, None)
+            elif event == "quarantined" and key:
+                state.quarantined.add(key)
+                state.completed.pop(key, None)
+        return state

@@ -144,6 +144,7 @@ def _register_builtin_apps() -> None:
         reference_worker,
     )
     from ..cosim.apps import CosimConfig, cosim_worker
+    from .chaos import ChaosConfig, chaos_worker
     from ..faults.apps import (
         CGHaloRecoveryConfig,
         PcommRecoveryConfig,
@@ -180,6 +181,9 @@ def _register_builtin_apps() -> None:
         AppSpec("cosim.hub", cosim_worker, CosimConfig,
                 "coupled micro/macro simulators through a translator "
                 "hub (machine.cosim.* sets the hub knobs)"),
+        AppSpec("study.chaos", chaos_worker, ChaosConfig,
+                "deterministic misbehaving workload for runner-"
+                "resilience studies (fail/exit_code/hang_s/flake_path)"),
     ):
         register_app(spec)
 

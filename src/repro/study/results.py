@@ -8,12 +8,21 @@ ratio of two lines), ``rs.table()`` (the paper-style text table),
 ``rs.to_json()`` / ``rs.to_csv()`` (artifacts), plus the
 ``executed`` / ``cached`` accounting the cache-gating CI job asserts
 on.
+
+Since the resilient-runner redesign, *failure is data*: a
+:class:`JobResult` carries ``status`` (``"ok"``, ``"failed"``,
+``"timeout"``, ``"quarantined"``, ``"missing"``), the ``error`` text
+and the ``attempts`` count, and a partially-failed study renders
+honestly — failed cells are blank in ``table()``, carry an empty value
+and their status in ``to_csv()``, surface in ``to_json()``, and
+``Series.value`` names the failure instead of pretending the point was
+never swept.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Iterable, List, Optional
 
 from .study import Study, StudyError
 
@@ -21,17 +30,44 @@ from .study import Study, StudyError
 # repro.bench.figures runs studies, so a module-level import back into
 # repro.bench would be circular.
 
-__all__ = ["JobResult", "ResultSet"]
+__all__ = ["FAILURE_STATUSES", "JobResult", "ResultSet", "STATUSES"]
+
+#: every status a JobResult may carry ("ok" first)
+STATUSES = ("ok", "failed", "timeout", "quarantined", "missing")
+
+#: the statuses that mean "this cell has no value"
+FAILURE_STATUSES = ("failed", "timeout", "quarantined", "missing")
 
 
 @dataclass
 class JobResult:
-    """Outcome of one job: the extracted y-value plus sim accounting."""
+    """Outcome of one job: the extracted y-value plus sim accounting —
+    or, for a cell that did not produce one, its failure record."""
 
     job: Dict[str, Any]
-    value: float
+    value: Optional[float]
     sim: Dict[str, Any] = field(default_factory=dict)
     cached: bool = False
+    #: "ok" | "failed" | "timeout" | "quarantined" | "missing"
+    status: str = "ok"
+    #: the final attempt's error text (None when ok)
+    error: Optional[str] = None
+    #: how many times the cell was started (retries + pool resubmits)
+    attempts: int = 1
+
+    def __post_init__(self) -> None:
+        if self.status not in STATUSES:
+            raise StudyError(
+                f"job result status must be one of {list(STATUSES)}, "
+                f"got {self.status!r}")
+        if self.status == "ok" and self.value is None:
+            raise StudyError(
+                f"ok job result for {self.job.get('series')!r} at "
+                f"P={self.job.get('x')} has no value")
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
 
     @property
     def series(self) -> str:
@@ -41,13 +77,29 @@ class JobResult:
     def x(self) -> int:
         return self.job["x"]
 
+    def describe_failure(self) -> str:
+        """One line naming why this cell has no value."""
+        return f"{self.status}: {self.error or 'no error recorded'}"
+
 
 class ResultSet:
-    """All results of one study run, queryable by series label."""
+    """All results of one study run, queryable by series label.
 
-    def __init__(self, study: Study, results: List[JobResult]):
+    ``results`` may contain ``None`` placeholders (a slot the runner
+    never settled); they are *counted* — in :attr:`missing` — never
+    silently dropped, so partial result sets stay honest.
+    """
+
+    def __init__(self, study: Study,
+                 results: Iterable[Optional[JobResult]]):
         self.study = study
-        self.results = list(results)
+        self.results: List[JobResult] = []
+        self._none_slots = 0
+        for r in results:
+            if r is None:
+                self._none_slots += 1
+                continue
+            self.results.append(r)
         self._by_label: Dict[str, Dict[int, JobResult]] = {}
         for r in self.results:
             self._by_label.setdefault(r.series, {})[r.x] = r
@@ -57,16 +109,51 @@ class ResultSet:
     # ------------------------------------------------------------------
     @property
     def executed(self) -> int:
-        """Jobs that actually ran a simulation this time."""
-        return sum(1 for r in self.results if not r.cached)
+        """Jobs that actually ran simulation attempts this time
+        (successful or not); zero on a fully cached warm rerun."""
+        return sum(1 for r in self.results
+                   if not r.cached and r.status != "missing")
 
     @property
     def cached(self) -> int:
-        """Jobs served from the result cache (zero simulation work)."""
+        """Jobs served without simulation work (result cache or
+        resumed journal)."""
         return sum(1 for r in self.results if r.cached)
 
+    @property
+    def ok(self) -> int:
+        """Jobs that produced a value."""
+        return sum(1 for r in self.results if r.ok)
+
+    @property
+    def failed(self) -> int:
+        """Jobs that exhausted their retries (failures + timeouts)."""
+        return sum(1 for r in self.results
+                   if r.status in ("failed", "timeout"))
+
+    @property
+    def quarantined(self) -> int:
+        """Jobs benched after repeatedly breaking the worker pool."""
+        return sum(1 for r in self.results if r.status == "quarantined")
+
+    @property
+    def missing(self) -> int:
+        """Cells with no result at all — never-settled slots plus
+        ``None`` placeholders handed to the constructor."""
+        return self._none_slots + sum(
+            1 for r in self.results if r.status == "missing")
+
+    @property
+    def complete(self) -> bool:
+        """True when every cell produced a value."""
+        return self.ok == len(self.results) + self._none_slots
+
+    def failures(self) -> List[JobResult]:
+        """The non-ok results, in job order."""
+        return [r for r in self.results if not r.ok]
+
     def __len__(self) -> int:
-        return len(self.results)
+        return len(self.results) + self._none_slots
 
     # ------------------------------------------------------------------
     # queries
@@ -77,7 +164,12 @@ class ResultSet:
 
     def series(self, label: str):
         """One figure line as a harness
-        :class:`~repro.bench.harness.Series`."""
+        :class:`~repro.bench.harness.Series`.
+
+        Failed points become *holes*: absent from ``points``, recorded
+        in the series' ``missing`` map so ``Series.value`` can name the
+        failure instead of claiming the point was never swept.
+        """
         from ..bench.harness import Series
 
         points = self._by_label.get(label)
@@ -87,8 +179,11 @@ class ResultSet:
                 f"available: {self.labels()}")
         meta = dict(next(iter(points.values())).job.get("meta", {}))
         return Series(label,
-                      points={x: r.value for x, r in points.items()},
-                      meta=meta)
+                      points={x: r.value for x, r in points.items()
+                              if r.ok},
+                      meta=meta,
+                      missing={x: r.describe_failure()
+                               for x, r in points.items() if not r.ok})
 
     def to_series(self) -> List[Any]:
         """Every line, in declaration/expansion order — what the
@@ -115,17 +210,33 @@ class ResultSet:
     # rendering / export
     # ------------------------------------------------------------------
     def table(self, title: Optional[str] = None) -> str:
+        """The paper-style text table; failed cells render blank and
+        are itemized in a footer, so a partial study never reads as a
+        complete one."""
         from ..bench.harness import render_table
 
-        return render_table(title or self.study.title, self.to_series(),
-                            unit=self.study.unit)
+        out = render_table(title or self.study.title, self.to_series(),
+                           unit=self.study.unit)
+        holes = self.failures()
+        if holes or self._none_slots:
+            lines = [out, f"{len(holes) + self._none_slots} cell(s) "
+                          "without a value:"]
+            for r in holes:
+                lines.append(f"  {r.series} @ P={r.x}: "
+                             f"{r.describe_failure()}")
+            if self._none_slots:
+                lines.append(f"  (+{self._none_slots} unidentified "
+                             "missing slot(s))")
+            out = "\n".join(lines)
+        return out
 
     def to_json(self) -> Dict[str, Any]:
         return {
             "study": self.study.to_json(),
             "results": [
                 {"job": r.job, "value": r.value, "sim": r.sim,
-                 "cached": r.cached}
+                 "cached": r.cached, "status": r.status,
+                 "error": r.error, "attempts": r.attempts}
                 for r in self.results
             ],
         }
@@ -135,19 +246,26 @@ class ResultSet:
         study = Study.from_json(data["study"])
         results = [JobResult(job=r["job"], value=r["value"],
                              sim=r.get("sim", {}),
-                             cached=bool(r.get("cached", False)))
+                             cached=bool(r.get("cached", False)),
+                             status=r.get("status", "ok"),
+                             error=r.get("error"),
+                             attempts=int(r.get("attempts", 1)))
                    for r in data["results"]]
         return cls(study, results)
 
     def to_csv(self) -> str:
-        """Flat CSV: one row per job (study, series, x, value, cached)."""
-        lines = ["study,series,x,value,cached"]
+        """Flat CSV: one row per job (study, series, x, value, cached,
+        status); a failed cell's value field is empty, not invented."""
+        lines = ["study,series,x,value,cached,status"]
         for r in self.results:
             label = r.series.replace('"', '""')
+            value = repr(r.value) if r.ok else ""
             lines.append(f'{self.study.name},"{label}",{r.x},'
-                         f'{r.value!r},{int(r.cached)}')
+                         f'{value},{int(r.cached)},{r.status}')
         return "\n".join(lines) + "\n"
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"ResultSet({self.study.name!r}, jobs={len(self)}, "
-                f"executed={self.executed}, cached={self.cached})")
+                f"executed={self.executed}, cached={self.cached}, "
+                f"failed={self.failed}, quarantined={self.quarantined}, "
+                f"missing={self.missing})")

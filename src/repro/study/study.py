@@ -100,6 +100,7 @@ class Study:
         self.unit = unit
         self._axes: Dict[str, Tuple[Any, ...]] = {}
         self._cells: List[Dict[str, Any]] = []
+        self._policy: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # declaration (fluent)
@@ -177,6 +178,34 @@ class Study:
                     "start with 'machine.' (config params are flat)")
         self._cells.append(cell)
         return self
+
+    def with_policy(self, policy: Any) -> "Study":
+        """Attach a default :class:`~repro.study.policy.RunPolicy`.
+
+        The policy is *runner* input — how cells are timed out, retried
+        and reported — never *job* input: it rides in ``to_json()``
+        next to the cells but is deliberately absent from every job
+        spec, so attaching or editing a policy never changes a cache
+        key.  ``run_study(policy=...)`` overrides it.
+        """
+        from .policy import RunPolicy
+
+        if policy is None:
+            self._policy = None
+        elif isinstance(policy, RunPolicy):
+            self._policy = policy
+        elif isinstance(policy, dict):
+            self._policy = RunPolicy.from_json(policy)
+        else:
+            raise StudyError(
+                f"study policy must be a RunPolicy or a dict, got "
+                f"{type(policy).__name__}")
+        return self
+
+    @property
+    def run_policy(self) -> Optional[Any]:
+        """The study's default run policy (None = runner defaults)."""
+        return self._policy
 
     # ------------------------------------------------------------------
     # introspection
@@ -273,13 +302,18 @@ class Study:
     # JSON round-trip: a scenario is a file
     # ------------------------------------------------------------------
     def to_json(self) -> Dict[str, Any]:
-        return {
+        data = {
             "name": self.name,
             "title": self.title,
             "unit": self.unit,
             "axes": {n: list(vs) for n, vs in self._axes.items()},
             "cells": copy.deepcopy(self._cells),
         }
+        if self._policy is not None:
+            # runner input, serialized NEXT TO the cells — job specs
+            # (and therefore cache keys) never see it
+            data["policy"] = self._policy.to_json()
+        return data
 
     @classmethod
     def from_json(cls, data: Dict[str, Any]) -> "Study":
@@ -293,6 +327,8 @@ class Study:
                 label = cell.pop("label")
                 app = cell.pop("app")
                 study.cell(label, app, **cell)
+            if data.get("policy") is not None:
+                study.with_policy(data["policy"])
         except KeyError as exc:
             raise StudyError(f"study JSON is missing key {exc}") from exc
         return study

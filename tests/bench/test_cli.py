@@ -96,6 +96,57 @@ def test_cli_study_only_flags_rejected_for_figures():
         main(["all", "--csv", "/tmp/x.csv"])
 
 
+def test_cli_study_keep_going_and_resume(capsys, monkeypatch, tmp_path):
+    """The resilience path end to end: a run with a poisoned cell exits
+    0 under --keep-going with the failure in the artifact, and --resume
+    re-executes only the poisoned cell."""
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "results"))
+    monkeypatch.setenv("REPRO_POINTS", "8,16")
+    cache = str(tmp_path / "cache")
+
+    assert main(["study", "resilience", "--cache", cache,
+                 "--keep-going"]) == 0
+    out = capsys.readouterr().out
+    assert "1 failed" in out and "without a value" in out
+
+    import json
+    artifact = tmp_path / "results" / "resilience_study.json"
+    extra = json.loads(artifact.read_text())["extra"]
+    assert extra["failed"] == 1 and extra["executed"] == 3
+
+    from repro.study.runner import simulations_executed
+    before = simulations_executed()
+    assert main(["study", "resilience", "--cache", cache,
+                 "--keep-going", "--resume"]) == 0
+    # only the poisoned cell simulates again
+    assert simulations_executed() == before + 1
+    extra = json.loads(artifact.read_text())["extra"]
+    assert extra["cached"] == 2 and extra["executed"] == 1
+
+
+def test_cli_study_failure_without_keep_going_fails(capsys, monkeypatch,
+                                                    tmp_path):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "results"))
+    monkeypatch.setenv("REPRO_POINTS", "8")
+    # --retries overrides the catalog study's keep_going default with a
+    # raise policy, so the poisoned cell aborts the run with exit 1
+    assert main(["study", "resilience", "--retries", "0"]) == 1
+    assert "FAIL:" in capsys.readouterr().err
+
+
+def test_cli_study_resume_needs_a_cache(monkeypatch):
+    monkeypatch.delenv("REPRO_STUDY_CACHE", raising=False)
+    with pytest.raises(SystemExit, match="cache"):
+        main(["study", "fig5", "--resume"])
+
+
+def test_cli_resilience_flags_rejected_for_figures():
+    for flags in (["--keep-going"], ["--timeout", "5"],
+                  ["--retries", "1"], ["--resume"]):
+        with pytest.raises(SystemExit, match="study"):
+            main(["fig5"] + flags)
+
+
 def test_cli_study_needs_a_known_name():
     with pytest.raises(SystemExit, match="catalog"):
         main(["study"])

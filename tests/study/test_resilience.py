@@ -1,0 +1,290 @@
+"""Runner resilience: per-job timeouts, retry/backoff, partial results,
+quarantine of pool-killing cells, and journaled resumable runs.
+
+The misbehaving workload is the built-in ``study.chaos`` registry app —
+fully deterministic in virtual time, with knobs for raising, timing out
+(a *wall-clock* hang), failing exactly once (flake), and killing its
+worker process outright.
+"""
+
+import json
+import os
+import shutil
+
+import pytest
+
+from repro.study import (
+    JobResult,
+    ResultSet,
+    RunPolicy,
+    Study,
+    StudyError,
+    job_key,
+    resilience_study,
+    run_study,
+    simulations_executed,
+)
+from repro.study.journal import RunJournal, mark_running, run_key
+from repro.study.policy import backoff_delay
+
+
+def chaos_study(name="chaos", points=(4, 8), **poison_params):
+    """A healthy sweep plus one poisoned single-point cell."""
+    study = (Study(name)
+             .axis("nprocs", list(points))
+             .axis("poison_nprocs", [4])
+             .cell("Healthy", app="study.chaos"))
+    if poison_params:
+        study.cell("Poison", app="study.chaos", params=poison_params,
+                   x_axis="poison_nprocs")
+    return study
+
+
+# ----------------------------------------------------------------------
+# policy object
+# ----------------------------------------------------------------------
+
+def test_policy_validation():
+    with pytest.raises(StudyError, match="on_error"):
+        RunPolicy(on_error="explode")
+    with pytest.raises(StudyError, match="timeout"):
+        RunPolicy(timeout=0)
+    with pytest.raises(StudyError, match="retries"):
+        RunPolicy(retries=-1)
+    with pytest.raises(StudyError, match="unknown"):
+        RunPolicy.from_json({"retries": 1, "bogus": True})
+
+
+def test_policy_json_round_trip():
+    p = RunPolicy(timeout=2.5, retries=3, on_error="keep_going")
+    assert RunPolicy.from_json(p.to_json()) == p
+
+
+def test_backoff_is_deterministic_and_bounded():
+    p = RunPolicy(retries=5, backoff=0.25, backoff_cap=1.0, jitter=0.5)
+    delays = [backoff_delay(p, "deadbeef", n) for n in (1, 2, 3, 4)]
+    assert delays == [backoff_delay(p, "deadbeef", n) for n in (1, 2, 3, 4)]
+    for n, d in enumerate(delays, start=1):
+        base = min(1.0, 0.25 * 2 ** (n - 1))
+        assert base <= d <= base * 1.5
+    # the jitter is keyed on the job, so two cells never thundering-herd
+    assert backoff_delay(p, "deadbeef", 1) != backoff_delay(p, "cafe", 1)
+
+
+def test_study_policy_round_trips_and_stays_out_of_the_cache_key():
+    bare = chaos_study()
+    declared = chaos_study().with_policy(
+        RunPolicy(timeout=9.0, on_error="keep_going"))
+    data = json.loads(json.dumps(declared.to_json()))
+    restored = Study.from_json(data)
+    assert restored.run_policy == declared.run_policy
+    # policy is presentation/execution-control, not part of the spec:
+    # declaring one must not invalidate cached simulations
+    for a, b in zip(bare.jobs(), declared.jobs()):
+        assert job_key(a) == job_key(b)
+
+
+# ----------------------------------------------------------------------
+# keep_going: partial results
+# ----------------------------------------------------------------------
+
+def test_keep_going_records_failure_as_data():
+    rs = run_study(chaos_study(fail=True),
+                   policy=RunPolicy(on_error="keep_going"))
+    assert rs.failed == 1 and rs.ok == 2 and rs.complete is False
+    bad = rs.failures()[0]
+    assert bad.status == "failed" and "ChaosError" in bad.error
+    assert bad.value is None
+
+    # holes render honestly everywhere
+    assert "without a value" in rs.table()
+    assert "Poison" in rs.table()
+    line = [l for l in rs.to_csv().splitlines() if "Poison" in l][0]
+    assert line.endswith(",failed") and ",," in line
+    s = rs.series("Poison")
+    with pytest.raises(KeyError, match="ChaosError"):
+        s.value(4)
+
+
+def test_default_policy_still_raises_on_failure():
+    with pytest.raises(StudyError, match="chaos.*Poison.*P=4"):
+        run_study(chaos_study(fail=True))
+
+
+def test_resilience_catalog_study_is_keep_going_by_default():
+    rs = run_study(resilience_study(points=[4, 8]))
+    assert rs.failed == 1 and rs.ok == 2
+
+
+def test_results_json_round_trip_preserves_failures():
+    rs = run_study(chaos_study(fail=True),
+                   policy=RunPolicy(on_error="keep_going"))
+    restored = ResultSet.from_json(json.loads(json.dumps(rs.to_json())))
+    assert restored.failed == 1
+    bad = restored.failures()[0]
+    assert bad.status == "failed" and "ChaosError" in bad.error
+    for x in (4, 8):
+        assert restored.value("Healthy", x) == rs.value("Healthy", x)
+
+
+def test_jobresult_rejects_ok_without_value():
+    job = chaos_study().jobs()[0]
+    with pytest.raises(StudyError, match="value"):
+        JobResult(job=job, value=None, sim={})
+    with pytest.raises(StudyError, match="status"):
+        JobResult(job=job, value=1.0, sim={}, status="exploded")
+
+
+# ----------------------------------------------------------------------
+# retries + backoff
+# ----------------------------------------------------------------------
+
+def test_flaky_cell_succeeds_on_retry(tmp_path):
+    flake = str(tmp_path / "flake-marker")
+    study = chaos_study(flake_path=flake)
+    rs = run_study(study, policy=RunPolicy(retries=1, backoff=0.01))
+    bad = [r for r in rs.results if r.series == "Poison"][0]
+    assert bad.status == "ok" and bad.attempts == 2
+    assert rs.complete
+
+
+def test_flaky_cell_fails_without_retries(tmp_path):
+    flake = str(tmp_path / "flake-marker")
+    with pytest.raises(StudyError, match="1 attempt"):
+        run_study(chaos_study(flake_path=flake), policy=RunPolicy())
+
+
+# ----------------------------------------------------------------------
+# timeouts (wall-clock; chaos hangs in real time, not virtual time)
+# ----------------------------------------------------------------------
+
+def test_timeout_serial():
+    rs = run_study(chaos_study(hang_s=10.0),
+                   policy=RunPolicy(timeout=0.2, on_error="keep_going"))
+    bad = rs.failures()[0]
+    assert bad.status == "timeout"
+    assert "0.2" in bad.error
+
+
+def test_timeout_in_pool_worker():
+    rs = run_study(chaos_study(hang_s=10.0), jobs=2,
+                   policy=RunPolicy(timeout=0.2, on_error="keep_going"))
+    assert rs.failures()[0].status == "timeout"
+    assert rs.ok == 2
+
+
+# ----------------------------------------------------------------------
+# pool-killing cells: respawn, blame, quarantine
+# ----------------------------------------------------------------------
+
+def test_worker_death_is_survived_and_quarantined(tmp_path):
+    """A cell that SIGKILLs its own pool worker breaks the whole
+    executor; the runner must respawn the pool, finish every healthy
+    cell bit-identically, and quarantine the poison."""
+    study = chaos_study(exit_code=9)
+    rs = run_study(study, jobs=2, cache=str(tmp_path / "cache"),
+                   policy=RunPolicy(on_error="keep_going"))
+    assert rs.quarantined == 1 and rs.ok == 2
+    bad = rs.failures()[0]
+    assert bad.status == "quarantined" and "worker process died" in bad.error
+
+    fault_free = run_study(chaos_study("chaos2"))
+    for x in (4, 8):
+        assert rs.value("Healthy", x) == fault_free.value("Healthy", x)
+
+
+def test_worker_death_raises_without_keep_going(tmp_path):
+    with pytest.raises(StudyError):
+        run_study(chaos_study(exit_code=9), jobs=2,
+                  cache=str(tmp_path / "cache"))
+
+
+def test_chaos_refuses_to_kill_the_host_process():
+    """In a serial run the job executes in the host: the chaos app must
+    raise instead of os._exit'ing the test runner itself."""
+    rs = run_study(chaos_study(exit_code=9),
+                   policy=RunPolicy(on_error="keep_going"))
+    bad = rs.failures()[0]
+    assert bad.status == "failed" and "refusing to kill" in bad.error
+
+
+# ----------------------------------------------------------------------
+# journal + resume
+# ----------------------------------------------------------------------
+
+def test_resume_reexecutes_only_the_failed_cell(tmp_path):
+    cache = str(tmp_path / "cache")
+    study = chaos_study(fail=True)
+    first = run_study(study, cache=cache,
+                      policy=RunPolicy(on_error="keep_going"))
+    assert first.failed == 1 and first.executed == 3
+
+    before = simulations_executed()
+    again = run_study(study, cache=cache, resume=True,
+                      policy=RunPolicy(on_error="keep_going"))
+    # the two healthy cells are served without simulating; only the
+    # failed cell runs again
+    assert again.cached == 2 and again.executed == 1
+    assert simulations_executed() == before + 1
+    for x in (4, 8):
+        assert again.value("Healthy", x) == first.value("Healthy", x)
+
+
+def test_resume_serves_healthy_values_from_the_journal_alone(tmp_path):
+    """The journal records completed outcomes inline, so resume works
+    even after the cache entries are wiped — and it repopulates the
+    cache as it serves them."""
+    cache = str(tmp_path / "cache")
+    study = chaos_study(fail=True)
+    first = run_study(study, cache=cache,
+                      policy=RunPolicy(on_error="keep_going"))
+
+    # wipe every cache entry but keep the journal directory
+    for entry in os.listdir(cache):
+        if entry != "journal":
+            shutil.rmtree(os.path.join(cache, entry))
+
+    before = simulations_executed()
+    again = run_study(study, cache=cache, resume=True,
+                      policy=RunPolicy(on_error="keep_going"))
+    assert again.cached == 2 and again.executed == 1
+    assert simulations_executed() == before + 1
+    for x in (4, 8):
+        assert again.value("Healthy", x) == first.value("Healthy", x)
+
+
+def test_resume_requires_a_cache():
+    with pytest.raises(StudyError, match="resume"):
+        run_study(chaos_study(), resume=True)
+
+
+def test_resume_without_a_journal_is_a_fresh_run(tmp_path):
+    cache = str(tmp_path / "cache")
+    rs = run_study(chaos_study(), cache=cache, resume=True)
+    assert rs.complete and rs.executed == len(rs)
+
+
+def test_journal_identity_tracks_the_job_set():
+    keys_a = ["k1", "k2"]
+    assert run_key("s", keys_a) == run_key("s", ["k2", "k1"])
+    assert run_key("s", keys_a) != run_key("s", ["k1"])
+    assert run_key("s", keys_a) != run_key("t", keys_a)
+
+
+def test_journal_state_survives_torn_tail_lines(tmp_path):
+    path = str(tmp_path / "run.jsonl")
+    journal = RunJournal.open(str(tmp_path), "demo", ["ka", "kb"])
+    journal.record("completed", key="ka", value=1.5, sim={}, attempts=1)
+    journal.record("failed", key="kb", status="failed", error="boom",
+                   attempts=2)
+    journal.close()
+    path = journal.path
+    mark_running(path, "kb", 3)           # a worker-side marker
+    with open(path, "a") as fh:
+        fh.write('{"event": "completed", "key": "kb"')   # torn write
+
+    state = RunJournal.read_state(path)
+    assert state.completed["ka"]["value"] == 1.5
+    assert state.failed["kb"]["error"] == "boom"
+    assert state.running["kb"] == 3
+    assert state.skipped_lines == 1

@@ -56,9 +56,10 @@ def test_resultset_queries_and_exports(tmp_path):
     assert restored.study.jobs() == rs.study.jobs()
 
     csv = rs.to_csv()
-    assert csv.splitlines()[0] == "study,series,x,value,cached"
+    assert csv.splitlines()[0] == "study,series,x,value,cached,status"
     assert len(csv.splitlines()) == 1 + len(rs)
     assert '"Reference",8' in csv
+    assert csv.splitlines()[1].endswith(",ok")
 
     table = rs.table()
     assert "Reference" in table and "procs" in table
@@ -83,6 +84,32 @@ def test_failed_job_reports_series_and_point():
 def test_bad_jobs_count_rejected():
     with pytest.raises(StudyError, match="jobs"):
         run_study(tiny_study(), jobs=0)
+
+
+def test_bad_jobs_env_var_named_in_error(monkeypatch):
+    """An unparseable $REPRO_STUDY_JOBS must fail as a StudyError that
+    names the variable and the offending value — not a bare ValueError
+    from int()."""
+    monkeypatch.setenv("REPRO_STUDY_JOBS", "abc")
+    with pytest.raises(StudyError,
+                       match=r"\$REPRO_STUDY_JOBS.*'abc'"):
+        run_study(tiny_study(points=[4]))
+
+
+def test_resultset_accounts_for_none_slots():
+    """A ``None`` placeholder is a *missing* result, not a silently
+    dropped one: it must count in ``len`` / ``missing`` and leave the
+    set incomplete."""
+    from repro.study import JobResult, ResultSet
+
+    study = tiny_study(points=[4])
+    jobs = study.jobs()
+    done = JobResult(job=jobs[0], value=1.0, sim={})
+    rs = ResultSet(study, [done, None])
+    assert len(rs) == 2
+    assert rs.missing == 1
+    assert not rs.complete
+    assert rs.ok == 1
 
 
 # ----------------------------------------------------------------------
@@ -144,20 +171,32 @@ def test_cache_rejects_corrupt_and_mismatched_entries(tmp_path):
     path = study_cache.store(cache, job, {"value": 1.0, "sim": {}})
     assert study_cache.load(cache, job) == {"value": 1.0, "sim": {}}
 
-    # corrupt file -> miss, not error
+    # corrupt file -> miss, not error — and the skip is *counted*, not
+    # silently swallowed
+    before = study_cache.skipped_total()
     with open(path, "w") as fh:
         fh.write("{not json")
     assert study_cache.load(cache, job) is None
+    assert study_cache.skipped_entries()["corrupt"] >= 1
+    assert study_cache.skipped_total() == before + 1
 
     # an entry whose stored spec does not match the requested one
-    # (adversarial collision) -> miss
+    # (adversarial collision) -> miss, counted under "spec"
     other = tiny_study(points=[8]).jobs()[0]
     entry_path = study_cache.cache_path(cache, study_cache.job_key(job))
     os.makedirs(os.path.dirname(entry_path), exist_ok=True)
     with open(entry_path, "w") as fh:
         json.dump({"schema": 1, "job": other,
                    "outcome": {"value": 9.9, "sim": {}}}, fh)
+    before_spec = study_cache.skipped_entries()["spec"]
     assert study_cache.load(cache, job) is None
+    assert study_cache.skipped_entries()["spec"] == before_spec + 1
+
+    # a plain miss (no file at all) is not a skipped entry
+    before = study_cache.skipped_total()
+    missing = tiny_study(points=[16]).jobs()[0]
+    assert study_cache.load(cache, missing) is None
+    assert study_cache.skipped_total() == before
 
 
 def test_env_defaults_for_jobs_and_cache(tmp_path, monkeypatch):
