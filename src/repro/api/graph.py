@@ -62,6 +62,9 @@ class StageDef:
     fraction: Optional[float]
     size: Optional[int]
     body: Optional[Body]
+    #: nominal seconds if the whole machine ran this stage — the
+    #: auto-sizing pass's T_W0/T'_W1 input (repro.compile); optional
+    work: Optional[float] = None
 
     def effective_fraction(self, total_procs: int) -> float:
         if self.fraction is not None:
@@ -116,12 +119,18 @@ class StreamGraph:
     # ------------------------------------------------------------------
     def stage(self, name: str, *, fraction: Optional[float] = None,
               size: Optional[int] = None,
-              body: Optional[Body] = None) -> "StreamGraph":
+              body: Optional[Body] = None,
+              work: Optional[float] = None) -> "StreamGraph":
         """Declare a stage sized by ``fraction`` of P *or* absolute
         ``size``; ``body(ctx)`` is a generator function (omit it for a
-        pure consumer stage whose flows declare operators)."""
+        pure consumer stage whose flows declare operators).  ``work`` is
+        the stage's nominal whole-machine runtime in seconds — a hint
+        the compiler's auto-sizing pass uses to balance Eq. 2."""
         if name in self._stages:
             raise GraphError(f"duplicate stage {name!r}")
+        if work is not None and work <= 0:
+            raise GraphError(
+                f"stage {name!r}: work must be positive, got {work}")
         if (fraction is None) == (size is None):
             raise GraphError(
                 f"stage {name!r}: give exactly one of fraction / size")
@@ -132,7 +141,7 @@ class StreamGraph:
             raise GraphError(f"stage {name!r}: size must be >= 1, got {size}")
         if body is not None and not callable(body):
             raise GraphError(f"stage {name!r}: body must be callable")
-        self._stages[name] = StageDef(name, fraction, size, body)
+        self._stages[name] = StageDef(name, fraction, size, body, work)
         self._order.append(name)
         return self
 
@@ -292,6 +301,22 @@ class CompiledGraph:
         return self.plan.total_procs
 
     def execute(self, world: Comm) -> Generator[Any, Any, StageRecord]:
+        """This rank's SPMD main, as a generator.
+
+        When the run opted into compiled mode (``run(..., compile=True)``
+        installs the options on the world) and no fault controller is
+        active, the returned generator is the plan compiler's fused
+        driver; otherwise the interpreted ``run_decoupled`` layering.
+        Both are plain ``yield from``-able generators, so call sites
+        never change.
+        """
+        opts = world.world._compile_opts
+        if opts is not None and world.world._fault_ctl is None:
+            from ..compile.executor import executable_for  # lazy: upper layer
+            return executable_for(self, opts).driver(world)
+        return self._interpret(world)
+
+    def _interpret(self, world: Comm) -> Generator[Any, Any, StageRecord]:
         bodies = {s.name: self._make_body(s) for s in self.graph.stages}
         record = yield from run_decoupled(world, self.plan, bodies)
         return record

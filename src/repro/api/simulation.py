@@ -111,6 +111,7 @@ class Simulation:
                  topology: Union[None, str, TopologyConfig] = None,
                  placement: Union[None, str, PlacementPolicy] = None,
                  faults=None,
+                 compile: Union[None, bool, dict, object] = None,
                  max_events: Optional[int] = None):
         """
         Parameters
@@ -142,6 +143,16 @@ class Simulation:
             Deterministic fault injection: a :class:`~repro.faults.
             plan.FaultPlan` or its JSON dict (None = fault-free).
             Crash ranks may be negative (``-1`` = last rank).
+        compile:
+            Opt into the plan compiler (:mod:`repro.compile`):
+            ``True``, a :class:`~repro.compile.CompileOptions` or its
+            dict form (e.g. ``{"auto_alpha": True}``).  Graph runs then
+            execute through the pass pipeline's fused driver and static
+            send schedules — bit-identical virtual-time results unless
+            ``auto_alpha`` rewrites group sizes.  Silently bypassed
+            under fault injection (the interpreted layering carries the
+            recovery protocol).  See :meth:`explain` for the pipeline's
+            account of a graph.
         max_events:
             Safety budget on engine events (livelock guard).
         """
@@ -176,6 +187,14 @@ class Simulation:
         self.machine = machine_cfg
         self.trace = trace
         self.max_events = max_events
+        if compile is not None and compile is not False:
+            from ..compile.options import resolve_options
+            try:
+                self.compile_opts = resolve_options(compile)
+            except ValueError as exc:
+                raise GraphError(str(exc)) from exc
+        else:
+            self.compile_opts = None
 
     # ------------------------------------------------------------------
     def run(self, target: Union[StreamGraph, CompiledGraph, Callable], *,
@@ -208,15 +227,39 @@ class Simulation:
             record = yield from compiled.execute(comm)
             return record
 
+        # compiled mode: specialize up front so placement and the
+        # report see the executable's plan (auto_alpha may resize
+        # groups); the launcher's executable_for() hits the same memo
+        plan = compiled.plan
+        if self.compile_opts is not None and self.faults is None:
+            from ..compile.executor import executable_for
+            plan = executable_for(compiled, self.compile_opts).plan
+
         machine = self.machine
         if self._plan_placement is not None:
             machine = machine.with_(placement=plan_placement(
-                self._plan_placement, compiled.plan))
+                self._plan_placement, plan))
         sim = run(main, self.nprocs, machine=machine,
                   trace=self.trace, max_events=self.max_events,
-                  faults=self.faults)
-        return Report(sim=sim, plan=compiled.plan,
+                  faults=self.faults, compile=self.compile_opts)
+        return Report(sim=sim, plan=plan,
                       records=list(sim.values))
+
+    def explain(self, target: Union[StreamGraph, CompiledGraph]) -> str:
+        """The pass pipeline's account of how ``target`` would execute
+        on this simulation — one line per pass decision (fusion, sizing,
+        schedules, engine segments).  Uses this simulation's compile
+        options when set, the defaults otherwise."""
+        from ..compile.executor import compile_graph
+        compiled = (target if isinstance(target, CompiledGraph)
+                    else target.compile(self.nprocs))
+        if compiled.total_procs != self.nprocs:
+            raise GraphError(
+                f"graph compiled for {compiled.total_procs} processes, "
+                f"simulation has {self.nprocs}")
+        exe = compile_graph(compiled, machine=self.machine,
+                            options=self.compile_opts)
+        return exe.explain()
 
     def couple(self, graph_a: StreamGraph, graph_b: StreamGraph, *,
                hub=None, port_a: str, port_b: str,

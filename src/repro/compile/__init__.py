@@ -1,0 +1,54 @@
+"""repro.compile — the plan compiler (pass pipeline + batched execution).
+
+Lowers a :class:`~repro.api.graph.CompiledGraph` through a fixed pass
+pipeline (auto-size-groups, fuse-stages, emit-schedules,
+engine-segments) into an :class:`~repro.compile.executor.
+ExecutableGraph` whose flat driver and engine-serviced send schedules
+replace the interpreted generator layering — bit-identical virtual
+time, several times the events/sec.  See DESIGN.md §15 for the pass
+contract and ``ExecutableGraph.explain()`` for what a given graph's
+pipeline rewrote.
+
+Entry points::
+
+    exe = compile_graph(graph, nprocs=1024, machine=beskow())
+    print(exe.explain())
+    report = Simulation(1024, "beskow", compile=True).run(graph)
+    sim = run(worker, 1024, args=(cfg,), compile=True)   # low-level
+"""
+
+from .executor import (
+    CompiledProducerHandle,
+    ExecutableGraph,
+    compile_graph,
+    executable_for,
+)
+from .options import CompileOptions, DEFAULT_OPTIONS, resolve_options
+from .passes import (
+    GraphIR,
+    PIPELINE,
+    PassNote,
+    PipelineReport,
+    SendPlan,
+    run_pipeline,
+)
+from .schedule import bind_send_cursor
+from .sizing import plan_auto_sizes
+
+__all__ = [
+    "CompileOptions",
+    "CompiledProducerHandle",
+    "DEFAULT_OPTIONS",
+    "ExecutableGraph",
+    "GraphIR",
+    "PIPELINE",
+    "PassNote",
+    "PipelineReport",
+    "SendPlan",
+    "bind_send_cursor",
+    "compile_graph",
+    "executable_for",
+    "plan_auto_sizes",
+    "resolve_options",
+    "run_pipeline",
+]

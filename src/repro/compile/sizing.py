@@ -1,0 +1,134 @@
+"""Auto helper-group sizing: choose alpha from the graph + machine model.
+
+The paper hand-sets the decoupled fraction alpha; the hp-adaptivity
+line of work sizes it from a model instead.  This pass reads per-stage
+``work=`` hints (nominal seconds if the whole machine ran the stage),
+splits the graph into the compute side (stages that produce flows, or
+touch none) and the helper side (pure consumers), and solves Eq. 2's
+balance point with :func:`repro.core.model.optimal_alpha`:
+
+    T_W0 / (1 - alpha) + T_sigma = T'_W1(alpha) / alpha
+
+T_sigma comes from the machine's noise model via
+:func:`~repro.core.model.predicted_sigma`; when the options carry a
+stream ``granularity`` the helper-side work is scaled by the
+:class:`~repro.core.model.BetaModel` pipelining efficiency beta(S).
+
+The result is a *proposed* size per stage — the pass rewrites the
+plan's group sizes, which changes virtual-time results by design (see
+``CompileOptions.auto_alpha``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from ..core.model import BetaModel, optimal_alpha, predicted_sigma
+
+
+def _distribute(total: int, stages, weights: Dict[str, float]) -> Dict[str, int]:
+    """Split ``total`` ranks over ``stages`` proportional to ``weights``,
+    every stage >= 1, remainder to the heaviest stage."""
+    names = [s.name for s in stages]
+    wsum = sum(weights[n] for n in names) or float(len(names))
+    sizes = {n: max(1, int(round(total * weights[n] / wsum))) for n in names}
+    drift = total - sum(sizes.values())
+    heaviest = max(names, key=lambda n: weights[n])
+    sizes[heaviest] += drift
+    if sizes[heaviest] < 1:
+        return {}
+    return sizes
+
+
+def plan_auto_sizes(graph, plan, machine, options
+                    ) -> Tuple[Optional[Dict[str, int]], List[str], dict]:
+    """Propose new group sizes, or None with the reason it was skipped.
+
+    Returns ``(sizes, notes, model)`` where ``model`` records the
+    solver's inputs/outputs for the explain report.
+    """
+    notes: List[str] = []
+    model: dict = {}
+    stages = graph.stages
+    nprocs = plan.total_procs
+
+    pinned = [s.name for s in stages if s.size is not None]
+    if pinned:
+        notes.append(f"skipped: stage(s) {pinned} pin explicit sizes")
+        return None, notes, model
+    missing = [s.name for s in stages if s.work is None]
+    if missing:
+        notes.append(
+            f"skipped: stage(s) {missing} declare no work= hint")
+        return None, notes, model
+
+    helpers = [s for s in stages
+               if not graph.flows_out(s.name) and graph.flows_in(s.name)]
+    producers = [s for s in stages if s not in helpers]
+    if not helpers or not producers:
+        notes.append("skipped: need at least one pure-consumer stage and "
+                     "one producing stage to decouple")
+        return None, notes, model
+
+    t_w0 = sum(s.work for s in producers)
+    t_w1 = sum(s.work for s in helpers)
+    if machine is not None:
+        noise = machine.noise
+        t_sigma = predicted_sigma(t_w0, nprocs, noise.persistent_skew,
+                                  noise.quantum_fraction)
+    else:
+        t_sigma = 0.0
+
+    beta_factor = 1.0
+    gran = granularity_hint(options)
+    if gran is not None:
+        beta = options.beta if options.beta is not None else BetaModel()
+        beta_factor = beta(gran)
+    t_w1_eff = t_w1 * beta_factor
+
+    lo = len(helpers) / nprocs
+    hi = 1.0 - len(producers) / nprocs
+    if lo >= hi:
+        notes.append(f"skipped: {nprocs} processes cannot host "
+                     f"{len(stages)} stages with a free alpha")
+        return None, notes, model
+    alpha = optimal_alpha(t_w0, t_sigma, lambda a: t_w1_eff,
+                          lo=max(lo, 1e-3), hi=min(hi, 1.0 - 1e-3))
+    alpha = min(max(alpha, lo), hi)
+
+    n_helper = min(max(len(helpers), int(round(alpha * nprocs))),
+                   nprocs - len(producers))
+    weights = {s.name: s.effective_fraction(nprocs) for s in stages}
+    sizes = _distribute(n_helper, helpers, weights)
+    sizes.update(_distribute(nprocs - n_helper, producers, weights))
+    if len(sizes) != len(stages) or sum(sizes.values()) != nprocs \
+            or min(sizes.values()) < 1:
+        notes.append("skipped: proportional rounding could not place "
+                     "every stage")
+        return None, notes, model
+
+    model.update(t_w0=t_w0, t_w1=t_w1, t_sigma=t_sigma,
+                 beta_factor=beta_factor, alpha=alpha,
+                 helper_ranks=n_helper)
+    notes.append(
+        f"alpha* = {alpha:.4f} (T_W0={t_w0:.3g}s, T'_W1={t_w1_eff:.3g}s"
+        + (f" = {t_w1:.3g}s x beta {beta_factor:.3f}"
+           if beta_factor != 1.0 else "")
+        + f", T_sigma={t_sigma:.3g}s) -> {n_helper}/{nprocs} helper ranks")
+    return sizes, notes, model
+
+
+def granularity_hint(options) -> Optional[float]:
+    """The element-size hint, deriving S from volume when only a total
+    is known (one element per 2^10 of volume as a neutral default)."""
+    if options.granularity is not None:
+        return options.granularity
+    if options.volume is not None:
+        return max(64.0, options.volume / 1024.0)
+    return None
+
+
+def alpha_of_sizes(sizes: Dict[str, int], helpers: List[str]) -> float:
+    total = sum(sizes.values())
+    return sum(sizes[h] for h in helpers) / total if total else math.nan

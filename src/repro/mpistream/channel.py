@@ -26,6 +26,53 @@ from ..simmpi.errors import (
     RevokedError,
 )
 
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is baked into the image
+    _np = None
+
+#: producer counts from which the routing table switches to a dense
+#: numpy array (below this, list arithmetic wins on constant factors)
+DENSE_PEERS = 256
+
+#: blocked-routing tables keyed (nproducers, nconsumers) — shared by
+#: every channel of the same shape and by the plan compiler's schedule
+#: emission pass (repro.compile.passes), so runtime and compiler can
+#: never disagree on the assignment
+_peers_cache: dict = {}
+
+
+def blocked_peers(nproducers: int, nconsumers: int):
+    """Producer index -> consumer index table of the blocked
+    distribution (producer ``i`` of NP targets consumer ``i*NC//NP``).
+
+    Returns a numpy ``int64`` array for large producer counts, a plain
+    list below :data:`DENSE_PEERS`.  Cached per shape."""
+    key = (nproducers, nconsumers)
+    hit = _peers_cache.get(key)
+    if hit is not None:
+        return hit[0]
+    if _np is not None and nproducers >= DENSE_PEERS:
+        table = (_np.arange(nproducers, dtype=_np.int64)
+                 * nconsumers // nproducers)
+        counts = _np.bincount(table, minlength=nconsumers)
+    else:
+        table = [i * nconsumers // nproducers for i in range(nproducers)]
+        counts = [0] * nconsumers
+        for ci in table:
+            counts[ci] += 1
+    if len(_peers_cache) >= 64:
+        _peers_cache.clear()
+    _peers_cache[key] = (table, counts)
+    return table
+
+
+def blocked_fan_in(nproducers: int, nconsumers: int):
+    """Producers assigned per consumer (the bincount of
+    :func:`blocked_peers`), from the same per-shape cache."""
+    blocked_peers(nproducers, nconsumers)
+    return _peers_cache[(nproducers, nconsumers)][1]
+
 
 class _ChannelGroups:
     """Role structures shared by every rank of one channel.
@@ -99,8 +146,17 @@ class StreamChannel:
 
     def producers_of(self, consumer_index: int) -> List[int]:
         """Indices of producers statically assigned to this consumer."""
-        nc, np_ = self.nconsumers, self.nproducers
-        return [i for i in range(np_) if i * nc // np_ == consumer_index]
+        table = blocked_peers(self.nproducers, self.nconsumers)
+        if _np is not None and isinstance(table, _np.ndarray):
+            return _np.nonzero(table == consumer_index)[0].tolist()
+        return [i for i, ci in enumerate(table) if ci == consumer_index]
+
+    def fan_in(self, consumer_index: int) -> int:
+        """Number of producers assigned to ``consumer_index`` — the
+        consumer-side termination count, without materializing the
+        index list ``producers_of`` returns."""
+        return int(blocked_fan_in(self.nproducers,
+                                  self.nconsumers)[consumer_index])
 
     @property
     def role(self) -> str:

@@ -8,7 +8,10 @@ buffers flushed by a callback (particle exchange, particle I/O), plain
 collection, and running statistics (the Listing-1 workload analyzer).
 
 All builtins are plain classes with ``__call__`` so they compose with
-both plain-function and generator-function operator slots.
+both plain-function and generator-function operator slots.  They run
+once per arriving element — stream rates make attribute layout and the
+per-pair combine dispatch measurable, hence ``__slots__`` throughout
+and the inlined default combine in :class:`ReduceByKey`.
 """
 
 from __future__ import annotations
@@ -21,6 +24,8 @@ from .element import StreamElement
 
 class Collector:
     """Append every element's payload to a list (test/diagnostic sink)."""
+
+    __slots__ = ("items", "sources")
 
     def __init__(self) -> None:
         self.items: List[Any] = []
@@ -35,23 +40,35 @@ class ReduceByKey:
     """Merge ``(key, value)`` elements into a running dictionary.
 
     ``combine`` folds a new value into the accumulator for its key
-    (default: addition — the word-histogram reduce).  Elements may be a
-    single pair or an iterable of pairs (micro-batched streams).
+    (default: addition — the word-histogram reduce; ``combine`` is then
+    None and the fold is inlined ``+``).  Elements may be a single pair
+    or an iterable of pairs (micro-batched streams).
     """
 
+    __slots__ = ("combine", "table")
+
     def __init__(self, combine: Optional[Callable] = None):
-        self.combine = combine or (lambda acc, v: acc + v)
+        self.combine = combine
         self.table: Dict[Any, Any] = {}
 
     def __call__(self, element: StreamElement) -> None:
         data = element.data
         pairs = data if isinstance(data, (list, tuple)) and data and \
             isinstance(data[0], tuple) else [data]
-        for key, value in pairs:
-            if key in self.table:
-                self.table[key] = self.combine(self.table[key], value)
-            else:
-                self.table[key] = value
+        table = self.table
+        combine = self.combine
+        if combine is None:
+            for key, value in pairs:
+                if key in table:
+                    table[key] = table[key] + value
+                else:
+                    table[key] = value
+        else:
+            for key, value in pairs:
+                if key in table:
+                    table[key] = combine(table[key], value)
+                else:
+                    table[key] = value
 
 
 class Aggregator:
@@ -63,6 +80,8 @@ class Aggregator:
     ``(key, batch)`` and may communicate.  Call :meth:`drain` at stream
     end for the leftovers.
     """
+
+    __slots__ = ("key_fn", "flush", "batch_size", "buffers", "flushes")
 
     def __init__(self, key_fn: Callable[[StreamElement], Any],
                  flush: Callable[[Any, List[Any]], Generator],
@@ -100,6 +119,8 @@ class RunningStats:
     (min/max/median workload) to a consumer group.
     """
 
+    __slots__ = ("count", "total", "min", "max")
+
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
@@ -128,6 +149,8 @@ class Forwarder:
     Used to chain groups: e.g. the MapReduce reduce group forwards
     partial tables toward the master aggregation stream.
     """
+
+    __slots__ = ("downstream", "transform", "forwarded")
 
     def __init__(self, downstream, transform: Optional[Callable] = None):
         self.downstream = downstream

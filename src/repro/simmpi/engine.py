@@ -118,6 +118,33 @@ class Spawn:
         self.daemon = daemon
 
 
+class Segment:
+    """Syscall: hand the process's next events to a precompiled schedule
+    cursor (the engine's batch-drain mode, see DESIGN.md §15).
+
+    ``start(engine, proc)`` is installed by the issuer (a schedule
+    cursor from :mod:`repro.compile.schedule`).  It may push events
+    whose callbacks advance the cursor directly — each still one heap
+    event, fired and counted exactly like every other event, but
+    serviced without re-entering the process generator or the syscall
+    dispatcher.  Return True to leave the process suspended (the cursor
+    resumes it via ``engine._step(proc, None)`` when the segment
+    completes) or False to continue the process synchronously.
+
+    The contract that keeps runs bit-identical: a segment must push the
+    same events, at the same times, at the same points in the event
+    sequence, as the generator syscalls it replaces would have.
+    """
+
+    __slots__ = ("start",)
+
+    def __init__(self, start: Callable[["Engine", "_Process"], bool]):
+        self.start = start
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Segment({self.start!r})"
+
+
 # Heap entries are plain (time, seq, callback) tuples: the unique ``seq``
 # tiebreaker guarantees the callback is never compared, and C-level tuple
 # comparison is ~3x faster than a dataclass __lt__ in the hot heappop path.
@@ -193,6 +220,9 @@ class Engine:
         self._seq: int = 0
         self._live: int = 0
         self._procs: List[_Process] = []
+        #: handle -> process index (identity-keyed; ProcessHandle has no
+        #: __eq__) so kill() is O(1) instead of a scan over every rank
+        self._proc_of_handle: dict = {}
         self.max_events: Optional[int] = None
         self._events_fired: int = 0
 
@@ -224,6 +254,7 @@ class Engine:
         handle = ProcessHandle(name)
         proc = _Process(gen, handle, self, daemon=daemon)
         self._procs.append(proc)
+        self._proc_of_handle[handle] = proc
         if not daemon:
             self._live += 1
         self._seq += 1
@@ -246,11 +277,16 @@ class Engine:
         which ``_step`` recognizes via the ``"killed"`` marker and drops
         without touching the bookkeeping a second time.
         """
-        for proc in self._procs:
-            if proc.handle is handle:
-                break
-        else:
-            raise ValueError(f"kill: unknown process handle {handle.name!r}")
+        proc = self._proc_of_handle.get(handle)
+        if proc is None:
+            # subclasses with their own spawn (the oracle engine) miss
+            # the index; fall back to the scan rather than mis-kill
+            for proc in self._procs:
+                if proc.handle is handle:
+                    break
+            else:
+                raise ValueError(
+                    f"kill: unknown process handle {handle.name!r}")
         if proc.blocked_on in ("done", "error", "killed"):
             return False
         proc.gen.close()
@@ -297,6 +333,12 @@ class Engine:
                 callback = waiters[0].resume
             else:
                 callback = partial(self._step, waiters[0], payload)
+        elif payload is None:
+            # `resume()` is `_step(proc, None)` for a process, and the
+            # advance method for a schedule cursor — either may wait
+            def callback() -> None:
+                for proc in waiters:
+                    proc.resume()
         else:
             def callback() -> None:
                 step = self._step
@@ -353,6 +395,14 @@ class Engine:
                 proc.blocked_on = cmd
                 flag._waiters.append(proc)
                 return
+            if cls is Segment:
+                # batch-drain hand-off: the cursor services the
+                # segment's events without generator round-trips
+                if cmd.start(self, proc):
+                    proc.blocked_on = cmd
+                    return
+                sendval = None
+                continue
             if cls is Spawn:
                 sendval = self.spawn(cmd.gen, cmd.name, daemon=cmd.daemon)
                 continue

@@ -1,0 +1,62 @@
+"""CompileOptions resolution and validation (repro.compile.options)."""
+
+import pytest
+
+from repro.compile import CompileOptions, DEFAULT_OPTIONS, resolve_options
+
+
+def test_off_spellings_resolve_to_none():
+    assert resolve_options(None) is None
+    assert resolve_options(False) is None
+
+
+def test_true_resolves_to_the_shared_defaults():
+    # identity matters: launcher runs with compile=True must share one
+    # options object so they hit the executable memo
+    assert resolve_options(True) is DEFAULT_OPTIONS
+    assert DEFAULT_OPTIONS.fuse and DEFAULT_OPTIONS.schedule
+    assert DEFAULT_OPTIONS.batch
+    assert not DEFAULT_OPTIONS.auto_alpha
+
+
+def test_options_object_passes_through():
+    opts = CompileOptions(batch=False)
+    assert resolve_options(opts) is opts
+
+
+def test_dict_builds_options():
+    opts = resolve_options({"auto_alpha": True, "granularity": 4096.0})
+    assert opts == CompileOptions(auto_alpha=True, granularity=4096.0)
+
+
+def test_bad_dict_key_rejected():
+    with pytest.raises(ValueError, match="bad compile options"):
+        resolve_options({"fuze": True})
+
+
+def test_bad_type_rejected():
+    with pytest.raises(ValueError, match="compile must be"):
+        resolve_options("yes please")
+
+
+def test_batch_requires_schedule():
+    with pytest.raises(ValueError, match="enable schedule"):
+        CompileOptions(schedule=False, batch=True)
+    # disabling both together is fine
+    CompileOptions(schedule=False, batch=False)
+
+
+@pytest.mark.parametrize("field", ["volume", "granularity"])
+def test_model_inputs_must_be_positive(field):
+    with pytest.raises(ValueError, match="must be positive"):
+        CompileOptions(**{field: 0})
+    with pytest.raises(ValueError, match="must be positive"):
+        CompileOptions(**{field: -1.5})
+
+
+def test_options_are_hashable_memo_keys():
+    # the executable memo keys on (id(graph), options)
+    a = CompileOptions()
+    b = CompileOptions()
+    assert hash(a) == hash(b) and a == b
+    assert CompileOptions(batch=False) != a

@@ -394,3 +394,149 @@ def test_events_fired_counter():
     eng.run()
     # first step + two delay resumptions
     assert eng.events_fired == 3
+
+
+# ----------------------------------------------------------------------
+# kill: the handle index and its oracle fallback
+# ----------------------------------------------------------------------
+
+def test_kill_uses_the_handle_index():
+    eng = Engine()
+
+    def sleeper():
+        yield Delay(100.0)
+
+    def killer(victim):
+        yield Delay(1.0)
+        assert eng.kill(victim) is True
+
+    victim = eng.spawn(sleeper(), name="victim")
+    assert eng._proc_of_handle[victim].handle is victim
+    eng.spawn(killer(victim))
+    end = eng.run()
+    # the pending Delay(100) was purged: the clock stops at the kill
+    assert end == pytest.approx(1.0)
+    assert victim.done and victim.done_flag.time == pytest.approx(1.0)
+
+
+def test_kill_unknown_handle_rejected():
+    from repro.simmpi.engine import ProcessHandle
+    eng = Engine()
+    with pytest.raises(ValueError, match="unknown process handle"):
+        eng.kill(ProcessHandle("stranger"))
+
+
+def test_kill_finished_process_returns_false():
+    eng = Engine()
+
+    def quick():
+        yield Delay(0.5)
+
+    h = eng.spawn(quick())
+    eng.run()
+    assert eng.kill(h) is False
+
+
+def test_kill_falls_back_to_scan_for_unindexed_spawns():
+    """Engine subclasses with their own spawn (the oracle engine) never
+    populate _proc_of_handle; kill must still find their processes."""
+    eng = Engine()
+
+    def sleeper():
+        yield Delay(100.0)
+
+    def killer(victim):
+        yield Delay(1.0)
+        assert eng.kill(victim) is True
+
+    victim = eng.spawn(sleeper(), name="victim")
+    del eng._proc_of_handle[victim]          # simulate an oracle spawn
+    eng.spawn(killer(victim))
+    assert eng.run() == pytest.approx(1.0)
+    assert victim.done
+
+
+def test_oracle_engine_kill_works_without_the_index():
+    """The oracle's own spawn never touches _proc_of_handle, and its
+    per-resumption closures defeat the heap purge — kill still lands
+    via the scan, records the crash time, and the stale Delay wake-up
+    is absorbed instead of resurrecting the process."""
+    from repro.simmpi.oracle import OracleEngine
+    eng = OracleEngine()
+
+    def sleeper():
+        yield Delay(100.0)
+
+    def killer(victim):
+        yield Delay(1.0)
+        assert eng.kill(victim) is True
+
+    victim = eng.spawn(sleeper(), name="victim")
+    eng.spawn(killer(victim))
+    eng.run()
+    assert victim.done
+    assert victim.done_flag.time == pytest.approx(1.0)
+
+
+# ----------------------------------------------------------------------
+# Segment: the batch-drain syscall
+# ----------------------------------------------------------------------
+
+def test_segment_false_continues_synchronously():
+    from repro.simmpi.engine import Segment
+    eng = Engine()
+    calls = []
+
+    def starter(engine, proc):
+        calls.append(engine.now)
+        return False            # fully synchronous: no suspension
+
+    def proc():
+        yield Delay(1.0)
+        sent_back = yield Segment(starter)
+        assert sent_back is None
+        yield Delay(1.0)
+
+    eng.spawn(proc())
+    assert eng.run() == pytest.approx(2.0)
+    assert calls == [1.0]
+
+
+def test_segment_true_suspends_until_cursor_resumes():
+    from repro.simmpi.engine import Segment
+    eng = Engine()
+    trace = []
+
+    def starter(engine, proc):
+        # push one real event that later resumes the process — the
+        # schedule-cursor pattern (one heap event per logical event)
+        def fire():
+            trace.append(("fired", engine.now))
+            engine._step(proc, None)
+        engine.call_at(engine.now + 2.5, fire)
+        return True
+
+    def proc():
+        yield Delay(1.0)
+        yield Segment(starter)
+        trace.append(("resumed", eng.now))
+
+    eng.spawn(proc())
+    assert eng.run() == pytest.approx(3.5)
+    assert trace == [("fired", 3.5), ("resumed", 3.5)]
+
+
+def test_segment_suspension_shows_in_deadlock_diagnostics():
+    from repro.simmpi.engine import Segment
+    eng = Engine()
+
+    def starter(engine, proc):
+        return True             # suspend forever: nobody resumes us
+
+    def proc():
+        yield Segment(starter)
+
+    eng.spawn(proc(), name="batched")
+    with pytest.raises(DeadlockError) as ei:
+        eng.run()
+    assert "batched" in str(ei.value)
