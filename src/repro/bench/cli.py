@@ -22,6 +22,7 @@ paper's rows and saving JSON artifacts::
 equivalence, golden gating) and emits ``BENCH_perf.json``::
 
     python -m repro.bench perf                         # default suite
+    python -m repro.bench perf --list                  # what's runnable
     python -m repro.bench perf --scenario fig5-1024 --profile
     python -m repro.bench perf --scenario quickstart \
         --check-golden benchmarks/golden/quickstart_perf.json
@@ -234,6 +235,14 @@ def run_perf(args) -> int:
 
     from . import perf
 
+    if args.list:
+        if args.scenario or args.check_golden or args.write_golden \
+                or args.profile or args.compare:
+            raise SystemExit("--list enumerates the perf scenarios; it "
+                             "does not run anything")
+        print(perf.list_scenarios())
+        return 0
+
     if args.scenario:
         names = []
         for chunk in args.scenario:
@@ -279,6 +288,14 @@ def run_perf(args) -> int:
     if args.compare:
         with open(args.compare) as fh:
             compare = json.load(fh)
+        # wall-clock comparisons only mean something on like hardware;
+        # warn (never fail — identity gates are hardware-independent)
+        before_cpus = compare.get("meta", {}).get("cpu_count")
+        if before_cpus is not None and before_cpus != os.cpu_count():
+            print(f"warning: --compare baseline was measured on "
+                  f"{before_cpus} cores but this machine has "
+                  f"{os.cpu_count()}; before/after speedups are not "
+                  "apples to apples", file=sys.stderr)
     try:
         payload = perf.run_suite(names,
                                  check_oracle=not args.no_oracle,
@@ -336,8 +353,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                              help="also export the study results as CSV "
                                   "(study command only)")
     study_group.add_argument("--list", action="store_true",
-                             help="list the catalog studies with their "
-                                  "axes and exit (study command only)")
+                             help="with 'study': list the catalog studies "
+                                  "with their axes; with 'perf': list the "
+                                  "perf scenarios with their scale, "
+                                  "slow-path/fault legs and golden gating")
     study_group.add_argument("--expect-cached", action="store_true",
                              help="exit 1 unless every job was served "
                                   "from the cache (CI gate: a warm rerun "
@@ -386,10 +405,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     perf_group.add_argument("--write-golden", default=None, metavar="FILE",
                             help="write the golden file for one scenario")
     perf_group.add_argument("--variant", default="fast",
-                            choices=("fast", "compiled"),
+                            choices=("fast", "compiled", "parallel"),
                             help="execution variant for golden check/write "
-                                 "(compiled must match the same golden — "
-                                 "the compiler is bit-identical)")
+                                 "(compiled and parallel must match the "
+                                 "same golden — both are bit-identical)")
     perf_group.add_argument("--require-compiled-speedup", action="append",
                             default=None, metavar="NAME[:RATIO]",
                             help="after the suite, exit 1 unless the "

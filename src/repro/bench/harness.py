@@ -28,14 +28,18 @@ DEFAULT_POINTS = (32, 128, 512, 2048, 8192)
 
 
 def scale_points() -> List[int]:
-    """Sweep points, overridable via ``REPRO_POINTS=32,64,...``."""
-    env = os.environ.get("REPRO_POINTS")
-    if env:
-        pts = sorted({int(x) for x in env.split(",") if x.strip()})
-        if not pts:
-            raise ValueError("REPRO_POINTS parsed to an empty list")
-        return pts
-    return list(DEFAULT_POINTS)
+    """Sweep points, overridable via ``REPRO_POINTS=32,64,...``.
+
+    Validation goes through :mod:`repro.envcfg`: a malformed value
+    raises :class:`~repro.envcfg.EnvVarError` naming the variable and
+    quoting the offending string (the ``$REPRO_STUDY_JOBS`` contract).
+    """
+    from ..envcfg import env_int_list
+    pts = env_int_list("REPRO_POINTS",
+                       what="comma-separated list of process counts")
+    if pts is None:
+        return list(DEFAULT_POINTS)
+    return sorted(set(pts))
 
 
 @dataclass

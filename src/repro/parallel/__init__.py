@@ -1,0 +1,50 @@
+"""repro.parallel: conservative-lookahead parallel discrete-event engine.
+
+Shards the simulator itself.  The world's ranks are partitioned into
+*shards* (from the machine's node map, a compiled plan's group blocks,
+or an explicit pin); each shard's events live in their own lane of a
+:class:`ShardedEngine`, advanced by the :class:`PartitionedScheduler`
+inside conservative windows bounded by the minimum cross-shard fabric
+link latency, with boundary messages routed between lanes at their
+modeled arrival times.  Execution merges lanes in exact global
+``(time, seq)`` order, so every fault-free run is bit-identical to the
+serial engine — verified against the committed goldens and by the
+randomized serial==parallel==oracle property suite.
+
+Opt in per run (``run(..., parallel=2)``), per simulation
+(``Simulation(..., parallel=True)``) or per study (the
+``machine.parallel`` sub-key); fault plans and oracle slow-path
+injection bypass the parallel path cleanly, mirroring ``compile=``.
+See DESIGN.md §16 for the Scheduler protocol and the determinism
+obligations.
+"""
+
+from .engine import ShardedEngine
+from .lookahead import cut_warnings, lookahead_bound, partition_report
+from .options import ParallelOptions, parallel_key, resolve_parallel
+from .partition import (
+    ParallelError,
+    lane_map,
+    partition_ranks,
+    shards_from_blocks,
+    shards_from_nodes,
+    validate_shards,
+)
+from .scheduler import PartitionedScheduler
+
+__all__ = [
+    "ParallelError",
+    "ParallelOptions",
+    "PartitionedScheduler",
+    "ShardedEngine",
+    "cut_warnings",
+    "lane_map",
+    "lookahead_bound",
+    "parallel_key",
+    "partition_ranks",
+    "partition_report",
+    "resolve_parallel",
+    "shards_from_blocks",
+    "shards_from_nodes",
+    "validate_shards",
+]

@@ -1,0 +1,168 @@
+"""The sharded engine: per-shard event lanes behind the serial Engine API.
+
+:class:`ShardedEngine` splits the single event heap into one *lane*
+per shard.  The crucial trick is attribution without touching the hot
+paths: before firing an event the :class:`~repro.parallel.scheduler.
+PartitionedScheduler` points ``engine._heap`` at the owning lane's
+heap, so every inlined push in the transport layer (``Delay``
+resumptions, ``set_flag`` wakes, the eager send's twin pushes) lands
+in the lane of the shard that is executing — no per-push branch, and
+the serial engine's code runs unmodified.
+
+Only genuinely cross-rank schedules need explicit routing, and the
+transport gates them on ``world._lane_of_rank`` (a single pointer
+compare, the same idiom as the fault and compile hooks):
+
+``deliver_at(rank, time, cb)``
+    A boundary message: route ``cb`` to ``rank``'s lane.  Checked
+    against the window invariant — its slack (``time - now``) must be
+    at least the lookahead bound when it crosses a shard boundary.
+
+``wake_at(rank, time, cb)``
+    A reverse wake (the rendezvous sender-free edge, a passive-target
+    lock grant): routed like a delivery but exempt from the invariant,
+    because ``sender_free`` may precede ``now + L`` by construction.
+
+Both raise the ``_cross_pushed`` flag when they land outside the
+active lane — the scheduler's batch-drain loop re-merges at that
+point, which is what makes lane-local bursts safe to drain without
+rescanning every lane head (DESIGN.md §16).
+"""
+
+from __future__ import annotations
+
+from heapq import heapify, heappush as _heappush
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..simmpi.engine import Engine, ProcessHandle, _HeapEntry
+from .partition import ParallelError
+
+__all__ = ["ShardedEngine"]
+
+
+class ShardedEngine(Engine):
+    """An :class:`~repro.simmpi.engine.Engine` whose heap is split into
+    per-shard lanes, driven by a PartitionedScheduler."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: lane heaps; configure_lanes() replaces the placeholder single
+        #: lane once the world (and thus the partition) exists
+        self._lanes: List[List[_HeapEntry]] = [self._heap]
+        self._lane_of_rank: Tuple[int, ...] = ()
+        self._active: int = 0
+        #: set when a push lands outside the active lane: the merge
+        #: loop's signal that another lane's head may have moved earlier
+        self._cross_pushed: bool = False
+        #: window-invariant slack floor, installed by the scheduler
+        self.lookahead: float = 0.0
+        # boundary-traffic accounting (surfaced in extras["parallel"])
+        self.boundary_messages: int = 0
+        self.reverse_wakes: int = 0
+        self.min_slack: float = float("inf")
+        self.invariant_violations: int = 0
+
+    # ------------------------------------------------------------------
+    # lane management
+    # ------------------------------------------------------------------
+    def configure_lanes(self, nlanes: int,
+                        lane_of_rank: Sequence[int]) -> None:
+        """Install the partition.  Must run before any event is pushed
+        (the launcher configures lanes right after building the world,
+        before spawning rank processes)."""
+        if self._heap or self._seq:
+            raise ParallelError(
+                "configure_lanes after events were scheduled; the "
+                "partition must be installed on a pristine engine")
+        self._lanes = [[] for _ in range(nlanes)]
+        self._lane_of_rank = tuple(lane_of_rank)
+        self._active = 0
+        self._heap = self._lanes[0]
+
+    def activate(self, lane: int) -> None:
+        """Point the inlined-push surface (``_heap``) at ``lane``."""
+        self._active = lane
+        self._heap = self._lanes[lane]
+
+    def spawn_on(self, lane: int, gen, name: str = "proc",
+                 daemon: bool = False) -> ProcessHandle:
+        """Spawn with the initial resume event in ``lane`` (the
+        launcher's per-rank entry; child Spawn syscalls inherit the
+        active lane of their spawner)."""
+        prev = self._active
+        self.activate(lane)
+        try:
+            return self.spawn(gen, name, daemon=daemon)
+        finally:
+            self.activate(prev)
+
+    # ------------------------------------------------------------------
+    # cross-shard routing (the transport's gated slow path)
+    # ------------------------------------------------------------------
+    def deliver_at(self, rank: int, time: float,
+                   callback: Callable[[], None]) -> None:
+        """Schedule a boundary message into ``rank``'s lane."""
+        now = self.now
+        if time < now:
+            time = now
+        lane = self._lane_of_rank[rank]
+        self._seq += 1
+        _heappush(self._lanes[lane], (time, self._seq, callback))
+        if lane != self._active:
+            self._cross_pushed = True
+            self.boundary_messages += 1
+            slack = time - now
+            if slack < self.min_slack:
+                self.min_slack = slack
+            # the conservative invariant: a boundary delivery must land
+            # at least one lookahead window in the future.  The slack is
+            # a difference of absolute virtual times, so its round-off
+            # scales with |now| (ULP of a double at t=32s is ~7e-15);
+            # the tolerance must scale the same way or long runs count
+            # pure float noise as violations
+            if slack < self.lookahead - 1e-12 * max(1.0, now):
+                self.invariant_violations += 1
+
+    def wake_at(self, rank: int, time: float,
+                callback: Callable[[], None]) -> None:
+        """Schedule a reverse wake into ``rank``'s lane (invariant-exempt)."""
+        now = self.now
+        if time < now:
+            time = now
+        lane = self._lane_of_rank[rank]
+        self._seq += 1
+        _heappush(self._lanes[lane], (time, self._seq, callback))
+        if lane != self._active:
+            self._cross_pushed = True
+            self.reverse_wakes += 1
+
+    # ------------------------------------------------------------------
+    # overrides
+    # ------------------------------------------------------------------
+    def kill(self, handle: ProcessHandle,
+             error: Optional[BaseException] = None) -> bool:
+        """Serial :meth:`Engine.kill` purges ``self._heap``; here the
+        victim's stale resumptions may sit in any lane, so purge all of
+        them (in place — the scheduler holds lane list references)."""
+        proc = self._proc_of_handle.get(handle)
+        if proc is None:
+            for proc in self._procs:
+                if proc.handle is handle:
+                    break
+            else:
+                raise ValueError(
+                    f"kill: unknown process handle {handle.name!r}")
+        if proc.blocked_on in ("done", "error", "killed"):
+            return False
+        proc.gen.close()
+        proc.blocked_on = "killed"
+        handle.error = error
+        if not proc.daemon:
+            self._live -= 1
+        for lane_heap in self._lanes:
+            filtered = [e for e in lane_heap if e[2] is not proc.resume]
+            if len(filtered) != len(lane_heap):
+                lane_heap[:] = filtered
+                heapify(lane_heap)
+        self.set_flag(handle.done_flag, None)
+        return True

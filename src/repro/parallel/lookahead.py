@@ -1,0 +1,137 @@
+"""The conservative lookahead bound and the partition's explain report.
+
+Conservative parallel DES rests on one inequality: an event a shard
+sends to another shard lands at least ``L`` seconds of virtual time in
+the future, where ``L`` is the minimum latency of any fabric link that
+crosses the shard boundary.  Inside a window of width ``L`` each shard
+can therefore advance independently — nothing a peer is concurrently
+executing can affect it before the window barrier.
+
+:func:`lookahead_bound` derives ``L`` from the
+:class:`~repro.simmpi.network.Fabric` protocol's per-link latencies
+(``_link(src, dst) -> (latency, bandwidth)``), probing one
+representative rank per (shard, node) pair so fat-tree and dragonfly
+fabrics report their true minimum hop cost, not the flat preset's.
+
+One modeled edge is *not* latency-bounded: the rendezvous protocol's
+sender wake-up.  When a receiver matches a rendezvous header it
+completes the sender at ``transfer.sender_free`` — a time that can
+precede ``match_time + L`` because the sender's NIC frees as soon as
+the payload leaves it.  The sharded engine routes these as *reverse
+wakes*, exempt from the window invariant and counted separately; the
+strict global-order merge keeps them correct (DESIGN.md §16).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .partition import Shards
+
+__all__ = ["cut_warnings", "lookahead_bound", "partition_report"]
+
+
+def lookahead_bound(fabric, shards: Shards) -> float:
+    """Minimum link latency across any pair of ranks in different
+    shards; ``inf`` for a single shard (no boundary to bound)."""
+    if len(shards) < 2:
+        return float("inf")
+    # one probe rank per (shard, node): latency is a node-pair property
+    reps: List[Tuple[int, int]] = []  # (lane, representative rank)
+    for lane, ranks in enumerate(shards):
+        seen_nodes = set()
+        for r in ranks:
+            node = fabric.node_of(r)
+            if node not in seen_nodes:
+                seen_nodes.add(node)
+                reps.append((lane, r))
+    best = float("inf")
+    link = fabric._link
+    for i, (lane_a, ra) in enumerate(reps):
+        for lane_b, rb in reps[i + 1:]:
+            if lane_a == lane_b:
+                continue
+            lat = link(ra, rb)[0]
+            if lat < best:
+                best = lat
+            lat = link(rb, ra)[0]
+            if lat < best:
+                best = lat
+    return best
+
+
+def cut_warnings(graph, plan, shards: Shards) -> List[str]:
+    """Warn on shard cuts through eager-declared stream flows.
+
+    An eager flow commits each element's transfer at send time; when a
+    cut separates its producer group from its consumer group, every
+    element crossing it is boundary traffic the window protocol must
+    carry.  Rendezvous flows are cheap at the boundary (one header per
+    element; the bulk transfer is latency-bounded), so only flows
+    declared ``eager=True`` are flagged.
+    """
+    if graph is None or plan is None or len(shards) < 2:
+        return []
+    lane_of = {}
+    for lane, ranks in enumerate(shards):
+        for r in ranks:
+            lane_of[r] = lane
+
+    def lanes_of_group(name: str) -> set:
+        spec = plan.groups.get(name)
+        if spec is None:
+            return set()
+        return {lane_of[r] for r in spec.ranks if r in lane_of}
+
+    warnings: List[str] = []
+    for flow in graph.flows:
+        if not getattr(flow, "eager", False):
+            continue
+        src_lanes = lanes_of_group(flow.src)
+        dst_lanes = lanes_of_group(flow.dst)
+        if not src_lanes or not dst_lanes or (src_lanes & dst_lanes):
+            continue  # co-resident somewhere: not a clean cut
+        warnings.append(
+            f"shard cut severs eager flow {flow.name!r} "
+            f"({flow.src} -> {flow.dst}): every element crosses the "
+            "window boundary as an eager delivery")
+    return warnings
+
+
+def partition_report(shards: Shards, window: float,
+                     warnings: Optional[List[str]] = None,
+                     workers_requested: Optional[int] = None) -> str:
+    """Human-readable account of the chosen partition — the block
+    ``Simulation.explain()`` appends for parallel simulations."""
+    lines = ["parallel:"]
+    req = f" (requested {workers_requested})" \
+        if workers_requested not in (None, len(shards)) else ""
+    lines.append(f"  shards: {len(shards)}{req}")
+    for lane, ranks in enumerate(shards):
+        unit = "rank" if len(ranks) == 1 else "ranks"
+        lines.append(f"    lane {lane}: {unit} {_span(ranks)} "
+                     f"({len(ranks)} {unit})")
+    if window == float("inf"):
+        lines.append("  window: unbounded (single shard; no boundary links)")
+    elif window <= 0:
+        lines.append("  window: none (zero-latency boundary link; "
+                     "merge runs unwindowed)")
+    else:
+        lines.append(f"  window: {window:.3g}s lookahead "
+                     "(min cross-shard link latency)")
+    for w in warnings or []:
+        lines.append(f"  warning: {w}")
+    return "\n".join(lines)
+
+
+def _span(ranks: Tuple[int, ...]) -> str:
+    """Compact rank-set rendering: contiguous runs as ``a-b``."""
+    parts: List[str] = []
+    i = 0
+    while i < len(ranks):
+        j = i
+        while j + 1 < len(ranks) and ranks[j + 1] == ranks[j] + 1:
+            j += 1
+        parts.append(str(ranks[i]) if i == j else f"{ranks[i]}-{ranks[j]}")
+        i = j + 1
+    return ",".join(parts)

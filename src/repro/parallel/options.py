@@ -1,0 +1,111 @@
+"""Resolution of the ``parallel=`` opt-in into :class:`ParallelOptions`.
+
+Accepted spellings, mirroring ``compile=``'s shapes::
+
+    parallel=True                      # $REPRO_PAR_WORKERS or 2 shards
+    parallel=4                         # 4 shards
+    parallel={"workers": 4}            # dict form (study machine specs)
+    parallel={"workers": 2, "window": 5e-6}
+    parallel=ParallelOptions(workers=2)
+
+``window`` overrides the conservative lookahead bound (normally derived
+from the fabric's minimum cross-shard link latency); ``shards`` pins an
+explicit rank partition (a list of rank lists), bypassing the
+placement/plan-derived partitioning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from ..envcfg import env_int
+from .partition import ParallelError
+
+__all__ = ["ParallelOptions", "parallel_key", "resolve_parallel"]
+
+#: dict-form keys resolve_parallel accepts
+_OPTION_KEYS = ("workers", "window", "shards")
+
+
+@dataclass(frozen=True)
+class ParallelOptions:
+    """Resolved knobs of a partitioned run."""
+
+    workers: int = 2                    # shard (lane) count target
+    window: Optional[float] = None      # lookahead override (seconds)
+    shards: Optional[Tuple[Tuple[int, ...], ...]] = None  # explicit partition
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.workers, int) or isinstance(self.workers, bool) \
+                or self.workers < 1:
+            raise ParallelError(
+                f"parallel workers must be a positive integer, "
+                f"got {self.workers!r}")
+        if self.window is not None and not self.window > 0:
+            raise ParallelError(
+                f"parallel window must be a positive duration in seconds, "
+                f"got {self.window!r}")
+
+
+def _default_workers() -> int:
+    """Worker count when the opt-in does not name one: the
+    ``$REPRO_PAR_WORKERS`` env knob, else 2."""
+    return env_int("REPRO_PAR_WORKERS", 2,
+                   what="integer worker count", error=ParallelError)
+
+
+def resolve_parallel(value: Any) -> Optional[ParallelOptions]:
+    """Normalize any accepted ``parallel=`` spelling; None/False → None."""
+    if value is None or value is False:
+        return None
+    if value is True:
+        return ParallelOptions(workers=_default_workers())
+    if isinstance(value, ParallelOptions):
+        return value
+    if isinstance(value, int):
+        return ParallelOptions(workers=value)
+    if isinstance(value, dict):
+        unknown = set(value) - set(_OPTION_KEYS)
+        if unknown:
+            raise ParallelError(
+                f"parallel spec has unknown keys {sorted(unknown)}; "
+                f"allowed: {list(_OPTION_KEYS)}")
+        shards = value.get("shards")
+        if shards is not None:
+            try:
+                shards = tuple(tuple(int(r) for r in shard)
+                               for shard in shards)
+            except (TypeError, ValueError):
+                raise ParallelError(
+                    f"parallel shards must be a list of rank lists, "
+                    f"got {value['shards']!r}") from None
+        workers = value.get("workers")
+        if workers is None:
+            workers = len(shards) if shards is not None \
+                else _default_workers()
+        window = value.get("window")
+        if window is not None:
+            try:
+                window = float(window)
+            except (TypeError, ValueError):
+                raise ParallelError(
+                    f"parallel window must be a number of seconds, "
+                    f"got {value['window']!r}") from None
+        return ParallelOptions(workers=workers, window=window, shards=shards)
+    raise ParallelError(
+        f"parallel must be True, a worker count, an options dict or "
+        f"ParallelOptions, got {type(value).__name__}")
+
+
+def parallel_key(opts: Optional[ParallelOptions]) -> Optional[Dict[str, Any]]:
+    """Canonical JSON form of the opt-in — what a study machine spec's
+    ``parallel`` sub-key hashes into cache keys."""
+    if opts is None:
+        return None
+    key: Dict[str, Any] = {"workers": opts.workers}
+    if opts.window is not None:
+        key["window"] = opts.window
+    if opts.shards is not None:
+        key["shards"] = [list(s) for s in opts.shards]
+    return key

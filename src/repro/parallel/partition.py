@@ -1,0 +1,176 @@
+"""Rank partitioning: cut the world into shards (execution lanes).
+
+A *shard* is the set of ranks one parallel worker lane advances.  Three
+sources, in precedence order:
+
+1. explicit ``shards`` on :class:`~repro.parallel.ParallelOptions`;
+2. the machine's placement node map (:func:`shards_from_nodes`) —
+   whole nodes are assigned to shards so the cut never splits the
+   cheap intra-node links;
+3. a compiled plan's group blocks (:func:`shards_from_blocks`) — the
+   declarative front-end cuts on group boundaries so a pipeline stage
+   never straddles a shard.
+
+All partitioners are deterministic pure functions of their inputs: the
+shard layout enters no virtual-time decision (the merge executes in
+global event order regardless), but a stable layout keeps the window /
+boundary-traffic statistics reproducible run to run.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..simmpi.errors import SimMPIError
+
+__all__ = [
+    "ParallelError",
+    "lane_map",
+    "partition_ranks",
+    "shards_from_blocks",
+    "shards_from_nodes",
+    "validate_shards",
+]
+
+Shards = Tuple[Tuple[int, ...], ...]
+
+
+class ParallelError(SimMPIError):
+    """Invalid parallel options, partition or window."""
+
+
+def partition_ranks(nprocs: int, nshards: int) -> Shards:
+    """Contiguous block partition: shard sizes differ by at most one."""
+    if nprocs < 1:
+        raise ParallelError(f"nprocs must be positive, got {nprocs}")
+    nshards = max(1, min(nshards, nprocs))
+    base, extra = divmod(nprocs, nshards)
+    shards: List[Tuple[int, ...]] = []
+    start = 0
+    for i in range(nshards):
+        size = base + (1 if i < extra else 0)
+        shards.append(tuple(range(start, start + size)))
+        start += size
+    return tuple(shards)
+
+
+def shards_from_nodes(node_of: Sequence[int], nshards: int) -> Shards:
+    """Partition whole nodes across shards, balancing rank counts.
+
+    Nodes are taken in node-id order and dealt to contiguous shard
+    chunks whose rank totals stay within one node of even, so under
+    block placement this degenerates to :func:`partition_ranks` on node
+    boundaries.  Whole nodes are preferred because the intra-node link
+    is the cheapest in the fabric and a cut through it would pin the
+    lookahead window to it — but when the world spans fewer nodes than
+    the requested shard count, the partition falls back to splitting
+    ranks directly (the window then honestly rests on the intra-node
+    latency rather than the shard count silently collapsing).
+    """
+    nprocs = len(node_of)
+    if nprocs < 1:
+        raise ParallelError("node map is empty")
+    ranks_of_node: dict = {}
+    for rank, node in enumerate(node_of):
+        ranks_of_node.setdefault(node, []).append(rank)
+    nodes = sorted(ranks_of_node)
+    if len(nodes) < nshards:
+        return partition_ranks(nprocs, nshards)
+    nshards = max(1, min(nshards, len(nodes)))
+    # contiguous node chunks with rank-balanced cut points
+    shards: List[Tuple[int, ...]] = []
+    target = nprocs / nshards
+    chunk: List[int] = []
+    taken = 0
+    remaining_shards = nshards
+    for i, node in enumerate(nodes):
+        chunk.extend(ranks_of_node[node])
+        nodes_left = len(nodes) - i - 1
+        shards_left = remaining_shards - 1
+        # close the chunk once it reaches its share, but never leave
+        # fewer nodes than shards still to fill
+        if shards_left and (taken + len(chunk) >= target * len(shards)
+                            + target or nodes_left == shards_left):
+            shards.append(tuple(sorted(chunk)))
+            taken += len(chunk)
+            chunk = []
+            remaining_shards -= 1
+    if chunk:
+        shards.append(tuple(sorted(chunk)))
+    return tuple(shards)
+
+
+def shards_from_blocks(blocks: Sequence[Tuple[str, int, int]],
+                       nprocs: int, nshards: int) -> Shards:
+    """Partition on plan group blocks ``(name, first_rank, size)``.
+
+    Whole groups are dealt greedily (largest first) to the least-loaded
+    shard — ties break toward the lowest shard index — so a pipeline
+    stage never straddles a shard boundary.  Ranks outside every block
+    form one trailing pseudo-group.  Degenerates to
+    :func:`partition_ranks` when no blocks are given.
+    """
+    if not blocks:
+        return partition_ranks(nprocs, nshards)
+    covered = set()
+    spans: List[Tuple[str, Tuple[int, ...]]] = []
+    for name, first, size in blocks:
+        ranks = tuple(range(first, first + size))
+        for r in ranks:
+            if r < 0 or r >= nprocs:
+                raise ParallelError(
+                    f"group block {name!r} rank {r} outside world "
+                    f"0..{nprocs - 1}")
+            if r in covered:
+                raise ParallelError(
+                    f"group block {name!r} overlaps an earlier block "
+                    f"at rank {r}")
+            covered.add(r)
+        spans.append((name, ranks))
+    rest = tuple(r for r in range(nprocs) if r not in covered)
+    if rest:
+        spans.append(("(unassigned)", rest))
+    nshards = max(1, min(nshards, len(spans)))
+    # LPT: largest span first, stable on (size desc, first rank asc)
+    order = sorted(spans, key=lambda s: (-len(s[1]), s[1][0]))
+    loads = [0] * nshards
+    members: List[List[int]] = [[] for _ in range(nshards)]
+    for _name, ranks in order:
+        lane = min(range(nshards), key=lambda i: (loads[i], i))
+        members[lane].extend(ranks)
+        loads[lane] += len(ranks)
+    return tuple(tuple(sorted(m)) for m in members if m)
+
+
+def validate_shards(shards: Shards, nprocs: int) -> Shards:
+    """Check a (possibly user-pinned) partition covers the world exactly
+    once; returns it with each shard's ranks sorted."""
+    if not shards:
+        raise ParallelError("parallel shards must name at least one shard")
+    seen = set()
+    for shard in shards:
+        if not shard:
+            raise ParallelError("parallel shards must all be non-empty")
+        for r in shard:
+            if r < 0 or r >= nprocs:
+                raise ParallelError(
+                    f"shard rank {r} outside world 0..{nprocs - 1}")
+            if r in seen:
+                raise ParallelError(
+                    f"rank {r} appears in more than one shard")
+            seen.add(r)
+    if len(seen) != nprocs:
+        missing = sorted(set(range(nprocs)) - seen)
+        raise ParallelError(
+            f"shards cover {len(seen)}/{nprocs} ranks; "
+            f"missing {missing[:8]}{'...' if len(missing) > 8 else ''}")
+    return tuple(tuple(sorted(s)) for s in shards)
+
+
+def lane_map(shards: Shards, nprocs: int) -> Tuple[int, ...]:
+    """Flat ``rank -> lane index`` lookup table."""
+    lanes = [0] * nprocs
+    for lane, shard in enumerate(shards):
+        for r in shard:
+            lanes[r] = lane
+    return tuple(lanes)

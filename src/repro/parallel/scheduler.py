@@ -1,0 +1,187 @@
+"""The conservative-lookahead partitioned scheduler.
+
+:class:`PartitionedScheduler` drives a :class:`~repro.parallel.engine.
+ShardedEngine`: per-shard event lanes, advanced under a window of
+width ``L`` (the lookahead bound) and merged in **exact global
+(time, seq) order** — the serial heap's firing order, reconstructed
+across lanes.  That strict merge is the determinism obligation
+(DESIGN.md §16): every fault-free run is bit-identical to serial *by
+construction*, because the sequence of fired callbacks — and therefore
+every mutation of mailbox, NIC-timeline and process state — is
+literally the serial sequence.
+
+The merge is batched, not event-by-event: the loop picks the lane
+whose head is globally minimal and drains it while its head stays
+below the best head of every *other* lane (``limit``).  Lane-local
+pushes (Delay resumptions, intra-shard sends) keep the drain going;
+a cross-lane push raises the engine's ``_cross_pushed`` flag and
+forces a re-merge, since another lane's head may now precede the
+limit.  Rank programs burst lane-local events (compute, intra-shard
+streams), so the common case amortizes the lane scan across the burst.
+
+Window accounting is layered on top: barrier crossings, boundary
+messages, minimum observed slack and invariant violations are
+recorded per run and surfaced in ``SimResult.extras["parallel"]`` —
+the observability a true multi-worker backend would need, kept honest
+by the property tests even while execution stays in-process (why it
+stays in-process: rank programs are live generators, which cannot
+cross an OS process boundary, and the rendezvous sender-free edge has
+zero lookahead — both documented in DESIGN.md §16).
+"""
+
+from __future__ import annotations
+
+from heapq import heappop as _heappop
+from typing import Any, Dict, Optional
+
+from .partition import Shards
+
+__all__ = ["PartitionedScheduler"]
+
+_INF = float("inf")
+
+
+class PartitionedScheduler:
+    """Drain a sharded engine's lanes in exact global (time, seq) order,
+    with conservative-window accounting.
+
+    Parameters
+    ----------
+    shards:
+        The rank partition (one lane per shard).
+    window:
+        Window width in virtual seconds — normally the lookahead bound
+        from :func:`~repro.parallel.lookahead.lookahead_bound`.
+        Non-positive or infinite widths disable window accounting (the
+        merge itself needs no window for correctness).
+    workers_requested:
+        The opt-in's worker count, kept for reporting (the effective
+        lane count may be clamped by node or group granularity).
+    """
+
+    def __init__(self, shards: Shards, window: float,
+                 workers_requested: Optional[int] = None) -> None:
+        self.shards = shards
+        self.window = window
+        self.workers_requested = workers_requested or len(shards)
+        self.windows: int = 0
+        self.batches: int = 0
+        self.events: int = 0
+
+    # ------------------------------------------------------------------
+    def run(self, engine) -> float:
+        from ..simmpi.errors import DeadlockError
+
+        lanes = engine._lanes
+        nlanes = len(lanes)
+        engine.lookahead = self.window if 0 < self.window < _INF else 0.0
+        pop = _heappop
+        budget = engine.max_events
+        if budget is None:
+            budget = _INF
+        fired = engine._events_fired
+        now = engine.now
+        window = self.window
+        windowed = 0 < window < _INF
+        window_end = (now + window) if windowed else _INF
+        windows = 0
+        batches = 0
+        try:
+            while True:
+                # merge point: the lane with the global-minimum head
+                # fires next; the best head of the *other* lanes bounds
+                # how far it may drain before the next merge
+                best = None
+                best_lane = -1
+                limit = None
+                for i in range(nlanes):
+                    lane_heap = lanes[i]
+                    if lane_heap:
+                        head = lane_heap[0]
+                        if best is None or head < best:
+                            limit = best
+                            best = head
+                            best_lane = i
+                        elif limit is None or head < limit:
+                            limit = head
+                if best_lane < 0:
+                    break
+                if windowed and best[0] >= window_end:
+                    # barrier: every lane has advanced to the window's
+                    # edge; open the window containing the next event
+                    windows += 1
+                    skip = (best[0] - window_end) // window
+                    window_end += (skip + 1) * window
+                batches += 1
+                lane_heap = lanes[best_lane]
+                engine._active = best_lane
+                engine._heap = lane_heap
+                engine._cross_pushed = False
+                if limit is None:
+                    # sole populated lane: drain freely until a cross-
+                    # lane push revives another lane
+                    while lane_heap:
+                        entry = pop(lane_heap)
+                        fired += 1
+                        if fired > budget:
+                            raise RuntimeError(
+                                f"event budget exceeded ({engine.max_events} "
+                                "events); likely a livelock in a simulated "
+                                "protocol"
+                            )
+                        time_ = entry[0]
+                        if time_ > now:
+                            now = time_
+                            engine.now = time_
+                        entry[2]()
+                        if engine._cross_pushed:
+                            break
+                else:
+                    while lane_heap and lane_heap[0] < limit:
+                        entry = pop(lane_heap)
+                        fired += 1
+                        if fired > budget:
+                            raise RuntimeError(
+                                f"event budget exceeded ({engine.max_events} "
+                                "events); likely a livelock in a simulated "
+                                "protocol"
+                            )
+                        time_ = entry[0]
+                        if time_ > now:
+                            now = time_
+                            engine.now = time_
+                        entry[2]()
+                        if engine._cross_pushed:
+                            break
+        finally:
+            engine._events_fired = fired
+            self.events = fired
+            self.windows = windows
+            self.batches = batches
+        if engine._live > 0:
+            blocked = {
+                p.handle.name: p.blocked_label()
+                for p in engine._procs
+                if not p.daemon
+                and p.blocked_on not in ("done", "error", "killed")
+            }
+            raise DeadlockError(blocked)
+        return engine.now
+
+    # ------------------------------------------------------------------
+    def summary(self, engine) -> Dict[str, Any]:
+        """The run's parallel accounting for ``extras["parallel"]``."""
+        return {
+            "workers": len(self.shards),
+            "workers_requested": self.workers_requested,
+            "shard_sizes": [len(s) for s in self.shards],
+            "window": self.window if self.window < _INF else None,
+            "windows": self.windows,
+            "merge_batches": self.batches,
+            "events": self.events,
+            "boundary_messages": engine.boundary_messages,
+            "reverse_wakes": engine.reverse_wakes,
+            "min_slack": (engine.min_slack
+                          if engine.min_slack < _INF else None),
+            "invariant_violations": engine.invariant_violations,
+        }

@@ -1,0 +1,142 @@
+"""The Scheduler seam: pluggable event-loop drivers for the engine.
+
+:meth:`Engine.run` historically owned the heap-drain loop.  PR 9 lifts
+that loop behind a one-method protocol so alternative drivers — the
+conservative-lookahead :class:`repro.parallel.PartitionedScheduler`,
+instrumented replay harnesses, test shims — can drive the same engine
+without forking it:
+
+``Scheduler.run(engine) -> float``
+    Drain ``engine``'s pending events and return the final virtual
+    time.  The driver owns the loop; the engine keeps owning process
+    bookkeeping (``_step``, ``spawn``, ``set_flag``, ``kill``).
+
+Contract every scheduler must honor (DESIGN.md §16):
+
+* events fire in global ``(time, seq)`` order — equal-time events in
+  insertion order, exactly like the serial heap;
+* the clock never rewinds: ``engine.now`` is monotone non-decreasing
+  and mirrors the time of the event being fired;
+* ``engine.max_events`` is a hard budget — exceeding it raises
+  ``RuntimeError`` with the livelock message;
+* ``engine._events_fired`` is updated even when the loop raises (the
+  serial loop's ``finally`` semantics), so post-mortem reports see the
+  true event count;
+* a drained heap with ``engine._live > 0`` raises
+  :class:`~repro.simmpi.errors.DeadlockError` listing the stuck
+  processes.
+
+:class:`SerialScheduler` is the pre-seam loop moved verbatim;
+:func:`legacy_run` is a second, frozen copy of the same loop kept as
+the refactor oracle — the scheduler-seam property test drives both
+(plus the seed :class:`~repro.simmpi.oracle.OracleEngine`) over
+randomized workloads and asserts identical digests, so any future edit
+to one copy that changes observable behavior trips the test.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop as _heappop
+
+__all__ = ["Scheduler", "SerialScheduler", "legacy_run"]
+
+
+class Scheduler:
+    """Protocol: an event-loop driver the engine delegates ``run()`` to.
+
+    Subclasses override :meth:`run`.  The base class raising keeps the
+    protocol explicit (no silent no-op drivers).
+    """
+
+    def run(self, engine) -> float:
+        """Drain ``engine``'s events; return the final virtual time."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement Scheduler.run")
+
+
+class SerialScheduler(Scheduler):
+    """The classic single-heap drain loop (the pre-seam ``Engine.run``
+    body, preserved verbatim).  This is the default driver and the
+    oracle every other scheduler is measured against."""
+
+    def run(self, engine) -> float:
+        from .errors import DeadlockError
+
+        heap = engine._heap
+        pop = _heappop
+        budget = engine.max_events
+        if budget is None:
+            budget = float("inf")
+        fired = engine._events_fired
+        now = engine.now
+        try:
+            while heap:
+                entry = pop(heap)
+                fired += 1
+                if fired > budget:
+                    raise RuntimeError(
+                        f"event budget exceeded ({engine.max_events} events); "
+                        "likely a livelock in a simulated protocol"
+                    )
+                # callbacks never rewind the clock; `now` mirrors
+                # engine.now so the compare is a local read
+                time_ = entry[0]
+                if time_ > now:
+                    now = time_
+                    engine.now = time_
+                entry[2]()
+        finally:
+            engine._events_fired = fired
+        if engine._live > 0:
+            blocked = {
+                p.handle.name: p.blocked_label()
+                for p in engine._procs
+                if not p.daemon
+                and p.blocked_on not in ("done", "error", "killed")
+            }
+            raise DeadlockError(blocked)
+        return engine.now
+
+
+def legacy_run(engine) -> float:
+    """The pre-refactor ``Engine.run`` loop, frozen as a free function.
+
+    Kept verbatim (not aliased to :class:`SerialScheduler`) so the
+    seam property test compares two independent copies: if a future
+    edit changes one loop's observable behavior, the digests diverge
+    and the test names the culprit.
+    """
+    from .errors import DeadlockError
+
+    heap = engine._heap
+    pop = _heappop
+    budget = engine.max_events
+    if budget is None:
+        budget = float("inf")
+    fired = engine._events_fired
+    now = engine.now
+    try:
+        while heap:
+            entry = pop(heap)
+            fired += 1
+            if fired > budget:
+                raise RuntimeError(
+                    f"event budget exceeded ({engine.max_events} events); "
+                    "likely a livelock in a simulated protocol"
+                )
+            time_ = entry[0]
+            if time_ > now:
+                now = time_
+                engine.now = time_
+            entry[2]()
+    finally:
+        engine._events_fired = fired
+    if engine._live > 0:
+        blocked = {
+            p.handle.name: p.blocked_label()
+            for p in engine._procs
+            if not p.daemon
+            and p.blocked_on not in ("done", "error", "killed")
+        }
+        raise DeadlockError(blocked)
+    return engine.now

@@ -93,7 +93,8 @@ def execute_job(job: Dict[str, Any]) -> Dict[str, Any]:
     _SIMULATIONS_EXECUTED += 1
     sim = run(app.worker, job["nprocs"],
               args=(cfg, *extra, *job.get("args", ())), machine=machine,
-              faults=faults, compile=machine_spec.get("compile"))
+              faults=faults, compile=machine_spec.get("compile"),
+              parallel=machine_spec.get("parallel"))
     return {
         "value": apply_extract(job["extract"], sim),
         "sim": {"elapsed": sim.elapsed, "messages": sim.messages,
@@ -184,16 +185,11 @@ def _pool_entry(job: Dict[str, Any], timeout: Optional[float],
 
 def _resolve_jobs(jobs: Optional[int]) -> int:
     if jobs is None:
-        raw = (os.environ.get("REPRO_STUDY_JOBS") or "").strip()
-        if raw:
-            try:
-                jobs = int(raw)
-            except ValueError:
-                raise StudyError(
-                    f"$REPRO_STUDY_JOBS must be an integer worker "
-                    f"count, got {raw!r}") from None
-        else:
-            jobs = 1
+        # shared $REPRO_* validation (repro.envcfg): a bad value names
+        # the variable and quotes the offending string
+        from ..envcfg import env_int
+        jobs = env_int("REPRO_STUDY_JOBS", 1,
+                       what="integer worker count", error=StudyError)
     if jobs < 1:
         raise StudyError(f"jobs must be >= 1, got {jobs}")
     return jobs

@@ -258,3 +258,95 @@ def test_cli_compiled_variant_and_speedup_gate(tmp_path, capsys):
                      "--check-golden", golden]) == 0
     out = capsys.readouterr().out
     assert "[compiled]" in out
+
+
+def test_parallel_variant_bit_identical_to_serial():
+    fast = perf.run_scenario("quickstart", "fast")
+    par = perf.verify_parallel("quickstart", fast)
+    assert par.variant == "parallel"
+    assert par.digest == fast.digest
+    assert par.events == fast.events
+    stats = par.extra["parallel"]
+    assert stats["workers"] == perf.PARALLEL_WORKERS
+    assert stats["invariant_violations"] == 0
+
+
+def test_parallel_variant_rejected_for_fault_scenarios():
+    with pytest.raises(perf.PerfError, match="bypasses itself"):
+        perf.run_scenario("fault-recovery", "parallel")
+
+
+def test_verify_parallel_raises_on_divergence():
+    fast = perf.run_scenario("quickstart", "fast")
+    forged = perf.PerfRecord(**{**fast.__dict__, "digest": "0" * 64})
+    with pytest.raises(perf.PerfError, match="diverged from the"):
+        perf.verify_parallel("quickstart", forged)
+
+
+def test_suite_carries_the_parallel_leg():
+    payload = perf.run_suite(["quickstart"], check_oracle=False, repeats=1)
+    entry = payload["scenarios"]["quickstart"]
+    assert entry["parallel_identical"] is True
+    assert entry["parallel"]["events_per_sec"] > 0
+    assert entry["speedup_parallel_vs_fast"] > 0
+    assert payload["meta"]["parallel_workers"] == perf.PARALLEL_WORKERS
+    assert payload["meta"]["cpu_count"] == os.cpu_count()
+    report = perf.render_report(payload)
+    assert "parallel" in report
+    assert "serial fast path" in report
+
+
+def test_fault_scenarios_skip_the_parallel_leg():
+    payload = perf.run_suite(["fault-recovery"], check_oracle=False,
+                             repeats=1)
+    entry = payload["scenarios"]["fault-recovery"]
+    assert "parallel" not in entry
+
+
+def test_committed_quickstart_golden_matches_parallel():
+    """The parallel leg must reproduce the committed serial golden —
+    the CI parallel-smoke gate, run as a unit test too."""
+    golden = os.path.join(os.path.dirname(__file__), "..", "..",
+                          "benchmarks", "golden", "quickstart_perf.json")
+    rec = perf.run_scenario("quickstart", "parallel")
+    perf.check_golden(rec, golden)
+
+
+def test_golden_scenarios_scans_committed_files():
+    golden = perf.golden_scenarios()
+    assert golden["quickstart"] == "quickstart_perf.json"
+    assert golden["fault-recovery"] == "fault_recovery_perf.json"
+    assert perf.golden_scenarios("/nonexistent") == {}
+
+
+def test_list_scenarios_enumerates_everything():
+    text = perf.list_scenarios()
+    for name, s in perf.SCENARIOS.items():
+        assert name in text
+        assert s.describe in text
+    assert "quickstart_perf.json" in text
+    assert "opt-in" in text    # fig5-4096 is not in the default suite
+
+
+def test_cli_perf_list(capsys):
+    assert cli_main(["perf", "--list"]) == 0
+    out = capsys.readouterr().out
+    assert "bench perf scenarios" in out
+    assert "fig5-4096" in out
+    with pytest.raises(SystemExit, match="does not run"):
+        cli_main(["perf", "--list", "--scenario", "quickstart"])
+
+
+def test_cli_compare_warns_on_core_count_mismatch(tmp_path, capsys,
+                                                  monkeypatch):
+    import json as _json
+
+    payload = perf.run_suite(["quickstart"], check_oracle=False, repeats=1)
+    payload["meta"]["cpu_count"] = (os.cpu_count() or 1) + 7
+    before = tmp_path / "before.json"
+    before.write_text(_json.dumps(payload))
+    assert cli_main(["perf", "--scenario", "quickstart", "--no-oracle",
+                     "--compare", str(before),
+                     "--out", str(tmp_path)]) == 0
+    err = capsys.readouterr().err
+    assert "not apples to apples" in err

@@ -1,0 +1,157 @@
+"""The parallel scheduler's determinism obligation: every fault-free
+run is bit-identical to serial, and anything the parallel path cannot
+faithfully carry (fault plans, injected engines, custom schedulers)
+bypasses it cleanly — the `compile=` rule."""
+
+import random
+
+import pytest
+
+from repro.simmpi import DeadlockError, beskow, quiet_testbed, run
+from repro.simmpi.oracle import OracleEngine
+from repro.simmpi.scheduler import SerialScheduler
+
+#: eager (<= 8192 B threshold) and rendezvous payload sizes, mixed
+SIZES = (256, 2048, 16384, 65536)
+
+
+def _mixed_worker(comm, seed, rounds):
+    """Randomized but deadlock-free mixed traffic: every rank runs the
+    same (seed, round)-derived exchange pattern — eager + rendezvous
+    sends, per-rank compute jitter, periodic allreduce/barrier."""
+    from repro.simmpi.engine import Delay
+
+    jitter = random.Random(seed * 7919 + comm.rank)
+    total = 0.0
+    for rnd in range(rounds):
+        shared = random.Random(seed * 1009 + rnd)
+        offset = 1 + shared.randrange(comm.size - 1)
+        nbytes = shared.choice(SIZES)
+        dst = (comm.rank + offset) % comm.size
+        src = (comm.rank - offset) % comm.size
+        sreq = yield from comm.isend((comm.rank, rnd), dest=dst,
+                                     nbytes=nbytes)
+        data = yield from comm.recv(source=src)
+        yield from comm.wait(sreq)
+        total += data[0] * 0.5 + data[1]
+        yield Delay(1e-6 * jitter.random())
+        if rnd % 3 == 2:
+            total += yield from comm.allreduce(comm.rank + rnd)
+        if shared.random() < 0.25:
+            yield from comm.barrier()
+    return (comm.time, total)
+
+
+def _digest(sim):
+    return (sim.elapsed, tuple(sim.finish_times), sim.messages,
+            sim.bytes, sim.events, tuple(repr(v) for v in sim.values))
+
+
+# ----------------------------------------------------------------------
+# the property: serial == parallel, bit for bit
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("machine", [quiet_testbed, beskow],
+                         ids=["quiet", "noisy"])
+@pytest.mark.parametrize("nprocs", [8, 13])
+def test_parallel_identity_randomized(machine, nprocs):
+    """Across random mixed eager/rendezvous traffic, noisy and quiet
+    machines, and >= 2 shard counts, the parallel run's virtual-time
+    results are identical to serial."""
+    for seed in range(3):
+        serial = run(_mixed_worker, nprocs, args=(seed, 6),
+                     machine=machine())
+        want = _digest(serial)
+        assert "parallel" not in serial.extras
+        for workers in (2, 3):
+            par = run(_mixed_worker, nprocs, args=(seed, 6),
+                      machine=machine(), parallel=workers)
+            assert _digest(par) == want, \
+                f"divergence at seed={seed} workers={workers}"
+            stats = par.extras["parallel"]
+            assert stats["workers"] >= 2
+            assert stats["workers_requested"] == workers
+            assert sum(stats["shard_sizes"]) == nprocs
+            assert stats["events"] == serial.events
+            assert stats["invariant_violations"] == 0
+
+
+def test_parallel_spellings_and_pinned_shards():
+    serial = run(_mixed_worker, 8, args=(42, 5), machine=quiet_testbed())
+    want = _digest(serial)
+    # explicit shard pin (uneven, non-contiguous) still merges identically
+    pinned = run(_mixed_worker, 8, args=(42, 5), machine=quiet_testbed(),
+                 parallel={"shards": [[0, 2, 4, 6], [1, 3], [5, 7]]})
+    assert _digest(pinned) == want
+    assert pinned.extras["parallel"]["shard_sizes"] == [4, 2, 2]
+    # window override enters the accounting, not the results
+    windowed = run(_mixed_worker, 8, args=(42, 5), machine=quiet_testbed(),
+                   parallel={"workers": 2, "window": 1e-5})
+    assert _digest(windowed) == want
+    assert windowed.extras["parallel"]["window"] == 1e-5
+
+
+def test_parallel_true_honours_env_workers(monkeypatch):
+    monkeypatch.setenv("REPRO_PAR_WORKERS", "4")
+    sim = run(_mixed_worker, 8, args=(7, 4), machine=quiet_testbed(),
+              parallel=True)
+    assert sim.extras["parallel"]["workers_requested"] == 4
+
+
+# ----------------------------------------------------------------------
+# bypass rules (the compile= discipline)
+# ----------------------------------------------------------------------
+
+def test_fault_plan_bypasses_parallel():
+    plan = {"events": [{"kind": "slowdown", "t0": 0.0, "t1": 1.0,
+                        "factor": 2.0, "rank": 0}]}
+    faulted = run(_mixed_worker, 8, args=(3, 4), machine=quiet_testbed(),
+                  faults=plan)
+    both = run(_mixed_worker, 8, args=(3, 4), machine=quiet_testbed(),
+               faults=plan, parallel=2)
+    assert "parallel" not in both.extras
+    assert _digest(both) == _digest(faulted)
+
+
+def test_engine_injection_bypasses_parallel():
+    injected = run(_mixed_worker, 8, args=(3, 4), machine=quiet_testbed(),
+                   engine_factory=OracleEngine, parallel=2)
+    assert "parallel" not in injected.extras
+    plain = run(_mixed_worker, 8, args=(3, 4), machine=quiet_testbed(),
+                engine_factory=OracleEngine)
+    assert _digest(injected) == _digest(plain)
+
+
+def test_custom_scheduler_bypasses_parallel():
+    class Counting(SerialScheduler):
+        runs = 0
+
+        def run(self, engine):
+            Counting.runs += 1
+            return super().run(engine)
+
+    sim = run(_mixed_worker, 8, args=(3, 4), machine=quiet_testbed(),
+              scheduler=Counting(), parallel=2)
+    assert Counting.runs == 1
+    assert "parallel" not in sim.extras
+
+
+# ----------------------------------------------------------------------
+# contract parity: budget + deadlock behave exactly like serial
+# ----------------------------------------------------------------------
+
+def test_parallel_event_budget_parity():
+    with pytest.raises(RuntimeError, match="event budget exceeded"):
+        run(_mixed_worker, 8, args=(1, 6), machine=quiet_testbed(),
+            max_events=50, parallel=2)
+
+
+def test_parallel_deadlock_parity():
+    def stuck(comm):
+        if comm.rank == 0:
+            yield from comm.recv(source=1, tag=7)  # never sent
+
+    with pytest.raises(DeadlockError, match="rank0"):
+        run(stuck, 4, parallel=2)
+    with pytest.raises(DeadlockError, match="rank0"):
+        run(stuck, 4)

@@ -1,0 +1,217 @@
+"""Units for the repro.parallel partitioning/lookahead/options layer."""
+
+import pytest
+
+from repro.parallel import (
+    ParallelError,
+    ParallelOptions,
+    cut_warnings,
+    lane_map,
+    lookahead_bound,
+    parallel_key,
+    partition_ranks,
+    partition_report,
+    resolve_parallel,
+    shards_from_blocks,
+    shards_from_nodes,
+    validate_shards,
+)
+
+
+# ----------------------------------------------------------------------
+# partition_ranks / shards_from_nodes / shards_from_blocks
+# ----------------------------------------------------------------------
+
+def test_partition_ranks_contiguous_balanced():
+    assert partition_ranks(8, 2) == ((0, 1, 2, 3), (4, 5, 6, 7))
+    assert partition_ranks(7, 3) == ((0, 1, 2), (3, 4), (5, 6))
+    # shard count clamps to the world size
+    assert partition_ranks(2, 5) == ((0,), (1,))
+    with pytest.raises(ParallelError, match="nprocs"):
+        partition_ranks(0, 2)
+
+
+def test_shards_from_nodes_keeps_nodes_whole():
+    # 4 nodes x 2 ranks, block placement
+    node_of = [0, 0, 1, 1, 2, 2, 3, 3]
+    shards = shards_from_nodes(node_of, 2)
+    assert shards == ((0, 1, 2, 3), (4, 5, 6, 7))
+    # a cut never splits a node
+    for shard in shards_from_nodes(node_of, 3):
+        for node in (0, 1, 2, 3):
+            ranks = {r for r in shard if node_of[r] == node}
+            assert ranks in (set(), {2 * node, 2 * node + 1})
+
+
+def test_shards_from_nodes_falls_back_when_too_few_nodes():
+    """Fewer nodes than requested shards: split ranks directly instead
+    of silently collapsing the worker count (the window then honestly
+    rests on the intra-node latency)."""
+    node_of = [0] * 8  # one node
+    assert shards_from_nodes(node_of, 2) == partition_ranks(8, 2)
+    with pytest.raises(ParallelError, match="empty"):
+        shards_from_nodes([], 2)
+
+
+def test_shards_from_blocks_lpt_keeps_groups_whole():
+    blocks = [("compute", 0, 6), ("analyze", 6, 2)]
+    shards = shards_from_blocks(blocks, 8, 2)
+    assert shards == ((0, 1, 2, 3, 4, 5), (6, 7))
+    # uncovered ranks form a trailing pseudo-group
+    shards = shards_from_blocks([("a", 0, 2)], 4, 2)
+    assert validate_shards(shards, 4)
+    # no blocks degrades to the plain contiguous split
+    assert shards_from_blocks([], 8, 2) == partition_ranks(8, 2)
+
+
+def test_shards_from_blocks_rejects_bad_blocks():
+    with pytest.raises(ParallelError, match="overlaps"):
+        shards_from_blocks([("a", 0, 3), ("b", 2, 2)], 8, 2)
+    with pytest.raises(ParallelError, match="outside world"):
+        shards_from_blocks([("a", 6, 4)], 8, 2)
+
+
+def test_validate_shards_and_lane_map():
+    shards = validate_shards(((1, 0), (3, 2)), 4)
+    assert shards == ((0, 1), (2, 3))  # sorted within each shard
+    assert lane_map(shards, 4) == (0, 0, 1, 1)
+    with pytest.raises(ParallelError, match="at least one"):
+        validate_shards((), 4)
+    with pytest.raises(ParallelError, match="non-empty"):
+        validate_shards(((0, 1), ()), 2)
+    with pytest.raises(ParallelError, match="more than one shard"):
+        validate_shards(((0, 1), (1, 2)), 3)
+    with pytest.raises(ParallelError, match="missing"):
+        validate_shards(((0, 1),), 4)
+    with pytest.raises(ParallelError, match="outside world"):
+        validate_shards(((0, 9),), 2)
+
+
+# ----------------------------------------------------------------------
+# lookahead_bound / cut_warnings / partition_report
+# ----------------------------------------------------------------------
+
+class _FakeFabric:
+    """Two nodes of two ranks; cheap intra-node, pricey inter-node."""
+
+    def node_of(self, rank):
+        return rank // 2
+
+    def _link(self, src, dst):
+        if self.node_of(src) == self.node_of(dst):
+            return (1e-7, 1e10)
+        return (2e-6, 5e9)
+
+
+def test_lookahead_bound_is_min_cross_shard_latency():
+    fabric = _FakeFabric()
+    # node-aligned cut: only inter-node links cross
+    assert lookahead_bound(fabric, ((0, 1), (2, 3))) == 2e-6
+    # cut through a node: the intra-node link bounds the window
+    assert lookahead_bound(fabric, ((0, 2), (1, 3))) == 1e-7
+    # a single shard has no boundary
+    assert lookahead_bound(fabric, ((0, 1, 2, 3),)) == float("inf")
+
+
+def test_lookahead_bound_on_a_real_fabric():
+    from repro.simmpi.config import beskow
+    from repro.simmpi.network import build_network
+
+    fabric = build_network(beskow(), 64)
+    shards = shards_from_nodes([fabric.node_of(r) for r in range(64)], 2)
+    bound = lookahead_bound(fabric, shards)
+    assert 0 < bound < float("inf")
+
+
+def test_cut_warnings_flags_severed_eager_flows():
+    from repro.api import StreamGraph
+    from repro.mpistream import RunningStats
+
+    graph = (StreamGraph("cutter")
+             .stage("compute", fraction=3 / 4,
+                    body=lambda ctx: iter(()))
+             .stage("analyze", fraction=1 / 4)
+             .flow("fast", src="compute", dst="analyze",
+                   operator=RunningStats, eager=True)
+             .flow("slow", src="compute", dst="analyze",
+                   operator=RunningStats))
+    compiled = graph.compile(8)
+    plan = compiled.plan
+    severing = ((0, 1, 2, 3, 4, 5), (6, 7))  # groups on opposite shards
+    warnings = cut_warnings(graph, plan, severing)
+    assert len(warnings) == 1
+    assert "eager flow 'fast'" in warnings[0]
+    assert "slow" not in warnings[0]
+    # co-resident groups (or a single shard): no warning
+    assert cut_warnings(graph, plan, ((0, 2, 4, 6), (1, 3, 5, 7))) == []
+    assert cut_warnings(graph, plan, (tuple(range(8)),)) == []
+
+
+def test_partition_report_shape():
+    text = partition_report(((0, 1, 2), (3, 5)), 1.5e-6,
+                            warnings=["boom"], workers_requested=4)
+    assert text.splitlines()[0] == "parallel:"
+    assert "shards: 2 (requested 4)" in text
+    assert "lane 0: ranks 0-2 (3 ranks)" in text
+    assert "lane 1: ranks 3,5 (2 ranks)" in text
+    assert "window: 1.5e-06s lookahead" in text
+    assert "warning: boom" in text
+    assert "unbounded" in partition_report(((0,),), float("inf"))
+
+
+# ----------------------------------------------------------------------
+# ParallelOptions / resolve_parallel / parallel_key
+# ----------------------------------------------------------------------
+
+def test_resolve_parallel_spellings():
+    assert resolve_parallel(None) is None
+    assert resolve_parallel(False) is None
+    assert resolve_parallel(4) == ParallelOptions(workers=4)
+    opts = resolve_parallel({"workers": 2, "window": 5e-6,
+                             "shards": [[0, 1], [2, 3]]})
+    assert opts.workers == 2
+    assert opts.window == 5e-6
+    assert opts.shards == ((0, 1), (2, 3))
+    # shards alone imply the worker count
+    assert resolve_parallel({"shards": [[0], [1], [2]]}).workers == 3
+    ident = ParallelOptions(workers=2)
+    assert resolve_parallel(ident) is ident
+
+
+def test_resolve_parallel_rejections():
+    with pytest.raises(ParallelError, match="unknown keys"):
+        resolve_parallel({"wrokers": 2})
+    with pytest.raises(ParallelError, match="positive integer"):
+        resolve_parallel(0)
+    with pytest.raises(ParallelError, match="positive duration"):
+        resolve_parallel({"window": -1.0})
+    with pytest.raises(ParallelError, match="rank lists"):
+        resolve_parallel({"shards": 3})
+    with pytest.raises(ParallelError, match="number of seconds"):
+        resolve_parallel({"window": "soon"})
+    with pytest.raises(ParallelError):
+        resolve_parallel("yes")
+
+
+def test_resolve_parallel_true_reads_env(monkeypatch):
+    monkeypatch.delenv("REPRO_PAR_WORKERS", raising=False)
+    assert resolve_parallel(True).workers == 2
+    monkeypatch.setenv("REPRO_PAR_WORKERS", "5")
+    assert resolve_parallel(True).workers == 5
+
+
+def test_invalid_repro_par_workers_raises_named_error(monkeypatch):
+    """$REPRO_PAR_WORKERS garbage raises a named error quoting the
+    variable and the offending value — the $REPRO_STUDY_JOBS contract."""
+    monkeypatch.setenv("REPRO_PAR_WORKERS", "many")
+    with pytest.raises(ParallelError,
+                       match=r"\$REPRO_PAR_WORKERS .* 'many'"):
+        resolve_parallel(True)
+
+
+def test_parallel_key_canonical_form():
+    assert parallel_key(None) is None
+    assert parallel_key(ParallelOptions(workers=2)) == {"workers": 2}
+    key = parallel_key(ParallelOptions(workers=2, window=1e-6,
+                                       shards=((0,), (1,))))
+    assert key == {"workers": 2, "window": 1e-6, "shards": [[0], [1]]}

@@ -1,0 +1,64 @@
+"""Parallel execution as a study dimension: machine-spec sub-key,
+cache keys, and the bit-identity guarantee inside the runner."""
+
+import pytest
+
+from repro.study import StudyError
+from repro.study.cache import job_key
+from repro.study.registry import (
+    build_machine,
+    get_app,
+    validate_machine_spec,
+)
+from repro.study.runner import execute_job
+
+
+def _job(parallel=None, nprocs=8):
+    machine = {"preset": "quiet"}
+    if parallel is not None:
+        machine["parallel"] = parallel
+    return {
+        "study": "t", "series": "s", "x": nprocs,
+        "app": "mapreduce.decoupled", "nprocs": nprocs,
+        "params": {"alpha": 0.25, "bytes_per_rank": 200_000,
+                   "nchunks": 2},
+        "args": [], "machine": machine, "extract": "max_elapsed",
+        "meta": {},
+    }
+
+
+def test_cache_key_incorporates_parallel_spec():
+    assert job_key(_job()) != job_key(_job(parallel=2))
+    assert job_key(_job(parallel=2)) != \
+        job_key(_job(parallel={"workers": 3}))
+    renamed = dict(_job(parallel=2), series="renamed")
+    assert job_key(renamed) == job_key(_job(parallel=2))
+
+
+def test_machine_spec_validates_parallel_options():
+    app = get_app("mapreduce.decoupled")
+    validate_machine_spec({"preset": "quiet", "parallel": True}, app)
+    validate_machine_spec(
+        {"preset": "quiet", "parallel": {"workers": 2}}, app)
+    with pytest.raises(StudyError, match="machine spec parallel"):
+        validate_machine_spec(
+            {"preset": "quiet", "parallel": {"wrokers": 2}}, app)
+    with pytest.raises(StudyError, match="machine spec parallel"):
+        validate_machine_spec(
+            {"preset": "quiet", "parallel": 0}, app)
+
+
+def test_build_machine_treats_parallel_as_side_channel():
+    from repro.study.registry import build_config
+    app = get_app("mapreduce.decoupled")
+    cfg = build_config(app, 8, _job()["params"])
+    machine = build_machine({"preset": "quiet", "parallel": 2}, app, cfg)
+    # the sub-key configures the launcher, not the MachineConfig
+    assert not hasattr(machine, "parallel")
+
+
+def test_execute_job_parallel_is_bit_identical():
+    plain = execute_job(_job())
+    parallel = execute_job(_job(parallel=2))
+    assert parallel["value"] == plain["value"]
+    assert parallel["sim"] == plain["sim"]

@@ -1,0 +1,77 @@
+"""Unified $REPRO_* env validation: every integer knob raises a named
+error quoting the variable and the offending value."""
+
+import pytest
+
+from repro.envcfg import EnvVarError, env_int, env_int_list
+
+
+def test_env_int_parses_and_defaults(monkeypatch):
+    monkeypatch.delenv("REPRO_TEST_KNOB", raising=False)
+    assert env_int("REPRO_TEST_KNOB", 7) == 7
+    assert env_int("REPRO_TEST_KNOB", None) is None
+    monkeypatch.setenv("REPRO_TEST_KNOB", "42")
+    assert env_int("REPRO_TEST_KNOB", 7) == 42
+
+
+def test_env_int_names_variable_and_value(monkeypatch):
+    monkeypatch.setenv("REPRO_TEST_KNOB", "lots")
+    with pytest.raises(EnvVarError,
+                       match=r"\$REPRO_TEST_KNOB must be an integer, "
+                             r"got 'lots'"):
+        env_int("REPRO_TEST_KNOB", 1)
+
+
+def test_env_int_custom_error_and_what(monkeypatch):
+    class Boom(ValueError):
+        pass
+
+    monkeypatch.setenv("REPRO_TEST_KNOB", "x")
+    with pytest.raises(Boom, match="integer worker count"):
+        env_int("REPRO_TEST_KNOB", 1, what="integer worker count",
+                error=Boom)
+
+
+def test_env_int_list(monkeypatch):
+    monkeypatch.delenv("REPRO_TEST_LIST", raising=False)
+    assert env_int_list("REPRO_TEST_LIST") is None
+    monkeypatch.setenv("REPRO_TEST_LIST", "8, 16,32")
+    assert env_int_list("REPRO_TEST_LIST") == [8, 16, 32]
+    monkeypatch.setenv("REPRO_TEST_LIST", "8,sixteen")
+    with pytest.raises(EnvVarError, match=r"\$REPRO_TEST_LIST"):
+        env_int_list("REPRO_TEST_LIST")
+    monkeypatch.setenv("REPRO_TEST_LIST", ", ,")
+    with pytest.raises(EnvVarError):
+        env_int_list("REPRO_TEST_LIST")
+
+
+def test_invalid_repro_points_raises_named_error(monkeypatch):
+    """$REPRO_POINTS garbage fails loudly through scale_points() — the
+    same contract as $REPRO_STUDY_JOBS, not a silent ValueError."""
+    from repro.bench.harness import scale_points
+
+    monkeypatch.setenv("REPRO_POINTS", "32,large")
+    with pytest.raises(EnvVarError,
+                       match=r"\$REPRO_POINTS must be a comma-separated "
+                             r"list of process counts, got '32,large'"):
+        scale_points()
+    monkeypatch.setenv("REPRO_POINTS", "64,32,32")
+    assert scale_points() == [32, 64]
+    monkeypatch.delenv("REPRO_POINTS", raising=False)
+    from repro.bench.harness import DEFAULT_POINTS
+    assert scale_points() == list(DEFAULT_POINTS)
+
+
+def test_study_jobs_goes_through_envcfg(monkeypatch):
+    """$REPRO_STUDY_JOBS keeps its historical StudyError and message
+    while sharing the envcfg implementation."""
+    from repro.study import StudyError
+    from repro.study.runner import _resolve_jobs
+
+    monkeypatch.setenv("REPRO_STUDY_JOBS", "abc")
+    with pytest.raises(StudyError,
+                       match=r"\$REPRO_STUDY_JOBS must be an integer "
+                             r"worker count, got 'abc'"):
+        _resolve_jobs(None)
+    monkeypatch.setenv("REPRO_STUDY_JOBS", "3")
+    assert _resolve_jobs(None) == 3
